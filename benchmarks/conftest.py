@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every benchmark here regenerates one table/figure of the paper.  A "round"
+is one full experiment, so everything runs with ``rounds=1`` -- the value
+of these benches is the printed figure data and the recorded extra_info,
+not sub-millisecond timing statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round/iteration and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,108 @@
+"""Ablation: Algorithm 1's scheme choice vs the opposite scheme.
+
+The paper motivates two replication schemes because each fits one overload
+profile (section II-B).  This ablation forces each scheme onto each
+workload and shows the cross-assignments fail:
+
+* a publication-heavy channel (many publishers, one subscriber) under
+  *all-publishers* still funnels the whole flow through every replica's
+  single subscriber connection -- replication buys little;
+* a subscriber-heavy channel (one publisher, many subscribers) under
+  *all-subscribers* still makes every server deliver to every subscriber
+  -- the fan-out work is not divided.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.cluster import BALANCER_NONE, DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.experiments.experiment1 import (
+    CHANNEL,
+    fanin_broker_config,
+    fanout_broker_config,
+)
+from repro.experiments.report import table
+from repro.workload.microbench import FanInWorkload, FanOutWorkload
+
+
+def run_point(workload_kind, mode, seed=0):
+    """One (workload, scheme) cell of the ablation matrix."""
+    broker = fanout_broker_config() if workload_kind == "fanout" else fanin_broker_config()
+    cluster = DynamothCluster(
+        seed=seed,
+        config=DynamothConfig(max_servers=3, min_servers=3),
+        broker_config=broker,
+        initial_servers=3,
+        balancer=BALANCER_NONE,
+    )
+    servers = tuple(sorted(cluster.servers))
+    if mode is ReplicationMode.SINGLE:
+        mapping = ChannelMapping(mode, (cluster.plan.ring.lookup(CHANNEL),))
+    else:
+        mapping = ChannelMapping(mode, servers)
+    cluster.set_static_mapping(CHANNEL, mapping)
+
+    if workload_kind == "fanout":
+        workload = FanOutWorkload(cluster, CHANNEL, n_subscribers=700)
+    else:
+        workload = FanInWorkload(cluster, CHANNEL, n_publishers=500)
+    cluster.run_until(1.0)
+    workload.start(measure_from=6.0)
+    cluster.run_until(16.0)
+    workload.stop()
+    cluster.run_for(0.5)
+
+    latencies = workload.collector.latencies()
+    mean = sum(latencies) / len(latencies) if latencies else float("inf")
+    if workload_kind == "fanout":
+        expected = workload.published_measured * 700
+        rate = min(1.0, len(latencies) / expected) if expected else 1.0
+    else:
+        rate = workload.delivery_rate()
+    return mean, rate
+
+
+def test_bench_ablation_scheme_choice(benchmark):
+    def run_matrix():
+        results = {}
+        for workload in ("fanout", "fanin"):
+            for mode in (
+                ReplicationMode.SINGLE,
+                ReplicationMode.ALL_PUBLISHERS,
+                ReplicationMode.ALL_SUBSCRIBERS,
+            ):
+                results[(workload, mode)] = run_point(workload, mode)
+        return results
+
+    results = run_once(benchmark, run_matrix)
+
+    rows = []
+    for (workload, mode), (mean, rate) in results.items():
+        rows.append([workload, mode.value, f"{mean * 1000:.1f}", f"{rate:.2f}"])
+    print()
+    print("Ablation -- replication scheme vs workload profile")
+    print(table(["workload", "scheme", "mean ms", "delivery"], rows))
+
+    # fan-out (700 subscribers): all-publishers is the right scheme
+    fo_right = results[("fanout", ReplicationMode.ALL_PUBLISHERS)]
+    fo_wrong = results[("fanout", ReplicationMode.ALL_SUBSCRIBERS)]
+    fo_none = results[("fanout", ReplicationMode.SINGLE)]
+    assert fo_right[0] < 0.25
+    # The wrong scheme serializes each publication's whole fan-out on one
+    # server (all-publishers splits it 3 ways in parallel), costing a
+    # clear latency premium even when throughput still fits.
+    assert fo_wrong[0] > 1.5 * fo_right[0]
+    assert fo_none[0] > 2 * fo_right[0]
+
+    # fan-in (500 publishers): all-subscribers is the right scheme
+    fi_right = results[("fanin", ReplicationMode.ALL_SUBSCRIBERS)]
+    fi_wrong = results[("fanin", ReplicationMode.ALL_PUBLISHERS)]
+    fi_none = results[("fanin", ReplicationMode.SINGLE)]
+    assert fi_right[1] > 0.99
+    assert fi_wrong[1] < 0.95  # every replica still floods the one subscriber
+    assert fi_none[1] < 0.95
+
+    benchmark.extra_info["matrix"] = {
+        f"{w}/{m.value}": [round(mean * 1000, 1), round(rate, 3)]
+        for (w, m), (mean, rate) in results.items()
+    }

@@ -1,0 +1,68 @@
+"""Figure 7 -- elasticity under a fluctuating player population.
+
+Paper setup (Experiment 3): inject ~800 players step by step, remove 600,
+then add back to almost 600; Dynamoth balancer with scale-up *and*
+scale-down enabled.
+
+Paper shapes:
+* the server pool grows during the climbs and shrinks (with a delay --
+  scale-down is lower priority) after the drop;
+* high-load rebalances cause small short latency spikes, scale-down
+  rebalances cause none.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.experiment3 import ElasticityConfig, run_elasticity
+from repro.experiments.report import render_figure7
+
+BENCH_CONFIG = ElasticityConfig(
+    tiles_per_side=8,
+    peak1=360,
+    trough=90,
+    peak2=260,
+    transition_s=90.0,
+    plateau_s=90.0,
+    nominal_egress_bps=620_000.0,
+    max_servers=8,
+    plan_entry_timeout_s=15.0,
+)
+
+
+def test_bench_fig7_elasticity(benchmark):
+    result = run_once(benchmark, lambda: run_elasticity(BENCH_CONFIG))
+    print()
+    print(render_figure7(result))
+
+    config = result.config
+    # servers were rented during the first climb
+    t_peak1_end = config.transition_s + config.plateau_s
+    assert result.server_count_at(t_peak1_end) > config.initial_servers
+
+    # ... and released after the drop (the paper notes "an observable
+    # delay between the time when the load decreases and the servers are
+    # removed")
+    assert result.scaled_down()
+    decommissions = [t for t, k, __ in result.balancer_events if k == "decommission"]
+    drop_complete = 2 * config.transition_s + config.plateau_s
+    peak1_end = config.transition_s + config.plateau_s
+    # servers are only released once the population decline has begun
+    assert decommissions and min(decommissions) > peak1_end
+
+    # ... and rented again for the second climb
+    peak2_time = 3 * config.transition_s + 2.5 * config.plateau_s
+    trough_servers = min(
+        int(v)
+        for t, v in result.recorder.get("servers")
+        if drop_complete + config.plateau_s * 0.5 <= t <= drop_complete + config.plateau_s
+    )
+    assert result.server_count_at(peak2_time) >= trough_servers
+
+    # response time during the trough plateau is healthy
+    trough_rt = result.response_times.window_mean(
+        drop_complete + 20, drop_complete + config.plateau_s
+    )
+    assert trough_rt is not None and trough_rt < 0.150
+
+    benchmark.extra_info["peak_servers"] = result.peak_server_count()
+    benchmark.extra_info["decommissions"] = len(decommissions)
+    benchmark.extra_info["rebalances"] = len(result.rebalance_times)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Elasticity: the server pool following the load up *and* down.
+
+Reproduces the spirit of the paper's Experiment 3 at demo scale: a player
+population climbs, collapses, and climbs again, while the load balancer
+rents and releases pub/sub servers.  Low-load rebalancing drains the
+least-loaded server onto the others and decommissions it -- deliberately
+lazily, since scale-down "is less critical for performance reasons, but
+nevertheless essential for cost saving purposes".
+
+Run with::
+
+    python examples/elastic_scaling.py
+"""
+
+from repro.experiments.experiment3 import ElasticityConfig, run_elasticity
+from repro.experiments.report import render_figure7
+
+
+def main() -> None:
+    config = ElasticityConfig(
+        tiles_per_side=5,
+        peak1=150,
+        trough=40,
+        peak2=110,
+        transition_s=60.0,
+        plateau_s=60.0,
+        nominal_egress_bps=180_000.0,
+        max_servers=6,
+    )
+    print(
+        f"population plan: 0 -> {config.peak1} -> {config.trough} -> "
+        f"{config.peak2} players\n"
+    )
+    result = run_elasticity(config)
+    print(render_figure7(result))
+    print(f"\npeak servers: {result.peak_server_count()}")
+    print(f"scaled back down after the drop: {result.scaled_down()}")
+    decommissions = [e for e in result.balancer_events if e[1] == "decommission"]
+    for t, __, detail in decommissions:
+        print(f"  t={t:6.1f}s decommissioned {detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Baseline load-distribution schemes the paper compares against."""
+
+from repro.baselines.consistent_hashing import ConsistentHashingBalancer
+
+__all__ = ["ConsistentHashingBalancer"]

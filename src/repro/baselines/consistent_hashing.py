@@ -1,0 +1,152 @@
+"""The consistent-hashing baseline balancer (Experiment 2's comparator).
+
+This is "the standard load balancing technique" the paper measures
+Dynamoth against: channels are always placed by a consistent-hashing ring
+over the *currently rented* servers.  When any server overloads, the only
+remedy the scheme has is to rent one more server and let the ring shed
+~1/N of every server's channels onto it -- irrespective of the actual load
+of each channel or server.  Consequently (section V-D):
+
+* "highly loaded servers do not loose significant load and tend to
+  overload again soon", and
+* "this technique has to spawn a new server every time a rebalancing
+  occurs, which is not cost efficient".
+
+The baseline reuses the whole reconfiguration machinery (plans pushed to
+dispatchers, lazy client updates, forwarding) so the comparison isolates
+the *placement policy*, exactly as in the paper where both systems run on
+the same middleware.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List
+
+from repro.core.balancer import BalancerEvent, CloudOperations
+from repro.core.config import DynamothConfig
+from repro.core.dispatcher import dispatcher_id
+from repro.core.hashing import ConsistentHashRing
+from repro.core.messages import LoadReport, NoMoreSubscribers, PlanPush, ServerSpawned
+from repro.core.metrics import ClusterLoadView
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.core.stragglers import StragglerTracker
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTask
+
+
+class ConsistentHashingBalancer(Actor):
+    """Scale-out via consistent hashing only: no migration, no replication."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        config: DynamothConfig,
+        initial_plan: Plan,
+        cloud: CloudOperations,
+        default_nominal_bps: float,
+        rng: random.Random,
+    ):
+        super().__init__(sim, node_id, is_infra=True)
+        self.config = config
+        self.plan = initial_plan
+        self._cloud = cloud
+        self._rng = rng
+
+        self.view = ClusterLoadView(config.load_window_s)
+        self.active_servers: List[str] = list(initial_plan.active_servers)
+        #: ring over the *active* pool; grows as servers are rented
+        self.ring = ConsistentHashRing(
+            initial_plan.active_servers, vnodes=config.vnodes_per_server
+        )
+        self.pending_spawns = 0
+        self._last_plan_time = -float("inf")
+
+        self.events: List[BalancerEvent] = []
+        self.load_history: List[tuple] = []
+        self._stragglers = StragglerTracker(config.plan_entry_timeout_s)
+
+        self._task = PeriodicTask(sim, config.lb_eval_interval_s, self._evaluate)
+
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, src_id: str) -> None:
+        if isinstance(message, LoadReport):
+            self.view.add_report(message)
+        elif isinstance(message, ServerSpawned):
+            self._on_server_ready(message.server_id)
+        elif isinstance(message, NoMoreSubscribers):
+            self._stragglers.drain(message.channel, message.server_id)
+        else:
+            raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
+
+    def _on_server_ready(self, server_id: str) -> None:
+        self.pending_spawns = max(0, self.pending_spawns - 1)
+        if server_id in self.active_servers:
+            return
+        self.active_servers.append(server_id)
+        self.ring.add_server(server_id)
+        self.events.append(BalancerEvent(self.sim.now, "server-ready", server_id))
+        self._rehash(f"server {server_id} joined the ring")
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, now: float) -> None:
+        self.view.prune(now)
+        self.load_history.append(
+            (now, {s: self.view.load_ratio(s) for s in self.active_servers})
+        )
+        if (now - self._last_plan_time) < self.config.t_wait_s:
+            return
+        if self.pending_spawns > 0:
+            return
+        overloaded = any(
+            self.view.load_ratio(s) >= self.config.lr_high for s in self.active_servers
+        )
+        if not overloaded:
+            return
+        # The only lever consistent hashing has: rent another server.
+        total = len(self.active_servers) + self.pending_spawns
+        if total >= self.config.max_servers:
+            return
+        self.pending_spawns += 1
+        self._last_plan_time = now
+        self.events.append(BalancerEvent(now, "spawn-request"))
+        self._cloud.request_spawn()
+
+    def _rehash(self, reason: str) -> None:
+        """Re-place every observed channel according to the current ring."""
+        channels = set(self.plan.explicit_channels())
+        for server_id in self.active_servers:
+            channels.update(self.view.channel_loads(server_id))
+        mappings = {
+            channel: ChannelMapping(ReplicationMode.SINGLE, (self.ring.lookup(channel),))
+            for channel in channels
+        }
+        previous_plan = self.plan
+        self.plan = self.plan.evolve(
+            mappings=mappings, active_servers=tuple(self.active_servers)
+        )
+        self._stragglers.record_plan_change(previous_plan, self.plan, self.sim.now)
+        self._stragglers.prune(self.sim.now)
+        self._last_plan_time = self.sim.now
+        self.events.append(
+            BalancerEvent(self.sim.now, "rebalance", f"v{self.plan.version}: {reason}")
+        )
+        push = PlanPush(self.plan, self._stragglers.snapshot())
+        size = PlanPush.WIRE_SIZE + 32 * len(self.plan.explicit_channels())
+        for server_id in self.active_servers:
+            self.send(dispatcher_id(server_id), push, size)
+
+    # ------------------------------------------------------------------
+    def rebalance_times(self) -> List[float]:
+        return [e.time for e in self.events if e.kind == "rebalance"]
+
+    def average_load_ratio(self) -> float:
+        return self.view.average_load_ratio(self.active_servers)

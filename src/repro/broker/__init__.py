@@ -1,0 +1,43 @@
+"""Redis-like channel pub/sub server substrate.
+
+Dynamoth deliberately builds on *unmodified* stock pub/sub servers (Redis in
+the paper); this package is our from-scratch model of such a server:
+
+* plain SUBSCRIBE / UNSUBSCRIBE / PUBLISH semantics over channels
+  (:class:`~repro.broker.server.PubSubServer`);
+* per-connection output buffers with Redis' hard-limit kill policy --
+  a subscriber whose buffer overflows is disconnected
+  (:class:`~repro.broker.connection.Connection`), which is exactly the
+  failure mode of the paper's Experiment 1b;
+* a single-core CPU cost model (per-publish base cost plus per-subscriber
+  delivery cost) whose saturation produces the exponential response-time
+  blow-up of Experiment 1a;
+* zero-cost *local subscribers*, modelling co-located processes (the Local
+  Load Analyzer and the Dispatcher) that subscribe over the loopback
+  interface and therefore consume neither NIC egress nor WAN latency.
+
+The server knows nothing about Dynamoth: plans, replication and
+reconfiguration all live above it, in :mod:`repro.core`.
+"""
+
+from repro.broker.commands import (
+    ConnectionClosed,
+    Delivery,
+    PublishCmd,
+    SubscribeCmd,
+    UnsubscribeCmd,
+)
+from repro.broker.config import BrokerConfig
+from repro.broker.connection import Connection
+from repro.broker.server import PubSubServer
+
+__all__ = [
+    "BrokerConfig",
+    "Connection",
+    "ConnectionClosed",
+    "Delivery",
+    "PublishCmd",
+    "PubSubServer",
+    "SubscribeCmd",
+    "UnsubscribeCmd",
+]

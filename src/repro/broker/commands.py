@@ -1,0 +1,98 @@
+"""Wire commands and events of the pub/sub protocol.
+
+These are the only message types a :class:`~repro.broker.server.PubSubServer`
+understands or emits.  Dynamoth's own control traffic (plan pushes, switch
+notices, ...) rides *inside* :class:`PublishCmd` / :class:`Delivery`
+payloads or as direct actor messages -- the broker never inspects payloads,
+faithful to the paper's "no changes to Redis itself" constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SubscribeCmd:
+    """Client asks the server to add it to a channel's subscriber set.
+
+    ``plan_version`` is the version of the channel mapping the client
+    routed with (0 = consistent-hashing fallback).  The broker ignores it,
+    but the co-located dispatcher reads it to detect subscribers acting on
+    stale plans -- e.g. every CH-fallback subscriber of a replicated
+    channel would otherwise pile onto the same ring-determined server.
+    """
+
+    channel: str
+    plan_version: int = 0
+
+    #: Approximate wire size of a subscribe command in bytes.
+    WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class UnsubscribeCmd:
+    """Client asks the server to drop its subscription to a channel."""
+
+    channel: str
+
+    WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class PublishCmd:
+    """Client publishes ``payload`` on ``channel``.
+
+    ``payload_size`` is the application payload size in bytes; the server
+    adds per-message protocol overhead when forwarding to subscribers.
+    """
+
+    channel: str
+    payload: Any
+    payload_size: int
+
+
+@dataclass(frozen=True)
+class SubscribeAck:
+    """Server confirms a subscription is established (Redis sends a
+    ``subscribe`` confirmation message for exactly this purpose).
+
+    The Dynamoth client library uses acks to order reconfiguration steps:
+    it only tells a channel's *old* servers that it has reconciled after
+    the *new* servers acknowledged its subscriptions, closing the race
+    where forwarding stops while the new subscriptions are still in
+    flight.
+    """
+
+    channel: str
+    server_id: str
+
+    WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Server forwards a publication to one subscriber."""
+
+    channel: str
+    payload: Any
+    payload_size: int
+    #: node id of the server that performed the delivery (lets the Dynamoth
+    #: client library detect deliveries from servers it is migrating away
+    #: from).
+    server_id: str
+
+
+@dataclass(frozen=True)
+class ConnectionClosed:
+    """Server notifies a client that it was forcibly disconnected.
+
+    ``reason`` is ``"output-buffer-overflow"`` when the Redis-style
+    client-output-buffer hard limit was exceeded.
+    """
+
+    server_id: str
+    reason: str
+
+    WIRE_SIZE = 64

@@ -1,0 +1,97 @@
+"""Per-client connection state on a pub/sub server."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set, Tuple
+
+
+class Connection:
+    """One client's connection to a pub/sub server.
+
+    Tracks the channels the client is subscribed to and models the server's
+    *output buffer* for this connection: every queued delivery adds its wire
+    size until its transmission completes.  The server kills the connection
+    when the buffered backlog exceeds the configured hard limit -- the exact
+    semantics of Redis' ``client-output-buffer-limit pubsub`` policy, and
+    the failure mode the paper observes in Experiment 1b.
+
+    The buffer is accounted lazily: pending deliveries are kept in a deque
+    of ``(completion_time, size)`` and expired entries are popped whenever
+    the buffer is consulted, so no extra simulator events are needed.
+    """
+
+    __slots__ = (
+        "client_id",
+        "channels",
+        "per_connection_bps",
+        "_pending",
+        "_pending_bytes",
+        "_busy_until",
+        "alive",
+        "deliveries",
+        "bytes_delivered",
+    )
+
+    def __init__(self, client_id: str, per_connection_bps: Optional[float] = None):
+        self.client_id = client_id
+        self.channels: Set[str] = set()
+        self.per_connection_bps = per_connection_bps
+        self._pending: Deque[Tuple[float, int]] = deque()
+        self._pending_bytes: int = 0
+        self._busy_until: float = 0.0
+        self.alive = True
+        self.deliveries: int = 0
+        self.bytes_delivered: int = 0
+
+    # ------------------------------------------------------------------
+    # Output buffer model
+    # ------------------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            __, size = pending.popleft()
+            self._pending_bytes -= size
+
+    def buffered_bytes(self, now: float) -> int:
+        """Bytes currently sitting in this connection's output buffer."""
+        self._expire(now)
+        return self._pending_bytes
+
+    def connection_drain_completion(self, now: float, size_bytes: int) -> float:
+        """Completion time imposed by the per-connection rate ceiling.
+
+        Returns ``now`` when the connection has no dedicated ceiling.
+        """
+        if self.per_connection_bps is None:
+            return now
+        start = now if now > self._busy_until else self._busy_until
+        self._busy_until = start + size_bytes / self.per_connection_bps
+        return self._busy_until
+
+    def enqueue(self, now: float, completion_time: float, size_bytes: int) -> int:
+        """Record a delivery occupying the buffer until ``completion_time``.
+
+        Returns the buffer occupancy *after* the enqueue, which the server
+        compares against the hard limit.
+        """
+        self._expire(now)
+        self._pending.append((completion_time, size_bytes))
+        self._pending_bytes += size_bytes
+        self.deliveries += 1
+        self.bytes_delivered += size_bytes
+        return self._pending_bytes
+
+    def kill(self) -> None:
+        """Mark the connection dead and drop its buffered state."""
+        self.alive = False
+        self._pending.clear()
+        self._pending_bytes = 0
+        self.channels.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return (
+            f"<Connection {self.client_id} {state} "
+            f"channels={len(self.channels)} buffered={self._pending_bytes}B>"
+        )

@@ -1,0 +1,261 @@
+"""The pub/sub server actor.
+
+Models a stock Redis instance doing channel pub/sub:
+
+* ``SUBSCRIBE`` / ``UNSUBSCRIBE`` maintain per-channel subscriber sets;
+* ``PUBLISH`` costs CPU (a base cost plus a per-subscriber delivery cost on
+  a single core), then the deliveries are queued on the node's egress NIC
+  and on each subscriber's connection;
+* a subscriber connection whose output buffer exceeds the hard limit is
+  killed, Redis-style;
+* co-located processes (LLA, dispatcher) attach as *local* subscribers and
+  observers -- loopback traffic that costs neither NIC bandwidth nor WAN
+  latency, matching the paper's observation that local monitoring "does not
+  use any local bandwidth".
+
+The server is Dynamoth-agnostic: it never inspects payloads and has no idea
+plans or replication exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.broker.commands import (
+    ConnectionClosed,
+    Delivery,
+    PublishCmd,
+    SubscribeAck,
+    SubscribeCmd,
+    UnsubscribeCmd,
+)
+from repro.broker.config import BrokerConfig
+from repro.broker.connection import Connection
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+#: signature: (channel, publisher_id, payload, payload_size) -> None
+LocalSubscriber = Callable[[str, str, Any, int], None]
+#: signature: (channel, client_id, plan_version) -> None
+SubscribeListener = Callable[[str, str, int], None]
+#: signature: (channel, client_id) -> None
+UnsubscribeListener = Callable[[str, str], None]
+
+
+class PubSubServer(Actor):
+    """A single Redis-like pub/sub server node."""
+
+    def __init__(self, sim: Simulator, node_id: str, config: Optional[BrokerConfig] = None):
+        super().__init__(sim, node_id, is_infra=True)
+        self.config = config if config is not None else BrokerConfig()
+        self._connections: Dict[str, Connection] = {}
+        #: channel -> client node ids subscribed remotely.  An
+        #: insertion-ordered dict (used as an ordered set) so fan-out
+        #: order is deterministic regardless of the process hash seed.
+        self._channels: Dict[str, Dict[str, None]] = {}
+        #: channel -> local (loopback) subscriber callbacks
+        self._local_subs: Dict[str, List[LocalSubscriber]] = {}
+        #: callbacks observing *every* publication (wildcard loopback
+        #: subscription, as the LLA registers itself in the paper)
+        self._observers: List[LocalSubscriber] = []
+        self._subscribe_listeners: List[SubscribeListener] = []
+        self._unsubscribe_listeners: List[UnsubscribeListener] = []
+        self._cpu_busy_until: float = 0.0
+        #: fan-out (remote deliveries) of the most recent publication
+        self.last_fanout: int = 0
+        #: cumulative CPU seconds consumed by publish processing
+        self.cpu_time_total: float = 0.0
+        # --- counters (diagnostics / metrics) ---
+        self.publish_count: int = 0
+        self.delivery_count: int = 0
+        self.killed_connections: int = 0
+        self.dropped_deliveries: int = 0
+
+    # ------------------------------------------------------------------
+    # Introspection used by the LLA and tests
+    # ------------------------------------------------------------------
+    def channels(self) -> List[str]:
+        """Channels with at least one remote subscriber."""
+        return [c for c, subs in self._channels.items() if subs]
+
+    def subscriber_count(self, channel: str) -> int:
+        return len(self._channels.get(channel, ()))
+
+    def subscribers(self, channel: str) -> Set[str]:
+        return set(self._channels.get(channel, ()))
+
+    def is_subscribed(self, channel: str, client_id: str) -> bool:
+        return client_id in self._channels.get(channel, ())
+
+    def connection(self, client_id: str) -> Optional[Connection]:
+        return self._connections.get(client_id)
+
+    def cpu_backlog(self, now: float) -> float:
+        """Seconds of CPU work queued ahead of a new publish."""
+        return max(0.0, self._cpu_busy_until - now)
+
+    # ------------------------------------------------------------------
+    # Local (loopback) attachment points
+    # ------------------------------------------------------------------
+    def add_observer(self, callback: LocalSubscriber) -> None:
+        """Attach a wildcard loopback subscriber seeing every publication."""
+        self._observers.append(callback)
+
+    def subscribe_local(self, channel: str, callback: LocalSubscriber) -> None:
+        """Attach a loopback subscriber to one channel (dispatcher use)."""
+        self._local_subs.setdefault(channel, []).append(callback)
+
+    def unsubscribe_local(self, channel: str, callback: LocalSubscriber) -> None:
+        callbacks = self._local_subs.get(channel)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+            if not callbacks:
+                del self._local_subs[channel]
+
+    def add_subscribe_listener(self, callback: SubscribeListener) -> None:
+        """Observe remote SUBSCRIBE commands (LLA / dispatcher intercept)."""
+        self._subscribe_listeners.append(callback)
+
+    def add_unsubscribe_listener(self, callback: UnsubscribeListener) -> None:
+        self._unsubscribe_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Command handling
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, src_id: str) -> None:
+        if isinstance(message, PublishCmd):
+            self._handle_publish(message, src_id)
+        elif isinstance(message, SubscribeCmd):
+            self._handle_subscribe(message.channel, src_id, message.plan_version)
+        elif isinstance(message, UnsubscribeCmd):
+            self._handle_unsubscribe(message.channel, src_id)
+        else:
+            raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
+
+    def _conn_for(self, client_id: str) -> Connection:
+        conn = self._connections.get(client_id)
+        if conn is None or not conn.alive:
+            conn = Connection(client_id, self.config.per_connection_bps)
+            self._connections[client_id] = conn
+        return conn
+
+    def _handle_subscribe(self, channel: str, client_id: str, plan_version: int = 0) -> None:
+        conn = self._conn_for(client_id)
+        conn.channels.add(channel)
+        self._channels.setdefault(channel, {})[client_id] = None
+        # Redis-style subscription confirmation back to the client.
+        ack = SubscribeAck(channel, self.node_id)
+        self.transport.send(self.node_id, client_id, ack, SubscribeAck.WIRE_SIZE)
+        for listener in self._subscribe_listeners:
+            listener(channel, client_id, plan_version)
+
+    def _handle_unsubscribe(self, channel: str, client_id: str) -> None:
+        conn = self._connections.get(client_id)
+        if conn is not None:
+            conn.channels.discard(channel)
+        subs = self._channels.get(channel)
+        if subs is not None:
+            subs.pop(client_id, None)
+            if not subs:
+                del self._channels[channel]
+        for listener in self._unsubscribe_listeners:
+            listener(channel, client_id)
+
+    def _handle_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
+        """Queue a publish on the CPU; deliveries happen at CPU completion."""
+        now = self.sim.now
+        fanout = self.subscriber_count(cmd.channel)
+        cost = self.config.cpu_per_publish_s + fanout * self.config.cpu_per_delivery_s
+        self.cpu_time_total += cost
+        start = now if now > self._cpu_busy_until else self._cpu_busy_until
+        done = start + cost
+        self._cpu_busy_until = done
+        self.publish_count += 1
+        if done <= now:
+            self._complete_publish(cmd, publisher_id)
+        else:
+            self.sim.schedule_at(done, self._complete_publish, cmd, publisher_id)
+
+    def _complete_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
+        """Fan a processed publication out to all subscribers."""
+        now = self.sim.now
+        channel = cmd.channel
+        wire_size = cmd.payload_size + self.config.per_message_overhead_bytes
+        delivery = Delivery(channel, cmd.payload, cmd.payload_size, self.node_id)
+
+        # Snapshot: killing a connection mid-loop mutates the channel set.
+        remote = list(self._channels.get(channel, ()))
+        delivered = 0
+        for client_id in remote:
+            conn = self._connections.get(client_id)
+            if conn is None or not conn.alive:
+                self.dropped_deliveries += 1
+                continue
+            conn_completion = conn.connection_drain_completion(now, wire_size)
+            completion, __ = self.transport.send(
+                self.node_id, client_id, delivery, wire_size, min_completion=conn_completion
+            )
+            occupancy = conn.enqueue(now, completion, wire_size)
+            delivered += 1
+            if occupancy > self.config.output_buffer_limit_bytes:
+                self._kill_connection(client_id, conn)
+        self.delivery_count += delivered
+        # Observers need the fan-out of *this* publication to attribute
+        # egress bytes; expose it before invoking them.
+        self.last_fanout = delivered
+
+        # Loopback deliveries: dispatcher subscriptions and LLA observation.
+        for callback in list(self._local_subs.get(channel, ())):
+            callback(channel, publisher_id, cmd.payload, cmd.payload_size)
+        for callback in self._observers:
+            callback(channel, publisher_id, cmd.payload, cmd.payload_size)
+
+    def _kill_connection(self, client_id: str, conn: Connection) -> None:
+        """Enforce the output-buffer hard limit: disconnect the client."""
+        for channel in sorted(conn.channels):
+            subs = self._channels.get(channel)
+            if subs is not None:
+                subs.pop(client_id, None)
+                if not subs:
+                    del self._channels[channel]
+            for listener in self._unsubscribe_listeners:
+                listener(channel, client_id)
+        conn.kill()
+        self.killed_connections += 1
+        del self._connections[client_id]
+        closed = ConnectionClosed(self.node_id, "output-buffer-overflow")
+        # A reset is out-of-band: it is not queued behind the buffered
+        # deliveries the client will never receive.
+        self.transport.send(
+            self.node_id, client_id, closed, ConnectionClosed.WIRE_SIZE, fifo=False
+        )
+
+    def close_all_connections(self) -> None:
+        """Notify every connected client and drop all state (shutdown).
+
+        Models the TCP FINs a decommissioned Redis instance sends; clients
+        react by re-resolving their channels elsewhere.
+        """
+        closed = ConnectionClosed(self.node_id, "server-shutdown")
+        for client_id, conn in list(self._connections.items()):
+            conn.kill()
+            self.transport.send(
+                self.node_id, client_id, closed, ConnectionClosed.WIRE_SIZE, fifo=False
+            )
+        self._connections.clear()
+        self._channels.clear()
+
+    def disconnect(self, client_id: str) -> None:
+        """Cleanly remove a client (e.g. a player leaving the game)."""
+        conn = self._connections.pop(client_id, None)
+        if conn is None:
+            return
+        for channel in sorted(conn.channels):
+            subs = self._channels.get(channel)
+            if subs is not None:
+                subs.pop(client_id, None)
+                if not subs:
+                    del self._channels[channel]
+            for listener in self._unsubscribe_listeners:
+                listener(channel, client_id)
+        conn.kill()

@@ -1,0 +1,38 @@
+"""Dynamoth core: the paper's primary contribution.
+
+Layered on top of the stock pub/sub servers of :mod:`repro.broker`:
+
+* :mod:`repro.core.plan` -- the *plan*: an elaborate lookup table mapping
+  channels to the (possibly replicated) set of servers serving them.
+* :mod:`repro.core.hashing` -- the consistent-hashing ring used as the
+  universal fallback ("plan 0") and by the baseline balancer.
+* :mod:`repro.core.client` -- the Dynamoth client library: partial local
+  plans, lazy plan updates, replication-aware publish/subscribe routing and
+  exactly-once delivery via globally unique message ids.
+* :mod:`repro.core.lla` -- the Local Load Analyzer, co-located with every
+  server, reporting per-channel per-second metrics to the load balancer.
+* :mod:`repro.core.balancer` / :mod:`repro.core.rebalance` -- the
+  hierarchical load balancer: channel-level replication (Algorithm 1) and
+  system-level migration with elastic server pool management (Algorithm 2 +
+  low-load rebalancing).
+* :mod:`repro.core.dispatcher` -- the per-node dispatcher implementing the
+  lazy, loss-free reconfiguration protocol of section IV.
+* :mod:`repro.core.cluster` -- wiring: builds a whole Dynamoth deployment
+  inside a simulator.
+"""
+
+from repro.core.config import DynamothConfig
+from repro.core.hashing import ConsistentHashRing
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.core.client import DynamothClient
+from repro.core.cluster import DynamothCluster
+
+__all__ = [
+    "ChannelMapping",
+    "ConsistentHashRing",
+    "DynamothClient",
+    "DynamothCluster",
+    "DynamothConfig",
+    "Plan",
+    "ReplicationMode",
+]

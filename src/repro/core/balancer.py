@@ -1,0 +1,231 @@
+"""The central Dynamoth load balancer (sections III-B, IV-A.1).
+
+A single Load Balancer node aggregates the LLA reports into a
+:class:`~repro.core.metrics.ClusterLoadView`, and periodically decides
+whether a new plan is needed.  New plans are generated at most once every
+``T_wait`` seconds (so one reconfiguration settles before the next) through
+the two-step rebalancer of :mod:`repro.core.rebalance`, then pushed
+reliably to every dispatcher.
+
+The balancer also drives elasticity: it asks the cloud for an extra server
+when migration alone cannot relieve an overload, and decommissions drained
+servers when the cluster is underloaded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Protocol, Set, Tuple
+
+from repro.core.config import DynamothConfig
+from repro.core.dispatcher import dispatcher_id
+from repro.core.messages import (
+    LoadReport,
+    MappingNotice,
+    NoMoreSubscribers,
+    PlanPush,
+    ServerSpawned,
+)
+from repro.core.metrics import ClusterLoadView
+from repro.core.plan import Plan
+from repro.core.rebalance import generate_decision
+from repro.core.stragglers import StragglerTracker
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTask
+
+
+class CloudOperations(Protocol):
+    """What the balancer needs from the hosting cloud (the cluster)."""
+
+    def request_spawn(self) -> None:
+        """Rent one more pub/sub server; a ``ServerSpawned`` message will
+        arrive at the balancer once it has booted."""
+        ...
+
+    def request_decommission(self, server_id: str) -> None:
+        """Shut a drained server down after the forwarding grace period."""
+        ...
+
+
+@dataclass(frozen=True)
+class BalancerEvent:
+    """A timestamped control-plane action, kept for the experiment plots."""
+
+    time: float
+    kind: str  # "rebalance" | "spawn-request" | "server-ready" | "decommission"
+    detail: str = ""
+
+
+class LoadBalancer(Actor):
+    """The cluster-wide plan generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        config: DynamothConfig,
+        initial_plan: Plan,
+        cloud: CloudOperations,
+        default_nominal_bps: float,
+        rng: random.Random,
+    ):
+        super().__init__(sim, node_id, is_infra=True)
+        self.config = config
+        self.plan = initial_plan
+        self._cloud = cloud
+        self._default_nominal_bps = default_nominal_bps
+        self._rng = rng
+
+        self.view = ClusterLoadView(config.load_window_s)
+        self.active_servers: List[str] = list(initial_plan.active_servers)
+        self.bootstrap_servers: Set[str] = set(initial_plan.active_servers)
+        self.pending_spawns = 0
+        self._last_plan_time = -float("inf")
+        self._pool_changed = False
+
+        self.events: List[BalancerEvent] = []
+        #: (time, {server: LR}) samples, one per evaluation tick (Figure 6)
+        self.load_history: List[Tuple[float, Dict[str, float]]] = []
+        #: MappingNotice broadcasts sent under the eager-push strawman
+        self.eager_notices_sent = 0
+        #: recently displaced servers per channel, shipped with each push
+        self._stragglers = StragglerTracker(config.plan_entry_timeout_s)
+
+        self._task = PeriodicTask(sim, config.lb_eval_interval_s, self._evaluate)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, src_id: str) -> None:
+        if isinstance(message, LoadReport):
+            self.view.add_report(message)
+        elif isinstance(message, ServerSpawned):
+            self._on_server_ready(message.server_id)
+        elif isinstance(message, NoMoreSubscribers):
+            # stop re-seeding this straggler into future plan pushes
+            self._stragglers.drain(message.channel, message.server_id)
+        else:
+            raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
+
+    def _on_server_ready(self, server_id: str) -> None:
+        if server_id not in self.active_servers:
+            self.active_servers.append(server_id)
+        self.pending_spawns = max(0, self.pending_spawns - 1)
+        self._pool_changed = True
+        self.events.append(BalancerEvent(self.sim.now, "server-ready", server_id))
+
+    # ------------------------------------------------------------------
+    # Periodic evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, now: float) -> None:
+        self.view.prune(now)
+        self.load_history.append(
+            (now, {s: self.view.load_ratio(s) for s in self.active_servers})
+        )
+
+        waited_enough = (now - self._last_plan_time) >= self.config.t_wait_s
+        if not (waited_enough or self._pool_changed):
+            return
+        # Only decide once every active server has reported at least once
+        # (a fresh view would read as an idle cluster and trigger a bogus
+        # scale-down).
+        if not all(self.view.has_report(s) for s in self.bootstrap_servers):
+            return
+
+        decision = generate_decision(
+            self.plan,
+            self.view,
+            self.config,
+            self.active_servers,
+            self.bootstrap_servers,
+            self._default_nominal_bps,
+            allow_scale_down=self.pending_spawns == 0,
+        )
+        self._pool_changed = False
+        if decision.is_noop:
+            return
+
+        if decision.spawn_servers > 0:
+            self._maybe_spawn()
+
+        for server_id in decision.decommission:
+            if server_id in self.active_servers:
+                self.active_servers.remove(server_id)
+            self.events.append(BalancerEvent(now, "decommission", server_id))
+
+        if decision.mappings or decision.decommission:
+            previous_plan = self.plan
+            self.plan = self.plan.evolve(
+                mappings=decision.mappings, active_servers=tuple(self.active_servers)
+            )
+            self._stragglers.record_plan_change(previous_plan, self.plan, now)
+            self._stragglers.prune(now)
+            self._push_plan(extra_recipients=decision.decommission)
+            if self.config.eager_plan_push:
+                self._eager_push(previous_plan)
+            self._last_plan_time = now
+            self.events.append(
+                BalancerEvent(
+                    now,
+                    "rebalance",
+                    f"v{self.plan.version}: {len(decision.mappings)} mappings, "
+                    f"{len(decision.decommission)} decommissions",
+                )
+            )
+
+        # Decommissioned servers keep running through the forwarding grace
+        # window; the cloud shuts them down afterwards.
+        for server_id in decision.decommission:
+            self.view.forget_server(server_id)
+            self._cloud.request_decommission(server_id)
+
+    def _maybe_spawn(self) -> None:
+        total = len(self.active_servers) + self.pending_spawns
+        if self.pending_spawns > 0 or total >= self.config.max_servers:
+            return
+        self.pending_spawns += 1
+        self.events.append(BalancerEvent(self.sim.now, "spawn-request"))
+        self._cloud.request_spawn()
+
+    def _push_plan(self, extra_recipients: List[str] = ()) -> None:
+        push = PlanPush(self.plan, self._stragglers.snapshot())
+        size = PlanPush.WIRE_SIZE + 32 * len(self.plan.explicit_channels())
+        recipients = list(self.active_servers) + list(extra_recipients)
+        for server_id in recipients:
+            self.send(dispatcher_id(server_id), push, size)
+
+    def _eager_push(self, previous_plan: Plan) -> None:
+        """Strawman propagation: notify *every* client of every change.
+
+        This is what the paper's lazy scheme avoids; the ablation
+        benchmark uses it to quantify the message overhead and spikes.
+        """
+        changed = previous_plan.diff(self.plan)
+        if not changed:
+            return
+        client_ids = getattr(self._cloud, "all_client_ids", lambda: [])()
+        for channel, (__, new_mapping) in changed.items():  # diff order sorted
+            notice = MappingNotice(channel, new_mapping)
+            for client_id in client_ids:
+                self.send(client_id, notice, MappingNotice.WIRE_SIZE)
+                self.eager_notices_sent += 1
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+    def rebalance_times(self) -> List[float]:
+        return [e.time for e in self.events if e.kind == "rebalance"]
+
+    def average_load_ratio(self) -> float:
+        return self.view.average_load_ratio(self.active_servers)

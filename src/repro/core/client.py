@@ -1,0 +1,402 @@
+"""The Dynamoth client library.
+
+Exposes the standard pub/sub API (``subscribe`` / ``unsubscribe`` /
+``publish``) while hiding the plan machinery:
+
+* maintains a *partial local plan* -- only the channels this client
+  actually uses (section II-C), with per-entry activity timers that expire
+  idle entries back to the consistent-hashing fallback (section IV-A.5);
+* routes publications and subscriptions according to the channel's
+  replication mode (Figure 2);
+* reacts to :class:`~repro.core.messages.MappingNotice` redirects and
+  :class:`~repro.core.messages.SwitchNotice` publications by lazily
+  updating its plan and reconciling its subscriptions (subscribe to the
+  new servers first, unsubscribe from the old ones after a short grace);
+* deduplicates deliveries on globally unique message ids so that overlap
+  windows during reconfiguration never surface duplicates to the
+  application.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from repro.broker.commands import (
+    ConnectionClosed,
+    Delivery,
+    PublishCmd,
+    SubscribeAck,
+    SubscribeCmd,
+    UnsubscribeCmd,
+)
+from repro.core.hashing import ConsistentHashRing
+from repro.core.messages import AppEnvelope, MappingNotice, SwitchNotice
+from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+#: application delivery callback: (channel, body, envelope) -> None
+DeliveryCallback = Callable[[str, Any, AppEnvelope], None]
+#: response-time hook: (channel, rtt_seconds, now) -> None
+ResponseTimeHook = Callable[[str, float, float], None]
+
+
+@dataclass
+class _PlanEntry:
+    mapping: ChannelMapping
+    last_activity: float
+
+
+@dataclass
+class _Subscription:
+    callback: DeliveryCallback
+    #: servers we currently hold (or are establishing) subscriptions on
+    servers: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Reconcile:
+    """An in-flight subscription move awaiting subscribe acks."""
+
+    version: int
+    awaiting: Set[str]
+    confirm: list
+    drop: list
+
+
+class DynamothClient(Actor):
+    """A client node speaking the Dynamoth protocol."""
+
+    #: Dedup window size: ids of the most recent deliveries remembered.
+    DEDUP_WINDOW = 8192
+    #: Delay before re-establishing subscriptions after a forced disconnect.
+    RECONNECT_DELAY_S = 0.5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        bootstrap_ring: ConsistentHashRing,
+        rng: random.Random,
+        *,
+        plan_entry_timeout_s: float = 30.0,
+        resubscribe_grace_s: float = 0.25,
+    ):
+        super().__init__(sim, node_id, is_infra=False)
+        self._ring = bootstrap_ring
+        self._rng = rng
+        self._plan_entry_timeout = plan_entry_timeout_s
+        self._resubscribe_grace = resubscribe_grace_s
+
+        self._entries: Dict[str, _PlanEntry] = {}
+        #: consistent-hashing fallback mappings, cached because the
+        #: bootstrap ring never changes (avoids an md5 per publish)
+        self._ch_cache: Dict[str, ChannelMapping] = {}
+        self._subs: Dict[str, _Subscription] = {}
+        self._reconcile: Dict[str, _Reconcile] = {}
+        #: grace-period unsubscribes not yet executed: channel -> servers.
+        #: Tracked so a client that disconnects mid-grace still releases
+        #: every server-side subscription it holds.
+        self._pending_drops: Dict[str, Set[str]] = {}
+        self._seen_ids: Set[str] = set()
+        self._seen_order: Deque[str] = deque()
+        self._msg_counter = 0
+
+        #: optional hook fired when the client receives its own publication
+        #: back (the paper's response-time metric).
+        self.on_response_time: Optional[ResponseTimeHook] = None
+
+        # --- counters (metrics / tests) ---
+        self.published = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self.redirects = 0
+        self.switches = 0
+        self.disconnects = 0
+
+    # ------------------------------------------------------------------
+    # Public pub/sub API (mirrors the standard Redis client interface)
+    # ------------------------------------------------------------------
+    def subscribe(self, channel: str, callback: DeliveryCallback) -> None:
+        """Subscribe to ``channel``; ``callback`` receives each publication."""
+        mapping = self._resolve(channel)
+        sub = self._subs.get(channel)
+        if sub is None:
+            sub = _Subscription(callback)
+            self._subs[channel] = sub
+        else:
+            sub.callback = callback
+        desired = self._desired_sub_servers(mapping, sub.servers)
+        for server in sorted(desired - sub.servers):
+            self.send(server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE)
+        for server in sorted(sub.servers - desired):
+            self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
+        sub.servers = desired
+        self._touch(channel)
+
+    def unsubscribe(self, channel: str) -> None:
+        """Drop the subscription to ``channel`` (idempotent)."""
+        # Abort any in-flight reconciliation: a late subscribe-ack must
+        # not re-establish subscriptions we no longer want.  The pending
+        # move's old servers still hold (or will hold) our subscription,
+        # so the unsubscribe must reach them too.
+        pending = self._reconcile.pop(channel, None)
+        sub = self._subs.pop(channel, None)
+        if sub is None and pending is None:
+            return
+        targets = set(sub.servers) if sub is not None else set()
+        if pending is not None:
+            targets |= set(pending.drop) | set(pending.confirm) | pending.awaiting
+        for server in sorted(targets):
+            self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
+
+    def publish(self, channel: str, body: Any, payload_size: int) -> str:
+        """Publish ``body`` on ``channel``; returns the message id."""
+        mapping = self._resolve(channel)
+        self._msg_counter += 1
+        msg_id = f"{self.node_id}:{self._msg_counter}"
+        envelope = AppEnvelope(msg_id, self.node_id, body, mapping.version, self.sim.now)
+        wire_payload = payload_size + AppEnvelope.WIRE_OVERHEAD
+        cmd = PublishCmd(channel, envelope, wire_payload)
+        for server in mapping.publish_targets(self._rng):
+            self.send(server, cmd, wire_payload)
+        self.published += 1
+        self._touch(channel)
+        return msg_id
+
+    def is_subscribed(self, channel: str) -> bool:
+        return channel in self._subs
+
+    def subscription_servers(self, channel: str) -> Set[str]:
+        sub = self._subs.get(channel)
+        return set(sub.servers) if sub is not None else set()
+
+    def known_mapping(self, channel: str) -> Optional[ChannelMapping]:
+        """The client's current plan entry for ``channel`` (None = CH)."""
+        entry = self._entries.get(channel)
+        return entry.mapping if entry is not None else None
+
+    def disconnect(self) -> None:
+        """Leave the system cleanly: drop all subscriptions."""
+        for channel in list(self._subs):
+            self.unsubscribe(channel)
+        # Flush grace-period drops that have not fired yet; once we are
+        # gone nothing else would release those server-side subscriptions.
+        for channel, servers in list(self._pending_drops.items()):
+            for server in sorted(servers):
+                self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
+        self._pending_drops.clear()
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Local plan maintenance
+    # ------------------------------------------------------------------
+    def _resolve(self, channel: str) -> ChannelMapping:
+        """Current mapping for ``channel``: fresh entry or CH fallback."""
+        entry = self._entries.get(channel)
+        if entry is not None:
+            idle = self.sim.now - entry.last_activity
+            if idle > self._plan_entry_timeout and channel not in self._subs:
+                # Timer expired while not subscribed: drop the entry and
+                # fall back to consistent hashing (section IV-A.5).
+                del self._entries[channel]
+            else:
+                return entry.mapping
+        fallback = self._ch_cache.get(channel)
+        if fallback is None:
+            fallback = ChannelMapping(
+                ReplicationMode.SINGLE, (self._ring.lookup(channel),), 0
+            )
+            self._ch_cache[channel] = fallback
+        return fallback
+
+    def _touch(self, channel: str) -> None:
+        entry = self._entries.get(channel)
+        if entry is not None:
+            entry.last_activity = self.sim.now
+
+    def _desired_sub_servers(
+        self, mapping: ChannelMapping, current: Set[str], *, rebalance: bool = False
+    ) -> Set[str]:
+        """Servers this subscriber should hold subscriptions on.
+
+        For ALL_PUBLISHERS, an already-held server still in the mapping is
+        kept to avoid needless churn -- *except* when ``rebalance`` is set,
+        which forces a fresh random pick.  The rebalance case matters when
+        a client upgrades from the consistent-hashing fallback: every
+        fallback subscriber holds the same ring-determined server, and
+        keeping it would pile all of them onto one replica instead of
+        spreading them randomly (Figure 2c).
+        """
+        if mapping.mode is ReplicationMode.ALL_SUBSCRIBERS:
+            return set(mapping.servers)
+        if mapping.mode is ReplicationMode.ALL_PUBLISHERS:
+            if not rebalance:
+                keep = current & set(mapping.servers)
+                if keep:
+                    return {next(iter(sorted(keep)))}
+            return {self._rng.choice(mapping.servers)}
+        return {mapping.servers[0]}
+
+    def _apply_mapping(self, channel: str, mapping: ChannelMapping) -> None:
+        """Adopt a (possibly newer) mapping and reconcile subscriptions."""
+        entry = self._entries.get(channel)
+        old = entry.mapping if entry is not None else None
+        if old is not None and mapping.version < old.version:
+            return  # stale notice
+        if entry is None:
+            self._entries[channel] = _PlanEntry(mapping, self.sim.now)
+        else:
+            entry.mapping = mapping
+            entry.last_activity = self.sim.now
+
+        sub = self._subs.get(channel)
+        if sub is None:
+            return
+        was_fallback = old is None or old.version == 0
+        version_advanced = old is None or mapping.version > old.version
+        desired = self._desired_sub_servers(
+            mapping, sub.servers, rebalance=was_fallback
+        )
+        if not version_advanced and desired == sub.servers:
+            return  # duplicate notice, nothing to reconcile
+        # A still-pending reconcile for this channel is superseded; its
+        # not-yet-executed drop/confirm targets must not be forgotten --
+        # we hold (or have requested) subscriptions there too.
+        prior = self._reconcile.pop(channel, None)
+        legacy: Set[str] = set()
+        if prior is not None:
+            legacy = set(prior.drop) | set(prior.confirm)
+        to_add = sorted(desired - sub.servers)
+        kept = sorted(desired & sub.servers)
+        to_drop = sorted((sub.servers | legacy) - desired)
+        # Step 1: establish subscriptions on the new servers.
+        for server in to_add:
+            self.send(server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE)
+        sub.servers = desired
+        # Step 2 happens only after every new server *acked* (Redis-style
+        # subscribe confirmation): re-subscribe on the kept servers with
+        # the new version -- the signal their dispatchers wait for before
+        # ending transition forwarding -- and drop the old servers after a
+        # short extra grace.  Doing this before the acks would let
+        # forwarding stop while our new subscriptions are still in flight,
+        # losing messages.
+        self._reconcile[channel] = _Reconcile(
+            version=mapping.version,
+            awaiting=set(to_add),
+            confirm=list(kept),
+            drop=list(to_drop),
+        )
+        if not to_add:
+            self._finish_reconcile(channel)
+
+    def _finish_reconcile(self, channel: str) -> None:
+        pending = self._reconcile.pop(channel, None)
+        if pending is None or channel not in self._subs:
+            return
+        for server in pending.confirm:
+            self.send(
+                server, SubscribeCmd(channel, pending.version), SubscribeCmd.WIRE_SIZE
+            )
+        for server in pending.drop:
+            self._pending_drops.setdefault(channel, set()).add(server)
+            self.sim.schedule(
+                self._resubscribe_grace, self._grace_unsubscribe, channel, server
+            )
+
+    def _handle_subscribe_ack(self, ack: SubscribeAck) -> None:
+        pending = self._reconcile.get(ack.channel)
+        if pending is None:
+            return
+        pending.awaiting.discard(ack.server_id)
+        if not pending.awaiting:
+            self._finish_reconcile(ack.channel)
+
+    def _grace_unsubscribe(self, channel: str, server: str) -> None:
+        drops = self._pending_drops.get(channel)
+        if drops is not None:
+            drops.discard(server)
+            if not drops:
+                del self._pending_drops[channel]
+        if not self.alive or self.transport is None:
+            return  # client left; disconnect() already flushed the drop
+        sub = self._subs.get(channel)
+        if sub is not None and server in sub.servers:
+            return  # mapping changed again; the server is wanted after all
+        self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Inbound traffic
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, src_id: str) -> None:
+        if isinstance(message, Delivery):
+            self._handle_delivery(message)
+        elif isinstance(message, MappingNotice):
+            self.redirects += 1
+            self._apply_mapping(message.channel, message.mapping)
+        elif isinstance(message, SubscribeAck):
+            self._handle_subscribe_ack(message)
+        elif isinstance(message, ConnectionClosed):
+            self._handle_disconnect(message.server_id)
+        else:
+            raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
+
+    def _handle_delivery(self, delivery: Delivery) -> None:
+        envelope = delivery.payload
+        if not isinstance(envelope, AppEnvelope):
+            return
+        channel = delivery.channel
+        self._touch(channel)
+
+        if isinstance(envelope.body, SwitchNotice):
+            self.switches += 1
+            self._apply_mapping(channel, envelope.body.mapping)
+            return
+
+        if self._is_duplicate(envelope.msg_id):
+            self.duplicates += 1
+            return
+        self.delivered += 1
+
+        if envelope.sender == self.node_id and self.on_response_time is not None:
+            self.on_response_time(channel, self.sim.now - envelope.sent_at, self.sim.now)
+
+        sub = self._subs.get(channel)
+        if sub is not None:
+            sub.callback(channel, envelope.body, envelope)
+
+    def _is_duplicate(self, msg_id: str) -> bool:
+        if msg_id in self._seen_ids:
+            return True
+        self._seen_ids.add(msg_id)
+        self._seen_order.append(msg_id)
+        if len(self._seen_order) > self.DEDUP_WINDOW:
+            self._seen_ids.discard(self._seen_order.popleft())
+        return False
+
+    def _handle_disconnect(self, server_id: str) -> None:
+        """A server closed our connection (overload kill or decommission)."""
+        self.disconnects += 1
+        affected = [c for c, sub in self._subs.items() if server_id in sub.servers]
+        for channel in affected:
+            self._subs[channel].servers.discard(server_id)
+            # The mapping pointing at a decommissioned server is useless;
+            # drop it so the reconnect resolves fresh (CH fallback or a
+            # notice from the fallback server's dispatcher).
+            entry = self._entries.get(channel)
+            if entry is not None and server_id in entry.mapping.servers:
+                del self._entries[channel]
+        if affected:
+            self.sim.schedule(self.RECONNECT_DELAY_S, self._reconnect, tuple(affected))
+
+    def _reconnect(self, channels: Tuple[str, ...]) -> None:
+        if not self.alive or self.transport is None:
+            return
+        for channel in channels:
+            sub = self._subs.get(channel)
+            if sub is None:
+                continue
+            self.subscribe(channel, sub.callback)

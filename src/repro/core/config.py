@@ -1,0 +1,143 @@
+"""All Dynamoth tunables in one place.
+
+The paper states that "the values of the various threshold parameters were
+determined empirically based on the capabilities of the machines at our
+disposal"; the defaults here are likewise calibrated against the broker
+resource model in :class:`repro.broker.BrokerConfig` so that the paper's
+experiment shapes are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DynamothConfig:
+    """Thresholds and timing parameters of the Dynamoth middleware.
+
+    Attributes
+    ----------
+    lr_high:
+        ``LR^high`` -- a server whose load ratio exceeds this triggers a
+        high-load rebalancing (Algorithm 2).
+    lr_safe:
+        ``LR^safe`` -- the target Algorithm 2 migrates channels until the
+        overloaded server's *estimated* load ratio drops below.
+    lr_low:
+        Global average load ratio below which a low-load rebalancing may
+        free servers.
+    lr_low_target:
+        When draining a server during low-load rebalancing, receiving
+        servers must stay below this estimated load ratio.
+    t_wait_s:
+        ``T_wait`` -- minimum seconds between two plan generations, so the
+        configuration overhead of one change settles before the next.
+    lla_report_interval_s:
+        How often each Local Load Analyzer ships its aggregate metrics to
+        the load balancer (the paper's time unit ``t`` is one second).
+    lb_eval_interval_s:
+        How often the load balancer re-evaluates the cluster state.
+    load_window_s:
+        Sliding window over which the LB averages reported loads before
+        deciding (smooths out per-second noise).
+    all_subs_threshold:
+        ``AllSubs_threshold`` of Algorithm 1 -- publications-per-subscriber
+        ratio beyond which the *all-subscribers* scheme activates.
+    publication_threshold:
+        Minimum publications/second before all-subscribers replication is
+        considered at all.
+    all_pubs_threshold:
+        ``AllPubs_threshold`` -- subscribers-per-publication ratio beyond
+        which the *all-publishers* scheme activates.
+    subscriber_threshold:
+        Minimum subscriber count before all-publishers replication is
+        considered.
+    max_replication_servers:
+        Upper bound on ``N_servers`` for one channel.
+    plan_entry_timeout_s:
+        The client/dispatcher timer of section IV-A.5: a client drops idle
+        plan entries, and a dispatcher stops forwarding for a moved
+        channel, after this long without traffic.
+    resubscribe_grace_s:
+        After subscribing on a channel's new server, a client waits this
+        long before unsubscribing from the old one.  (Robustness addition
+        over the paper's "subscribe then unsubscribe immediately": it
+        closes the race where a publication processed on the new server
+        after forwarding stopped would miss the still-moving subscriber.
+        Duplicates this may cause are absorbed by message-id dedup.)
+    spawn_delay_s:
+        Time for the cloud to boot a newly rented pub/sub server.
+    max_servers:
+        Hard cap on the rented pool size (8 in the paper's Experiment 2).
+    min_servers:
+        Never scale below this many servers (the bootstrap set, which also
+        forms the consistent-hashing fallback ring, is never despawned).
+    vnodes_per_server:
+        Virtual identifiers per server on the consistent-hashing ring.
+    """
+
+    # --- load ratio thresholds (eq. 1) ---
+    lr_high: float = 0.95
+    lr_safe: float = 0.80
+    lr_low: float = 0.40
+    lr_low_target: float = 0.70
+
+    # --- timing ---
+    t_wait_s: float = 10.0
+    lla_report_interval_s: float = 1.0
+    lb_eval_interval_s: float = 1.0
+    load_window_s: float = 5.0
+
+    # --- channel-level replication (Algorithm 1) ---
+    all_subs_threshold: float = 2000.0
+    publication_threshold: float = 1000.0
+    all_pubs_threshold: float = 25.0
+    subscriber_threshold: float = 300.0
+    max_replication_servers: int = 8
+
+    # --- reconfiguration ---
+    plan_entry_timeout_s: float = 30.0
+    resubscribe_grace_s: float = 0.25
+
+    # --- elasticity ---
+    spawn_delay_s: float = 5.0
+    max_servers: int = 8
+    min_servers: int = 1
+
+    # --- consistent hashing ---
+    vnodes_per_server: int = 64
+
+    # --- extensions (the paper's future-work directions) ---
+    #: factor CPU utilization into load ratios: a server is as loaded as
+    #: its most constrained resource ("integrate CPU load into our load
+    #: balancing algorithms")
+    cpu_aware_balancing: bool = False
+    #: push every mapping change to every connected client immediately
+    #: instead of lazily.  This is the strawman the paper argues against
+    #: ("sending a new global plan to all clients at reconfiguration time
+    #: would create a huge message overhead"); it exists here for the
+    #: ablation benchmark that quantifies that overhead.
+    eager_plan_push: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 < self.lr_safe <= self.lr_high):
+            raise ValueError("need 0 < lr_safe <= lr_high")
+        if not (0 <= self.lr_low <= self.lr_low_target <= self.lr_high):
+            raise ValueError("need lr_low <= lr_low_target <= lr_high")
+        if self.t_wait_s < 0 or self.spawn_delay_s < 0:
+            raise ValueError("timings must be non-negative")
+        if self.lla_report_interval_s <= 0 or self.lb_eval_interval_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.load_window_s < self.lla_report_interval_s:
+            raise ValueError("load_window_s must cover at least one report interval")
+        if min(self.all_subs_threshold, self.all_pubs_threshold) <= 0:
+            raise ValueError("replication ratio thresholds must be positive")
+        if self.max_replication_servers < 2:
+            raise ValueError("max_replication_servers must be >= 2")
+        if not (1 <= self.min_servers <= self.max_servers):
+            raise ValueError("need 1 <= min_servers <= max_servers")
+        if self.plan_entry_timeout_s <= 0:
+            raise ValueError("plan_entry_timeout_s must be positive")
+        if self.vnodes_per_server < 1:
+            raise ValueError("vnodes_per_server must be >= 1")

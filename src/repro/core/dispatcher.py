@@ -1,0 +1,369 @@
+"""The per-node dispatcher: lazy, loss-free reconfiguration (section IV).
+
+One dispatcher runs next to every pub/sub server.  It holds the full
+current global plan (pushed reliably by the load balancer) and watches the
+local server's traffic over loopback -- publications, subscriptions and
+unsubscriptions -- to implement the transition protocol:
+
+* **Wrong server** (Fig. 3a): a publication arriving at a server not in the
+  channel's mapping is forwarded to the correct server(s); the publisher is
+  redirected with a :class:`~repro.core.messages.MappingNotice`; local
+  subscribers are asked to move via a :class:`SwitchNotice` published on
+  the channel itself, together with the first publication after the change.
+* **Correct server** (Fig. 3b): while old servers still hold subscribers
+  for a moved channel, every publication is also forwarded to them.
+* **Stale publishers** under *all-publishers* replication published to too
+  few servers; the dispatcher completes the fan-out and redirects them.
+* **Termination**: an old server's dispatcher announces
+  :class:`NoMoreSubscribers` the moment its last local subscriber leaves,
+  and every transition expires after the plan-entry timeout.  As a
+  robustness addition, a draining server with subscribers remaining at
+  expiry publishes one final switch notice so no subscriber is stranded on
+  a channel that went quiet during the window.
+
+The dispatcher never modifies the pub/sub server -- it only uses loopback
+subscriptions, plain publishes and direct cloud-internal sends, exactly the
+constraint the paper works under ("ready-to-use pub/sub servers that cannot
+be modified").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+from repro.broker.commands import PublishCmd
+from repro.broker.server import PubSubServer
+from repro.core.messages import (
+    AppEnvelope,
+    MappingNotice,
+    NoMoreSubscribers,
+    PlanPush,
+    SwitchNotice,
+)
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+
+def dispatcher_id(server_id: str) -> str:
+    """Deterministic dispatcher node id for a given server."""
+    return f"dispatcher@{server_id}"
+
+
+@dataclass
+class _Watch:
+    """Transition state for one channel whose mapping just changed."""
+
+    version: int
+    mapping: ChannelMapping
+    #: True when this server was in the old mapping but not the new one.
+    draining: bool
+    #: local subscribers that held the channel under the *old* mapping and
+    #: have not yet confirmed the new one (by re-subscribing with the new
+    #: version, unsubscribing, or disconnecting).  Once empty, peers are
+    #: told to stop forwarding toward this server.
+    stale_subscribers: Set[str] = field(default_factory=set)
+    #: whether NoMoreSubscribers was already announced for this watch
+    announced: bool = False
+
+
+class Dispatcher(Actor):
+    """Reconfiguration agent co-located with one pub/sub server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: PubSubServer,
+        initial_plan: Plan,
+        rng: random.Random,
+        *,
+        plan_entry_timeout_s: float = 30.0,
+    ):
+        super().__init__(sim, dispatcher_id(server.node_id), is_infra=True)
+        self.server = server
+        self.plan = initial_plan
+        self._rng = rng
+        self._timeout = plan_entry_timeout_s
+
+        self._watch: Dict[str, _Watch] = {}
+        #: the balancer node id, learned from plan pushes (drain
+        #: announcements are copied there so the balancer's own straggler
+        #: tracker stops re-seeding drained entries into future pushes)
+        self._balancer_id = None
+        #: straggler registry: channel -> {server: forwarding deadline}.
+        #: A server appears here if a recent plan change made it an *old*
+        #: server for the channel -- it may still hold subscribers that
+        #: have not reconciled.  Every dispatcher maintains this from the
+        #: full plan stream, so forwarding survives *chained* migrations
+        #: (pub1 -> pub2 -> pub3 while a subscriber is still stuck behind
+        #: pub1's congested downlink).  Entries are dropped on a
+        #: NoMoreSubscribers broadcast or when the deadline passes.
+        self._stragglers: Dict[str, Dict[str, float]] = {}
+        #: channel -> plan version for which a switch notice went out
+        self._switch_sent: Dict[str, int] = {}
+        #: resolved-mapping cache; cleared on every plan push (avoids a
+        #: ring hash per observed publication)
+        self._mapping_cache: Dict[str, ChannelMapping] = {}
+        self._msg_counter = 0
+
+        # --- counters ---
+        self.forwarded_publications = 0
+        self.redirects_sent = 0
+        self.switch_notices_sent = 0
+        self.plans_received = 0
+
+        server.add_observer(self._on_publication)
+        server.add_subscribe_listener(self._on_subscribe)
+        server.add_unsubscribe_listener(self._on_unsubscribe)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _mapping(self, channel: str) -> ChannelMapping:
+        cached = self._mapping_cache.get(channel)
+        if cached is None:
+            cached = self.plan.mapping(channel)
+            self._mapping_cache[channel] = cached
+        return cached
+
+    def _straggler_targets(self, channel: str, mapping: ChannelMapping) -> list:
+        """Straggler servers that still need forwarded copies (pruned)."""
+        registry = self._stragglers.get(channel)
+        if not registry:
+            return []
+        now = self.sim.now
+        my_id = self.server.node_id
+        targets = []
+        for server, deadline in list(registry.items()):
+            if deadline <= now:
+                del registry[server]
+                continue
+            if server == my_id:
+                continue
+            if (
+                server in mapping.servers
+                and mapping.mode is not ReplicationMode.ALL_SUBSCRIBERS
+            ):
+                # a mapping member receives the traffic directly
+                continue
+            targets.append(server)
+        if not registry:
+            del self._stragglers[channel]
+        return targets
+
+    def _forward_targets(self, mapping: ChannelMapping) -> tuple:
+        """Servers a misrouted publication must be forwarded to."""
+        if mapping.mode is ReplicationMode.ALL_PUBLISHERS:
+            return mapping.servers
+        if mapping.mode is ReplicationMode.ALL_SUBSCRIBERS:
+            return (self._rng.choice(mapping.servers),)
+        return mapping.servers
+
+    def _forward(self, channel: str, envelope: AppEnvelope, payload_size: int, dst: str) -> None:
+        """Ship a publication to another pub/sub server inside the cloud."""
+        forwarded = envelope.as_forwarded()
+        self.send(dst, PublishCmd(channel, forwarded, payload_size), payload_size)
+        self.forwarded_publications += 1
+
+    def _redirect(self, client_id: str, channel: str, mapping: ChannelMapping) -> None:
+        self.send(client_id, MappingNotice(channel, mapping), MappingNotice.WIRE_SIZE)
+        self.redirects_sent += 1
+
+    def _maybe_switch_notice(self, channel: str, mapping: ChannelMapping) -> None:
+        """Publish a switch notice locally, once per (channel, version)."""
+        if self._switch_sent.get(channel, -1) >= mapping.version:
+            return
+        if self.server.subscriber_count(channel) == 0:
+            return
+        self._switch_sent[channel] = mapping.version
+        self._msg_counter += 1
+        envelope = AppEnvelope(
+            msg_id=f"{self.node_id}:{self._msg_counter}",
+            sender=self.node_id,
+            body=SwitchNotice(channel, mapping),
+            plan_version=mapping.version,
+            sent_at=self.sim.now,
+        )
+        cmd = PublishCmd(channel, envelope, SwitchNotice.WIRE_SIZE)
+        self.send(self.server.node_id, cmd, SwitchNotice.WIRE_SIZE)
+        self.switch_notices_sent += 1
+
+    # ------------------------------------------------------------------
+    # Plan pushes
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, src_id: str) -> None:
+        if isinstance(message, PlanPush):
+            self._balancer_id = src_id
+            self._handle_plan(message.plan, message.stragglers)
+        elif isinstance(message, NoMoreSubscribers):
+            registry = self._stragglers.get(message.channel)
+            if registry is not None:
+                registry.pop(message.server_id, None)
+                if not registry:
+                    del self._stragglers[message.channel]
+        else:
+            raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
+
+    def _handle_plan(self, new_plan: Plan, pushed_stragglers=None) -> None:
+        if new_plan.version <= self.plan.version:
+            return  # stale or duplicate push
+        changed = self.plan.diff(new_plan)
+        self.plan = new_plan
+        self._mapping_cache.clear()
+        self.plans_received += 1
+
+        if pushed_stragglers:
+            # Merge the balancer's plan-history view: it covers moves that
+            # happened before this dispatcher existed (chained migrations).
+            my = self.server.node_id
+            for channel, entries in pushed_stragglers.items():
+                registry = self._stragglers.setdefault(channel, {})
+                for server, deadline in entries.items():
+                    if server != my and registry.get(server, 0.0) < deadline:
+                        registry[server] = deadline
+
+        my_id = self.server.node_id
+        now = self.sim.now
+        for channel, (old, new) in changed.items():  # diff order is sorted
+            # Every dispatcher records the displaced servers as potential
+            # stragglers, regardless of its own involvement: a later plan
+            # change may put this server into the channel's mapping, and
+            # it must then keep forwarding toward *all* earlier homes that
+            # still hold unreconciled subscribers (chained migrations).
+            # Under all-subscribers, old servers that stay in the replica
+            # set are stragglers too -- a subscriber holding only the old
+            # replica misses publications landing on the new ones; under
+            # the other modes publishers cover shared servers directly.
+            sources = set(old.servers)
+            if new.mode is not ReplicationMode.ALL_SUBSCRIBERS:
+                sources -= set(new.servers)
+            if sources:
+                registry = self._stragglers.setdefault(channel, {})
+                deadline = now + self._timeout
+                for server in sorted(sources):
+                    if registry.get(server, 0.0) < deadline:
+                        registry[server] = deadline
+
+            involved = my_id in old.servers or my_id in new.servers
+            if not involved:
+                continue
+            drained = set(old.servers) - set(new.servers)
+            draining = my_id in drained
+            stale = (
+                set(self.server.subscribers(channel))
+                if my_id in old.servers
+                else set()
+            )
+            watch = _Watch(
+                version=new.version,
+                mapping=new,
+                draining=draining,
+                stale_subscribers=stale,
+            )
+            self._watch[channel] = watch
+            self.sim.schedule(self._timeout, self._expire_watch, channel, new.version)
+            if my_id in old.servers and not stale:
+                # Nothing to reconcile here: tell the peers at once.
+                self._announce_drained(channel, watch)
+
+    def _announce_drained(self, channel: str, watch: _Watch) -> None:
+        """Tell *all* dispatchers no unreconciled subscriber remains here.
+
+        Broadcast (rather than new-mapping-only) because under chained
+        migrations the servers currently forwarding toward us may not be
+        in the mapping we were displaced by.
+        """
+        if watch.announced:
+            return
+        watch.announced = True
+        notice = NoMoreSubscribers(channel, self.server.node_id)
+        for server in self.plan.active_servers:
+            if server != self.server.node_id:
+                self.send(dispatcher_id(server), notice, NoMoreSubscribers.WIRE_SIZE)
+        if self._balancer_id is not None:
+            self.send(self._balancer_id, notice, NoMoreSubscribers.WIRE_SIZE)
+
+    def _expire_watch(self, channel: str, version: int) -> None:
+        watch = self._watch.get(channel)
+        if watch is None or watch.version != version:
+            return  # superseded by a newer plan change
+        if watch.draining and self.server.subscriber_count(channel) > 0:
+            # Final nudge: the channel went quiet during the whole window,
+            # so no publication carried the switch notice.  Emit one now so
+            # the remaining subscribers still move over.
+            self._switch_sent.pop(channel, None)
+            self._maybe_switch_notice(channel, watch.mapping)
+        del self._watch[channel]
+
+    # ------------------------------------------------------------------
+    # Local traffic observation (loopback)
+    # ------------------------------------------------------------------
+    def _on_publication(
+        self, channel: str, publisher_id: str, payload: Any, payload_size: int
+    ) -> None:
+        if not isinstance(payload, AppEnvelope):
+            return
+        envelope = payload
+        if isinstance(envelope.body, SwitchNotice):
+            return  # our own (or a peer dispatcher's) control publication
+
+        watch = self._watch.get(channel)
+        mapping = self._mapping(channel)
+        if watch is not None:
+            self._maybe_switch_notice(channel, mapping)
+        if envelope.forwarded:
+            return  # a peer dispatcher already handled routing
+
+        my_id = self.server.node_id
+        if my_id not in mapping.servers:
+            # Wrong server: Initialization / Publishing-on-old-server cases.
+            self._redirect(envelope.sender, channel, mapping)
+            self._maybe_switch_notice(channel, mapping)
+            targets = set(self._forward_targets(mapping))
+            # ... and cover straggler servers the correct servers may not
+            # know about (their registry merge could still be in flight).
+            targets.update(self._straggler_targets(channel, mapping))
+            for target in sorted(targets):
+                self._forward(channel, envelope, payload_size, target)
+            return
+
+        # Correct server.
+        if envelope.plan_version < mapping.version:
+            self._redirect(envelope.sender, channel, mapping)
+            if mapping.mode is ReplicationMode.ALL_PUBLISHERS:
+                # A stale publisher likely missed the other replicas; the
+                # subscriber-side dedup absorbs any double send.
+                for server in mapping.servers:
+                    if server != my_id:
+                        self._forward(channel, envelope, payload_size, server)
+        for server in self._straggler_targets(channel, mapping):
+            self._forward(channel, envelope, payload_size, server)
+
+    def _on_subscribe(self, channel: str, client_id: str, plan_version: int) -> None:
+        watch = self._watch.get(channel)
+        if watch is not None and plan_version >= watch.version:
+            # The client confirmed the new mapping; it is reconciled.
+            watch.stale_subscribers.discard(client_id)
+            if not watch.stale_subscribers:
+                self._announce_drained(channel, watch)
+        mapping = self._mapping(channel)
+        if self.server.node_id not in mapping.servers:
+            # Client subscribed on an incorrect server (section IV-A.4).
+            self._redirect(client_id, channel, mapping)
+        elif plan_version < mapping.version:
+            # Valid server, stale plan: under replication the client must
+            # still learn the full mapping -- an all-subscribers subscriber
+            # has to cover every replica, and a CH-fallback subscriber of
+            # an all-publishers channel would otherwise pile onto the
+            # ring-determined server instead of picking a random replica.
+            self._redirect(client_id, channel, mapping)
+
+    def _on_unsubscribe(self, channel: str, client_id: str) -> None:
+        watch = self._watch.get(channel)
+        if watch is None:
+            return
+        watch.stale_subscribers.discard(client_id)
+        if not watch.stale_subscribers:
+            self._announce_drained(channel, watch)

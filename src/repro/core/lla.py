@@ -1,0 +1,139 @@
+"""Local Load Analyzer (LLA).
+
+One LLA runs co-located with every pub/sub server (section III-A).  It
+registers as an observer of every channel on the local server -- receiving
+a copy of each publication over loopback, which costs neither NIC bandwidth
+nor measurable CPU -- and keeps per-interval, per-channel metrics:
+
+* number of publications and the set of distinct publishers,
+* number of deliveries sent and egress bytes attributable to the channel,
+* the current subscriber count.
+
+At a fixed interval it ships an aggregate :class:`~repro.core.messages.LoadReport`
+to the load balancer, including the node's nominal maximum egress bandwidth
+``T_i`` and the measured NIC egress ``M_i`` from which the load ratio
+``LR_i = M_i / T_i`` (eq. 1) is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+from repro.broker.server import PubSubServer
+from repro.core.messages import ChannelMetricsSnapshot, LoadReport
+from repro.net.link import EgressPort
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTask
+
+
+@dataclass
+class _ChannelAccumulator:
+    publications: int = 0
+    publishers: Set[str] = field(default_factory=set)
+    messages_out: int = 0
+    bytes_out: int = 0
+
+    def idle(self) -> bool:
+        return self.publications == 0 and self.messages_out == 0
+
+
+class LocalLoadAnalyzer(Actor):
+    """Per-node load monitor feeding the central load balancer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: PubSubServer,
+        egress_port: EgressPort,
+        balancer_id: str,
+        *,
+        report_interval_s: float = 1.0,
+    ):
+        super().__init__(sim, f"lla@{server.node_id}", is_infra=True)
+        self.server = server
+        self._port = egress_port
+        self._balancer_id = balancer_id
+        self.report_interval_s = report_interval_s
+
+        self._accumulators: Dict[str, _ChannelAccumulator] = {}
+        self._window_start = sim.now
+        self._bytes_at_window_start = egress_port.total_bytes
+        self._cpu_at_window_start = server.cpu_time_total
+        self.reports_sent = 0
+
+        server.add_observer(self._on_publication)
+        self._task = PeriodicTask(sim, report_interval_s, self._report)
+
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    # Observation (loopback, zero network cost)
+    # ------------------------------------------------------------------
+    def _on_publication(
+        self, channel: str, publisher_id: str, payload: Any, payload_size: int
+    ) -> None:
+        acc = self._accumulators.get(channel)
+        if acc is None:
+            acc = _ChannelAccumulator()
+            self._accumulators[channel] = acc
+        fanout = self.server.last_fanout
+        wire = payload_size + self.server.config.per_message_overhead_bytes
+        acc.publications += 1
+        acc.publishers.add(publisher_id)
+        acc.messages_out += fanout
+        acc.bytes_out += fanout * wire
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, now: float) -> None:
+        duration = now - self._window_start
+        if duration <= 0:
+            return
+        measured_bytes = self._port.total_bytes - self._bytes_at_window_start
+
+        snapshots = []
+        channels = sorted(set(self._accumulators) | set(self.server.channels()))
+        for channel in channels:
+            acc = self._accumulators.get(channel, _ChannelAccumulator())
+            sub_count = self.server.subscriber_count(channel)
+            if acc.idle() and sub_count == 0:
+                continue
+            snapshots.append(
+                ChannelMetricsSnapshot(
+                    channel=channel,
+                    publications_per_s=acc.publications / duration,
+                    publisher_count=len(acc.publishers),
+                    subscriber_count=sub_count,
+                    messages_out_per_s=acc.messages_out / duration,
+                    bytes_out_per_s=acc.bytes_out / duration,
+                )
+            )
+
+        cpu_seconds = self.server.cpu_time_total - self._cpu_at_window_start
+        report = LoadReport(
+            server_id=self.server.node_id,
+            window_start=self._window_start,
+            window_end=now,
+            nominal_egress_bps=self.server.config.nominal_egress_bps,
+            measured_egress_bps=measured_bytes / duration,
+            channels=tuple(snapshots),
+            cpu_utilization=cpu_seconds / duration,
+        )
+        size = LoadReport.WIRE_SIZE + 64 * len(snapshots)
+        self.send(self._balancer_id, report, size)
+        self.reports_sent += 1
+
+        self._accumulators.clear()
+        self._window_start = now
+        self._bytes_at_window_start = self._port.total_bytes
+        self._cpu_at_window_start = self.server.cpu_time_total
+
+    def receive(self, message: Any, src_id: str) -> None:  # pragma: no cover
+        raise TypeError(f"LLA {self.node_id} does not accept messages")

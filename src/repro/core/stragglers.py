@@ -1,0 +1,79 @@
+"""Straggler tracking: which servers may still hold stale subscribers.
+
+When a plan change displaces a channel from a server, subscribers stuck
+behind slow links may keep their subscription there for a while; the
+dispatchers of the channel's current servers forward publications toward
+such *straggler* servers until they announce themselves drained or a
+timeout passes (section IV-A.5).
+
+With *chained* migrations (pub1 -> pub2 -> pub3 in quick succession) the
+knowledge "pub1 may still hold subscribers" must survive across plan
+versions and reach dispatchers that did not exist when the first move
+happened.  The load balancer therefore maintains a
+:class:`StragglerTracker` over the plan history and ships its snapshot
+inside every plan push; dispatchers merge it into their local registries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.plan import Plan, ReplicationMode
+
+
+def forwarding_sources(old_mapping, new_mapping) -> set:
+    """Old servers that may still hold subscribers needing forwarded copies.
+
+    Under all-subscribers, servers staying in the replica set count too: a
+    subscriber holding only the old replica misses publications landing on
+    the new ones.  Under the other modes, publishers cover shared servers
+    directly, so only fully-displaced servers are stragglers.
+    """
+    sources = set(old_mapping.servers)
+    if new_mapping.mode is not ReplicationMode.ALL_SUBSCRIBERS:
+        sources -= set(new_mapping.servers)
+    return sources
+
+
+class StragglerTracker:
+    """Per-channel forwarding deadlines for recently displaced servers."""
+
+    def __init__(self, timeout_s: float):
+        self.timeout_s = timeout_s
+        self._entries: Dict[str, Dict[str, float]] = {}
+
+    def record_plan_change(self, old_plan: Plan, new_plan: Plan, now: float) -> None:
+        """Register every displaced server of every changed channel."""
+        deadline = now + self.timeout_s
+        for channel, (old, new) in old_plan.diff(new_plan).items():
+            sources = forwarding_sources(old, new)
+            if not sources:
+                continue
+            registry = self._entries.setdefault(channel, {})
+            for server in sources:
+                if registry.get(server, 0.0) < deadline:
+                    registry[server] = deadline
+
+    def drain(self, channel: str, server_id: str) -> None:
+        """A server announced it holds no stale subscribers anymore."""
+        registry = self._entries.get(channel)
+        if registry is not None:
+            registry.pop(server_id, None)
+            if not registry:
+                del self._entries[channel]
+
+    def prune(self, now: float) -> None:
+        for channel in list(self._entries):
+            registry = self._entries[channel]
+            for server, deadline in list(registry.items()):
+                if deadline <= now:
+                    del registry[server]
+            if not registry:
+                del self._entries[channel]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A copy suitable for embedding in a plan push."""
+        return {c: dict(r) for c, r in self._entries.items()}
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

@@ -1,0 +1,17 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.experiment1` -- Figure 4a/4b (channel-level
+  replication micro-benchmarks).
+* :mod:`repro.experiments.experiment2` -- Figures 5a/5b/5c and 6
+  (client scalability, Dynamoth vs consistent hashing) plus the headline
+  "60% more clients" comparison.
+* :mod:`repro.experiments.experiment3` -- Figure 7a/7b (elasticity under a
+  fluctuating player population).
+* :mod:`repro.experiments.records` -- low-footprint time-series recording.
+* :mod:`repro.experiments.report` -- plain-text tables/series mirroring
+  the paper's figures.
+"""
+
+from repro.experiments.records import BucketedStat, Sampler, SeriesRecorder
+
+__all__ = ["BucketedStat", "Sampler", "SeriesRecorder"]

@@ -1,0 +1,134 @@
+"""Command-line front end for the experiment harness.
+
+Regenerate any of the paper's figures from a shell::
+
+    python -m repro.experiments fig4a
+    python -m repro.experiments fig4b --levels 100 300 500
+    python -m repro.experiments fig5  --players 400 --seed 7
+    python -m repro.experiments fig5  --paper-scale        # 1200 players
+    python -m repro.experiments fig7
+    python -m repro.experiments headline
+
+Each subcommand prints the same table the corresponding benchmark prints,
+so results can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.core.cluster import BALANCER_CONSISTENT_HASHING, BALANCER_DYNAMOTH
+from repro.experiments import experiment1, experiment2, experiment3, report
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Dynamoth paper's evaluation figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("fig4a", "fig4b"):
+        p = sub.add_parser(name, help=f"Experiment 1 ({name})")
+        p.add_argument(
+            "--levels",
+            type=int,
+            nargs="+",
+            default=list(experiment1.DEFAULT_LEVELS),
+            help="subscriber/publisher counts to sweep",
+        )
+        p.add_argument("--measure-s", type=float, default=10.0)
+        _add_common(p)
+
+    p = sub.add_parser("fig5", help="Experiment 2 (Figs 5a/5b/5c + Fig 6)")
+    p.add_argument("--players", type=int, default=None, help="max player count")
+    p.add_argument("--paper-scale", action="store_true", help="run the full 1200-player setup")
+    p.add_argument("--dynamoth-only", action="store_true", help="skip the consistent-hashing run")
+    _add_common(p)
+
+    p = sub.add_parser("headline", help="the '60%% more clients' comparison")
+    p.add_argument("--paper-scale", action="store_true")
+    _add_common(p)
+
+    p = sub.add_parser("fig7", help="Experiment 3 (elasticity)")
+    p.add_argument("--paper-scale", action="store_true")
+    _add_common(p)
+
+    return parser
+
+
+def _scalability_config(args) -> "experiment2.ScalabilityConfig":
+    if getattr(args, "paper_scale", False):
+        config = experiment2.ScalabilityConfig.paper_scale()
+    else:
+        config = experiment2.ScalabilityConfig(
+            tiles_per_side=8,
+            start_players=60,
+            end_players=620,
+            ramp_duration_s=450.0,
+            hold_duration_s=50.0,
+            nominal_egress_bps=620_000.0,
+        )
+    if getattr(args, "players", None):
+        config = replace(config, end_players=args.players)
+    return replace(config, seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig4a":
+        result = experiment1.run_fig4a(args.levels, seed=args.seed, measure_s=args.measure_s)
+        print(report.render_figure4(result, "Figure 4a -- all-publishers replication"))
+    elif args.command == "fig4b":
+        result = experiment1.run_fig4b(args.levels, seed=args.seed, measure_s=args.measure_s)
+        print(report.render_figure4(result, "Figure 4b -- all-subscribers replication"))
+    elif args.command == "fig5":
+        config = _scalability_config(args)
+        print(f"running Dynamoth ({config.end_players} players max)...", file=sys.stderr)
+        dynamoth = experiment2.run_scalability(config, balancer=BALANCER_DYNAMOTH)
+        hashing = None
+        if not args.dynamoth_only:
+            print("running consistent hashing...", file=sys.stderr)
+            hashing = experiment2.run_scalability(
+                config, balancer=BALANCER_CONSISTENT_HASHING
+            )
+        print(report.render_figure5(dynamoth, hashing))
+        print()
+        print(report.render_figure6(dynamoth))
+        if hashing is not None:
+            print()
+            print(report.render_headline(experiment2.HeadlineComparison(dynamoth, hashing)))
+    elif args.command == "headline":
+        config = _scalability_config(args)
+        comparison = experiment2.run_headline_comparison(config)
+        print(report.render_headline(comparison))
+    elif args.command == "fig7":
+        if args.paper_scale:
+            config = experiment3.ElasticityConfig.paper_scale()
+        else:
+            config = experiment3.ElasticityConfig(
+                tiles_per_side=8,
+                peak1=360,
+                trough=90,
+                peak2=260,
+                transition_s=90.0,
+                plateau_s=90.0,
+                nominal_egress_bps=620_000.0,
+                plan_entry_timeout_s=15.0,
+            )
+        config = replace(config, seed=args.seed)
+        result = experiment3.run_elasticity(config)
+        print(report.render_figure7(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Experiment 1: channel-level scalability (Figure 4a / 4b).
+
+Micro-benchmarks on one deliberately overloaded channel, comparing a
+non-replicated configuration against 3-server channel replication -- the
+exact setup of section V-C:
+
+* **Figure 4a ("all publishers")**: up to 800 subscribers on channel ``c``,
+  one publisher sending 10 publications/second.  Without replication the
+  response time keeps growing with the subscriber count and blows up past
+  ~500 subscribers (the server core cannot sustain the fan-out work); with
+  the all-publishers scheme over 3 servers each server only serves a third
+  of the subscribers and response times stay low.
+
+* **Figure 4b ("all subscribers")**: up to 800 publishers sending 10
+  publications/second each, one subscriber.  Without replication delivery
+  fails past ~200 publishers -- the subscriber's Redis output buffer
+  overflows and the connection is killed; with the all-subscribers scheme
+  over 3 servers each connection carries a third of the flow and the
+  system survives to roughly 3x the publishers.
+
+As in the paper, replication is configured statically for the
+micro-benchmarks (no load balancer is running).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import BALANCER_NONE, DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.workload.microbench import FanInWorkload, FanOutWorkload
+
+CHANNEL = "hotspot"
+
+
+def fanout_broker_config() -> BrokerConfig:
+    """Broker model for Figure 4a: the CPU fan-out cost is the bottleneck.
+
+    10 msg/s x 500 subscribers x 200 us/delivery = 100% of one core, which
+    places the non-replicated knee at ~500 subscribers as in the paper.
+    """
+    return BrokerConfig(
+        nominal_egress_bps=5_000_000.0,
+        cpu_per_publish_s=50e-6,
+        cpu_per_delivery_s=200e-6,
+        per_connection_bps=None,
+        output_buffer_limit_bytes=64 * 1_048_576,
+    )
+
+
+def fanin_broker_config() -> BrokerConfig:
+    """Broker model for Figure 4b: the subscriber connection is the bottleneck.
+
+    A single connection drains ~600 KB/s (~2000 messages/s at 298 B on the
+    wire), so ~200 publishers saturate it without replication, and ~600
+    with 3-server replication -- the paper's observed limits.
+    """
+    return BrokerConfig(
+        nominal_egress_bps=5_000_000.0,
+        cpu_per_publish_s=10e-6,
+        cpu_per_delivery_s=10e-6,
+        per_connection_bps=600_000.0,
+        output_buffer_limit_bytes=1_048_576,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicationPoint:
+    """One measured level of Figure 4a or 4b."""
+
+    clients: int  # subscribers (4a) or publishers (4b)
+    replicated: bool
+    mean_latency_s: Optional[float]
+    p95_latency_s: Optional[float]
+    delivery_rate: float
+    killed_connections: int
+
+
+@dataclass
+class Experiment1Result:
+    figure: str
+    points: List[ReplicationPoint] = field(default_factory=list)
+
+    def series(self, replicated: bool) -> List[ReplicationPoint]:
+        return [p for p in self.points if p.replicated == replicated]
+
+
+def _build_cluster(broker_config: BrokerConfig, seed: int) -> DynamothCluster:
+    config = DynamothConfig(max_servers=3, min_servers=3)
+    return DynamothCluster(
+        seed=seed,
+        config=config,
+        broker_config=broker_config,
+        initial_servers=3,
+        balancer=BALANCER_NONE,
+    )
+
+
+def _static_mapping(cluster: DynamothCluster, replicated: bool, mode: ReplicationMode) -> None:
+    servers = tuple(sorted(cluster.servers))
+    if replicated:
+        mapping = ChannelMapping(mode, servers)
+    else:
+        mapping = ChannelMapping(ReplicationMode.SINGLE, (cluster.plan.ring.lookup(CHANNEL),))
+    cluster.set_static_mapping(CHANNEL, mapping)
+
+
+def run_fig4a_point(
+    n_subscribers: int,
+    replicated: bool,
+    *,
+    seed: int = 0,
+    warmup_s: float = 5.0,
+    measure_s: float = 15.0,
+) -> ReplicationPoint:
+    """Measure one subscriber-count level of Figure 4a."""
+    cluster = _build_cluster(fanout_broker_config(), seed)
+    _static_mapping(cluster, replicated, ReplicationMode.ALL_PUBLISHERS)
+    workload = FanOutWorkload(cluster, CHANNEL, n_subscribers)
+    cluster.run_until(1.0)  # let subscriptions land
+    workload.start(measure_from=1.0 + warmup_s)
+    cluster.run_until(1.0 + warmup_s + measure_s)
+    workload.stop()
+    cluster.run_for(0.5)  # drain in-flight deliveries
+
+    latencies = workload.collector.latencies()
+    expected = workload.published_measured * n_subscribers
+    mean = sum(latencies) / len(latencies) if latencies else None
+    p95 = sorted(latencies)[int(0.95 * (len(latencies) - 1))] if latencies else None
+    killed = sum(s.killed_connections for s in cluster.servers.values())
+    rate = min(1.0, len(latencies) / expected) if expected else 1.0
+    return ReplicationPoint(n_subscribers, replicated, mean, p95, rate, killed)
+
+
+def run_fig4b_point(
+    n_publishers: int,
+    replicated: bool,
+    *,
+    seed: int = 0,
+    warmup_s: float = 5.0,
+    measure_s: float = 15.0,
+) -> ReplicationPoint:
+    """Measure one publisher-count level of Figure 4b."""
+    cluster = _build_cluster(fanin_broker_config(), seed)
+    _static_mapping(cluster, replicated, ReplicationMode.ALL_SUBSCRIBERS)
+    workload = FanInWorkload(cluster, CHANNEL, n_publishers)
+    cluster.run_until(1.0)
+    workload.start(measure_from=1.0 + warmup_s)
+    cluster.run_until(1.0 + warmup_s + measure_s)
+    workload.stop()
+    cluster.run_for(0.5)
+
+    latencies = workload.collector.latencies()
+    mean = sum(latencies) / len(latencies) if latencies else None
+    p95 = sorted(latencies)[int(0.95 * (len(latencies) - 1))] if latencies else None
+    killed = sum(s.killed_connections for s in cluster.servers.values())
+    return ReplicationPoint(
+        n_publishers, replicated, mean, p95, workload.delivery_rate(), killed
+    )
+
+
+DEFAULT_LEVELS = (100, 200, 300, 400, 500, 600, 700, 800)
+
+
+def run_fig4a(
+    levels: Sequence[int] = DEFAULT_LEVELS, *, seed: int = 0, measure_s: float = 15.0
+) -> Experiment1Result:
+    """The full Figure 4a sweep: both configurations over all levels."""
+    result = Experiment1Result("fig4a")
+    for replicated in (False, True):
+        for level in levels:
+            result.points.append(
+                run_fig4a_point(level, replicated, seed=seed, measure_s=measure_s)
+            )
+    return result
+
+
+def run_fig4b(
+    levels: Sequence[int] = DEFAULT_LEVELS, *, seed: int = 0, measure_s: float = 15.0
+) -> Experiment1Result:
+    """The full Figure 4b sweep: both configurations over all levels."""
+    result = Experiment1Result("fig4b")
+    for replicated in (False, True):
+        for level in levels:
+            result.points.append(
+                run_fig4b_point(level, replicated, seed=seed, measure_s=measure_s)
+            )
+    return result

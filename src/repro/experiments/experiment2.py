@@ -1,0 +1,263 @@
+"""Experiment 2: client scalability (Figures 5a/5b/5c and 6).
+
+The large-scale RGame run of section V-D: players join over time (120 to
+1200 in the paper), each publishing 3 state updates per second on its tile
+channel, with up to 8 pub/sub servers available.  The same experiment runs
+twice -- once under the Dynamoth load balancer and once under consistent
+hashing -- producing:
+
+* **Fig 5a** -- active players over time,
+* **Fig 5b** -- total deliveries/second and the number of rented servers,
+* **Fig 5c** -- average response time over time (publish -> own update
+  back), with rebalance time points,
+* **Fig 6**  -- average and busiest-server load ratio over time (Dynamoth
+  run only),
+* the **headline metric**: the maximum player count each approach sustains
+  while the (smoothed) average response time stays below 150 ms.  The
+  paper reports ~1000 for Dynamoth vs ~625 for consistent hashing: "60%
+  more simultaneously active players with the same set of pub/sub
+  servers".
+
+Absolute capacity constants stand in for the paper's lab machines; the
+default ("scaled") preset shrinks the population ~4x with proportionally
+smaller per-server bandwidth so the whole comparison runs in seconds.
+``paper_scale()`` reproduces the original magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import (
+    BALANCER_CONSISTENT_HASHING,
+    BALANCER_DYNAMOTH,
+    DynamothCluster,
+)
+from repro.core.config import DynamothConfig
+from repro.experiments.records import BucketedStat, Sampler, SeriesRecorder
+from repro.workload.rgame import RGameConfig, RGameWorkload
+from repro.workload.schedules import ramp
+
+
+@dataclass
+class ScalabilityConfig:
+    """Parameters of one Experiment 2 run."""
+
+    tiles_per_side: int = 6
+    start_players: int = 40
+    end_players: int = 360
+    ramp_duration_s: float = 360.0
+    hold_duration_s: float = 40.0
+    updates_per_s: float = 3.0
+    payload_size: int = 200
+    nominal_egress_bps: float = 210_000.0
+    max_servers: int = 8
+    initial_servers: int = 1
+    spawn_delay_s: float = 5.0
+    t_wait_s: float = 10.0
+    seed: int = 0
+    #: the paper's playability bound: 150 ms average response time
+    latency_bound_s: float = 0.150
+    #: smoothing window for the sustainability judgement, seconds
+    smooth_window_s: float = 10.0
+
+    @classmethod
+    def paper_scale(cls) -> "ScalabilityConfig":
+        """The original magnitudes: 120 -> 1200 players, 64 tiles."""
+        return cls(
+            tiles_per_side=8,
+            start_players=120,
+            end_players=1200,
+            ramp_duration_s=600.0,
+            hold_duration_s=60.0,
+            nominal_egress_bps=1_450_000.0,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ScalabilityConfig":
+        """A tiny preset for fast integration tests."""
+        return cls(
+            tiles_per_side=3,
+            start_players=10,
+            end_players=80,
+            ramp_duration_s=80.0,
+            hold_duration_s=20.0,
+            nominal_egress_bps=150_000.0,
+            max_servers=4,
+        )
+
+    @property
+    def duration_s(self) -> float:
+        return self.ramp_duration_s + self.hold_duration_s
+
+    def dynamoth_config(self) -> DynamothConfig:
+        return DynamothConfig(
+            max_servers=self.max_servers,
+            min_servers=self.initial_servers,
+            spawn_delay_s=self.spawn_delay_s,
+            t_wait_s=self.t_wait_s,
+        )
+
+    def broker_config(self) -> BrokerConfig:
+        return BrokerConfig(
+            nominal_egress_bps=self.nominal_egress_bps,
+            cpu_per_publish_s=10e-6,
+            cpu_per_delivery_s=5e-6,
+            per_connection_bps=None,
+            output_buffer_limit_bytes=8 * 1_048_576,
+        )
+
+    def rgame_config(self) -> RGameConfig:
+        return RGameConfig(
+            tiles_per_side=self.tiles_per_side,
+            updates_per_s=self.updates_per_s,
+            payload_size=self.payload_size,
+        )
+
+
+@dataclass
+class ScalabilityResult:
+    """Everything one run produced."""
+
+    balancer: str
+    config: ScalabilityConfig
+    recorder: SeriesRecorder
+    response_times: BucketedStat
+    rebalance_times: List[float]
+    balancer_events: List[Tuple[float, str, str]]
+    load_history: List[Tuple[float, Dict[str, float]]]
+    final_server_count: int
+
+    # --- Figure 5a ---
+    def population_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("population")
+
+    # --- Figure 5b ---
+    def messages_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("deliveries_per_s")
+
+    def server_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("servers")
+
+    # --- Figure 5c ---
+    def response_series(self) -> List[Tuple[int, float]]:
+        return self.response_times.mean_series()
+
+    # --- Figure 6 ---
+    def load_ratio_series(self) -> List[Tuple[float, float, float]]:
+        """(time, average LR, busiest-server LR) samples."""
+        out = []
+        for t, ratios in self.load_history:
+            if ratios:
+                values = list(ratios.values())
+                out.append((t, sum(values) / len(values), max(values)))
+        return out
+
+    # --- headline ---
+    def smoothed_response(self, time: float) -> Optional[float]:
+        half = self.config.smooth_window_s / 2.0
+        return self.response_times.window_mean(time - half, time + half)
+
+    def max_sustainable_players(self) -> int:
+        """Largest population reached while the smoothed average response
+        time still met the 150 ms playability bound."""
+        bound = self.config.latency_bound_s
+        best = 0
+        for t, population in self.population_series():
+            smoothed = self.smoothed_response(t)
+            if smoothed is None or smoothed <= bound:
+                best = max(best, int(population))
+        return best
+
+
+def run_scalability(
+    config: Optional[ScalabilityConfig] = None,
+    *,
+    balancer: str = BALANCER_DYNAMOTH,
+) -> ScalabilityResult:
+    """One full Experiment 2 run under the given balancer."""
+    config = config if config is not None else ScalabilityConfig()
+    cluster = DynamothCluster(
+        seed=config.seed,
+        config=config.dynamoth_config(),
+        broker_config=config.broker_config(),
+        initial_servers=config.initial_servers,
+        balancer=balancer,
+    )
+
+    rtt = BucketedStat()
+    workload = RGameWorkload(
+        cluster, config.rgame_config(), rtt_sink=lambda value, t: rtt.add(t, value)
+    )
+
+    recorder = SeriesRecorder()
+    sampler = Sampler(cluster.sim, recorder, period=1.0)
+    sampler.add_gauge("population", lambda now: workload.population)
+    sampler.add_gauge("servers", lambda now: cluster.server_count)
+    # Cumulative deliveries across servers; decommissioned servers' totals
+    # are frozen inside the closure's running maximum.
+    totals: Dict[str, int] = {}
+
+    def cumulative_deliveries() -> float:
+        for server_id, server in cluster.servers.items():
+            totals[server_id] = server.delivery_count
+        return float(sum(totals.values()))
+
+    sampler.add_rate_gauge("deliveries_per_s", cumulative_deliveries)
+    sampler.start(start_delay=1.0)
+
+    workload.follow(
+        ramp(config.start_players, config.end_players, config.ramp_duration_s)
+    )
+    cluster.run_until(config.duration_s)
+    workload.stop()
+    sampler.stop()
+
+    balancer_actor = cluster.balancer
+    return ScalabilityResult(
+        balancer=balancer,
+        config=config,
+        recorder=recorder,
+        response_times=rtt,
+        rebalance_times=balancer_actor.rebalance_times(),
+        balancer_events=[(e.time, e.kind, e.detail) for e in balancer_actor.events],
+        load_history=list(balancer_actor.load_history),
+        final_server_count=cluster.server_count,
+    )
+
+
+@dataclass
+class HeadlineComparison:
+    """The paper's headline claim, measured."""
+
+    dynamoth: ScalabilityResult
+    consistent_hashing: ScalabilityResult
+
+    @property
+    def dynamoth_max_players(self) -> int:
+        return self.dynamoth.max_sustainable_players()
+
+    @property
+    def ch_max_players(self) -> int:
+        return self.consistent_hashing.max_sustainable_players()
+
+    @property
+    def improvement(self) -> float:
+        """Relative player-capacity gain of Dynamoth over consistent
+        hashing (the paper reports ~0.60)."""
+        ch = self.ch_max_players
+        return (self.dynamoth_max_players - ch) / ch if ch else float("inf")
+
+
+def run_headline_comparison(
+    config: Optional[ScalabilityConfig] = None,
+) -> HeadlineComparison:
+    """Both Experiment 2 runs: Dynamoth vs consistent hashing."""
+    config = config if config is not None else ScalabilityConfig()
+    dynamoth = run_scalability(config, balancer=BALANCER_DYNAMOTH)
+    hashing = run_scalability(
+        replace(config), balancer=BALANCER_CONSISTENT_HASHING
+    )
+    return HeadlineComparison(dynamoth, hashing)

@@ -1,0 +1,199 @@
+"""Experiment 3: elasticity under a fluctuating population (Figure 7).
+
+The paper's section V-E: inject clients step by step up to 800, remove 600
+(down to 200), then add a little less than 400 more (to almost 600).  The
+observable behaviours to reproduce:
+
+* server count *follows the load up and down* -- servers are rented during
+  the climbs and released (with a visible delay, scale-down being lower
+  priority) during the drop;
+* high-load rebalancings cause small, short latency spikes;
+* scale-down rebalancings cause *no* latency spikes, because they only run
+  when the pool is underloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import BALANCER_DYNAMOTH, DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.experiments.records import BucketedStat, Sampler, SeriesRecorder
+from repro.workload.rgame import RGameConfig, RGameWorkload
+from repro.workload.schedules import PopulationSchedule, steps
+
+
+@dataclass
+class ElasticityConfig:
+    """Parameters of one Experiment 3 run (scaled preset by default)."""
+
+    tiles_per_side: int = 6
+    #: the three population plateaus (paper: 800 / 200 / ~580)
+    peak1: int = 240
+    trough: int = 60
+    peak2: int = 175
+    #: seconds per climb/fall segment and per plateau
+    transition_s: float = 80.0
+    plateau_s: float = 80.0
+    updates_per_s: float = 3.0
+    payload_size: int = 200
+    nominal_egress_bps: float = 210_000.0
+    max_servers: int = 8
+    initial_servers: int = 1
+    spawn_delay_s: float = 5.0
+    t_wait_s: float = 10.0
+    #: make scale-down reactive enough to observe within the run
+    plan_entry_timeout_s: float = 15.0
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "ElasticityConfig":
+        return cls(
+            tiles_per_side=8,
+            peak1=800,
+            trough=200,
+            peak2=580,
+            transition_s=120.0,
+            plateau_s=120.0,
+            nominal_egress_bps=1_450_000.0,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ElasticityConfig":
+        return cls(
+            tiles_per_side=3,
+            peak1=60,
+            trough=15,
+            peak2=45,
+            transition_s=40.0,
+            plateau_s=40.0,
+            nominal_egress_bps=150_000.0,
+            max_servers=4,
+        )
+
+    def schedule(self) -> PopulationSchedule:
+        t = 0.0
+        points: List[Tuple[float, int]] = [(0.0, 0)]
+        for target in (self.peak1, self.trough, self.peak2):
+            t += self.transition_s
+            points.append((t, target))
+            t += self.plateau_s
+            points.append((t, target))
+        return steps(points)
+
+    @property
+    def duration_s(self) -> float:
+        return 3 * (self.transition_s + self.plateau_s) + 30.0
+
+    def dynamoth_config(self) -> DynamothConfig:
+        return DynamothConfig(
+            max_servers=self.max_servers,
+            min_servers=self.initial_servers,
+            spawn_delay_s=self.spawn_delay_s,
+            t_wait_s=self.t_wait_s,
+            plan_entry_timeout_s=self.plan_entry_timeout_s,
+        )
+
+    def broker_config(self) -> BrokerConfig:
+        return BrokerConfig(
+            nominal_egress_bps=self.nominal_egress_bps,
+            cpu_per_publish_s=10e-6,
+            cpu_per_delivery_s=5e-6,
+            per_connection_bps=None,
+            output_buffer_limit_bytes=8 * 1_048_576,
+        )
+
+
+@dataclass
+class ElasticityResult:
+    """Series behind Figures 7a and 7b."""
+
+    config: ElasticityConfig
+    recorder: SeriesRecorder
+    response_times: BucketedStat
+    rebalance_times: List[float]
+    balancer_events: List[Tuple[float, str, str]]
+
+    def population_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("population")
+
+    def server_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("servers")
+
+    def messages_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.get("deliveries_per_s")
+
+    def response_series(self) -> List[Tuple[int, float]]:
+        return self.response_times.mean_series()
+
+    def peak_server_count(self) -> int:
+        return int(self.recorder.max("servers") or 0)
+
+    def server_count_at(self, time: float) -> int:
+        best = 0
+        for t, value in self.server_series():
+            if t <= time:
+                best = int(value)
+            else:
+                break
+        return best
+
+    def scaled_down(self) -> bool:
+        """Whether the pool shrank after the population dropped."""
+        drop_done = 2 * self.config.transition_s + self.config.plateau_s
+        peak = self.peak_server_count()
+        after = min(
+            (int(v) for t, v in self.server_series() if t > drop_done + self.config.plateau_s),
+            default=peak,
+        )
+        return after < peak
+
+
+def run_elasticity(config: Optional[ElasticityConfig] = None) -> ElasticityResult:
+    """One full Experiment 3 run (Dynamoth balancer)."""
+    config = config if config is not None else ElasticityConfig()
+    cluster = DynamothCluster(
+        seed=config.seed,
+        config=config.dynamoth_config(),
+        broker_config=config.broker_config(),
+        initial_servers=config.initial_servers,
+        balancer=BALANCER_DYNAMOTH,
+    )
+
+    rtt = BucketedStat()
+    rgame = RGameConfig(
+        tiles_per_side=config.tiles_per_side,
+        updates_per_s=config.updates_per_s,
+        payload_size=config.payload_size,
+    )
+    workload = RGameWorkload(cluster, rgame, rtt_sink=lambda v, t: rtt.add(t, v))
+
+    recorder = SeriesRecorder()
+    sampler = Sampler(cluster.sim, recorder, period=1.0)
+    sampler.add_gauge("population", lambda now: workload.population)
+    sampler.add_gauge("servers", lambda now: cluster.server_count)
+    totals: Dict[str, int] = {}
+
+    def cumulative_deliveries() -> float:
+        for server_id, server in cluster.servers.items():
+            totals[server_id] = server.delivery_count
+        return float(sum(totals.values()))
+
+    sampler.add_rate_gauge("deliveries_per_s", cumulative_deliveries)
+    sampler.start(start_delay=1.0)
+
+    workload.follow(config.schedule())
+    cluster.run_until(config.duration_s)
+    workload.stop()
+    sampler.stop()
+
+    balancer = cluster.balancer
+    return ElasticityResult(
+        config=config,
+        recorder=recorder,
+        response_times=rtt,
+        rebalance_times=balancer.rebalance_times(),
+        balancer_events=[(e.time, e.kind, e.detail) for e in balancer.events],
+    )

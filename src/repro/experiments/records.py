@@ -1,0 +1,158 @@
+"""Low-footprint time-series recording for long experiment runs.
+
+A scalability run produces millions of response-time samples; keeping each
+one would dominate memory.  :class:`BucketedStat` aggregates samples into
+per-second ``(count, sum, max)`` buckets online -- enough to draw every
+"average X over time" figure -- and keeps a bounded reservoir for
+percentiles.  :class:`Sampler` snapshots cluster gauges (population, server
+count, cumulative deliveries, load ratios) once per second, yielding the
+series behind Figures 5, 6 and 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTask
+
+
+class BucketedStat:
+    """Per-second aggregation of a streaming metric with a reservoir."""
+
+    def __init__(self, reservoir_size: int = 20_000, seed: int = 0):
+        self._buckets: Dict[int, List[float]] = {}  # second -> [count, sum, max]
+        self._reservoir: List[float] = []
+        self._reservoir_size = reservoir_size
+        self._seen = 0
+        self._rng = random.Random(seed)
+
+    def add(self, time: float, value: float) -> None:
+        bucket = self._buckets.get(int(time))
+        if bucket is None:
+            self._buckets[int(time)] = [1.0, value, value]
+        else:
+            bucket[0] += 1
+            bucket[1] += value
+            if value > bucket[2]:
+                bucket[2] = value
+        self._seen += 1
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self._seen)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._seen
+
+    def mean_series(self) -> List[Tuple[int, float]]:
+        """``(second, mean)`` pairs, sorted by time."""
+        return [
+            (second, bucket[1] / bucket[0])
+            for second, bucket in sorted(self._buckets.items())
+        ]
+
+    def count_series(self) -> List[Tuple[int, int]]:
+        return [
+            (second, int(bucket[0])) for second, bucket in sorted(self._buckets.items())
+        ]
+
+    def window_mean(self, start: float, end: float) -> Optional[float]:
+        """Mean of all samples with ``start <= t < end`` (None if empty)."""
+        count = total = 0.0
+        for second, bucket in self._buckets.items():
+            if start <= second < end:
+                count += bucket[0]
+                total += bucket[1]
+        return total / count if count else None
+
+    def window_count(self, start: float, end: float) -> int:
+        return int(
+            sum(b[0] for s, b in self._buckets.items() if start <= s < end)
+        )
+
+    def mean(self) -> Optional[float]:
+        count = sum(b[0] for b in self._buckets.values())
+        total = sum(b[1] for b in self._buckets.values())
+        return total / count if count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate percentile from the reservoir (q in [0, 100])."""
+        if not self._reservoir:
+            return None
+        data = sorted(self._reservoir)
+        rank = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+        return data[rank]
+
+
+@dataclass
+class SeriesRecorder:
+    """Named (time, value) series with aligned sampling."""
+
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series.setdefault(name, []).append((time, value))
+
+    def get(self, name: str) -> List[Tuple[float, float]]:
+        return self.series.get(name, [])
+
+    def values(self, name: str) -> List[float]:
+        return [v for __, v in self.get(name)]
+
+    def last(self, name: str) -> Optional[float]:
+        points = self.get(name)
+        return points[-1][1] if points else None
+
+    def max(self, name: str) -> Optional[float]:
+        points = self.get(name)
+        return max(v for __, v in points) if points else None
+
+
+class Sampler:
+    """Periodically evaluates gauges and appends them to a recorder.
+
+    Gauges are callables taking the current time; rate gauges can be built
+    from cumulative counters via :meth:`add_rate_gauge`.
+    """
+
+    def __init__(self, sim: Simulator, recorder: SeriesRecorder, period: float = 1.0):
+        self.recorder = recorder
+        self._gauges: Dict[str, Callable[[float], float]] = {}
+        self._task = PeriodicTask(sim, period, self._sample)
+
+    def add_gauge(self, name: str, fn: Callable[[float], float]) -> None:
+        self._gauges[name] = fn
+
+    def add_rate_gauge(self, name: str, counter_fn: Callable[[], float]) -> None:
+        """Record the per-second rate of a monotonically growing counter."""
+        state = {"last_t": None, "last_v": 0.0}
+
+        def gauge(now: float) -> float:
+            value = counter_fn()
+            if state["last_t"] is None:
+                rate = 0.0
+            else:
+                dt = now - state["last_t"]
+                rate = (value - state["last_v"]) / dt if dt > 0 else 0.0
+            state["last_t"] = now
+            state["last_v"] = value
+            return rate
+
+        self._gauges[name] = gauge
+
+    def start(self, start_delay: float = 0.0) -> None:
+        self._task.start(start_delay=start_delay)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _sample(self, now: float) -> None:
+        for name, gauge in self._gauges.items():
+            self.recorder.record(name, now, gauge(now))

@@ -1,0 +1,155 @@
+"""Message transport between actors.
+
+:class:`Transport` is the glue between the actor layer and the network
+model.  Sending a message involves, in order:
+
+1. queuing on the sender's :class:`~repro.net.link.EgressPort` (transmission
+   delay = backlog + size/capacity);
+2. one-way propagation delay sampled from the LAN model (both endpoints are
+   infrastructure) or the WAN model (one endpoint is a client), mirroring
+   the paper's latency-injection rules in section V-B;
+3. delivery via ``dst.receive(message, src_id)`` -- unless the destination
+   has shut down in the meantime, in which case the message is dropped and
+   counted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.latency import KingLatencyModel, LanLatency, LatencyModel
+from repro.net.link import EgressPort
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+
+class Transport:
+    """Routes messages between registered actors with realistic delays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        lan_model: Optional[LatencyModel] = None,
+        wan_model: Optional[LatencyModel] = None,
+    ):
+        self.sim = sim
+        self._rng = rng
+        self.lan_model: LatencyModel = lan_model if lan_model is not None else LanLatency()
+        self.wan_model: LatencyModel = wan_model if wan_model is not None else KingLatencyModel()
+        self._actors: Dict[str, Actor] = {}
+        self._ports: Dict[str, EgressPort] = {}
+        #: per (src -> dst) last scheduled delivery time, enforcing the
+        #: FIFO ordering a TCP connection provides.  Without it, two
+        #: messages on the same logical connection could reorder (each
+        #: samples its own propagation delay), which breaks protocols
+        #: that rely on in-order SUBSCRIBE/UNSUBSCRIBE processing.
+        self._fifo: Dict[str, Dict[str, float]] = {}
+        self.messages_sent: int = 0
+        self.messages_dropped: int = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor, egress_capacity_bps: Optional[float] = None) -> EgressPort:
+        """Attach ``actor`` to the network.
+
+        ``egress_capacity_bps`` is the actual NIC drain rate; ``None`` means
+        unlimited (appropriate for client nodes).
+        """
+        if actor.node_id in self._actors:
+            raise ValueError(f"duplicate node id: {actor.node_id}")
+        port = EgressPort(egress_capacity_bps)
+        self._actors[actor.node_id] = actor
+        self._ports[actor.node_id] = port
+        actor.transport = self
+        return port
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a node; in-flight messages to it are dropped on arrival."""
+        actor = self._actors.pop(node_id, None)
+        self._ports.pop(node_id, None)
+        self._fifo.pop(node_id, None)
+        for lane in self._fifo.values():
+            lane.pop(node_id, None)
+        if actor is not None:
+            actor.transport = None
+
+    def actor(self, node_id: str) -> Optional[Actor]:
+        return self._actors.get(node_id)
+
+    def port(self, node_id: str) -> Optional[EgressPort]:
+        return self._ports.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src_id: str,
+        dst_id: str,
+        message: Any,
+        size_bytes: int,
+        *,
+        min_completion: float = 0.0,
+        fifo: bool = True,
+    ) -> Tuple[float, float]:
+        """Send ``message`` from ``src_id`` to ``dst_id``.
+
+        ``min_completion`` lets callers impose an additional completion
+        floor, used by the pub/sub server to model per-connection drain
+        ceilings on top of the shared NIC.
+
+        ``fifo=False`` lets a message overtake the connection's queued
+        stream -- used for out-of-band connection teardown (a TCP RST is
+        not queued behind the data the peer will never read).
+
+        Returns ``(transmit_completion, delivery_time)`` so callers that
+        model higher-level buffers (the pub/sub server's per-connection
+        output buffers) can account for queued bytes.
+        """
+        src = self._actors.get(src_id)
+        if src is None:
+            raise KeyError(f"unknown sender: {src_id}")
+        port = self._ports[src_id]
+        now = self.sim.now
+        completion = port.transmit(now, size_bytes)
+        if min_completion > completion:
+            completion = min_completion
+
+        dst = self._actors.get(dst_id)
+        if dst is None or not dst.alive:
+            # Destination already gone: the bytes still occupied the NIC,
+            # but nothing arrives.
+            self.messages_dropped += 1
+            return completion, completion
+
+        latency = self._sample_latency(src, dst)
+        delivery_time = completion + latency
+        if fifo:
+            lane = self._fifo.setdefault(src_id, {})
+            earlier = lane.get(dst_id, 0.0)
+            if delivery_time < earlier:
+                delivery_time = earlier  # FIFO: never overtake the connection
+            lane[dst_id] = delivery_time
+        self.sim.schedule_at(delivery_time, self._deliver, dst_id, message, src_id)
+        self.messages_sent += 1
+        return completion, delivery_time
+
+    def _sample_latency(self, src: Actor, dst: Actor) -> float:
+        if src.node_id == dst.node_id:
+            return 0.0
+        if src.is_infra and dst.is_infra:
+            return self.lan_model.sample(self._rng)
+        # Client <-> infrastructure: one WAN sample per direction, exactly
+        # as the paper injects King samples.  (Client <-> client direct
+        # messages do not occur in Dynamoth's two-hop architecture.)
+        return self.wan_model.sample(self._rng)
+
+    def _deliver(self, dst_id: str, message: Any, src_id: str) -> None:
+        dst = self._actors.get(dst_id)
+        if dst is None or not dst.alive:
+            self.messages_dropped += 1
+            return
+        dst.receive(message, src_id)

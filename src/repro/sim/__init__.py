@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate that replaces the paper's 80-machine testbed.
+It provides:
+
+* :class:`~repro.sim.kernel.Simulator` -- a heap-based event loop with a
+  virtual clock and cancellable scheduled events.
+* :class:`~repro.sim.timers.Timer` -- a resettable one-shot timer, used by
+  the Dynamoth client library and dispatchers for plan-entry expiry.
+* :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded random
+  streams so that every experiment is reproducible bit-for-bit.
+* :class:`~repro.sim.actor.Actor` -- the base class for every simulated node
+  (clients, pub/sub servers, load balancer, ...).
+"""
+
+from repro.sim.actor import Actor
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTask, Timer
+
+__all__ = [
+    "Actor",
+    "PeriodicTask",
+    "RngRegistry",
+    "ScheduledEvent",
+    "Simulator",
+    "Timer",
+]

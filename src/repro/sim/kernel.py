@@ -1,0 +1,174 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock (a float, in seconds) and a binary
+heap of pending events.  Components schedule callbacks at future points in
+time; :meth:`Simulator.run_until` pops events in timestamp order and invokes
+them.  Ties are broken by insertion order, which makes runs fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; calling :meth:`cancel` prevents
+    the callback from firing (cancellation is O(1) -- the event stays in the
+    heap but is skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., None]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin large objects in
+        # memory while they wait to be popped from the heap.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run_until(10.0)
+
+    The clock unit is seconds.  Events scheduled for the same instant fire in
+    the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (diagnostic)."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still in the heap, including cancelled ones."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        event = ScheduledEvent(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Cancelled events are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            fn, args = event.fn, event.args
+            # Release the handle's references before running, so an event
+            # rescheduling itself does not grow memory.
+            event.cancel()
+            self._events_processed += 1
+            assert fn is not None
+            fn(*args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= ``time``; advance clock to ``time``.
+
+        The clock always ends exactly at ``time`` even if the heap drains
+        early, so periodic processes can be resumed from a known instant.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run backwards: {time} < {self._now}")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event heap is exhausted.
+
+        ``max_events`` bounds the number of events executed -- a safety net
+        against accidental infinite self-rescheduling loops.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self.step():
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely a runaway periodic process"
+                    )
+        finally:
+            self._running = False

@@ -1,0 +1,27 @@
+"""Workload generators driving the experiments.
+
+* :mod:`repro.workload.rgame` -- the paper's evaluation application: a
+  massively-multiplayer game world split into square tiles, with AI players
+  doing random-waypoint movement, subscribing to their current tile channel
+  and publishing position updates on it (section V-A).
+* :mod:`repro.workload.microbench` -- the single-channel micro-benchmarks
+  of Experiment 1: many publishers / one subscriber ("all subscribers"
+  scheme) and one publisher / many subscribers ("all publishers" scheme).
+* :mod:`repro.workload.schedules` -- client arrival/departure schedules
+  (ramps and step patterns) used by Experiments 2 and 3.
+"""
+
+from repro.workload.microbench import FanInWorkload, FanOutWorkload
+from repro.workload.rgame import RGameConfig, RGameWorkload, TileWorld
+from repro.workload.schedules import PopulationSchedule, ramp, steps
+
+__all__ = [
+    "FanInWorkload",
+    "FanOutWorkload",
+    "PopulationSchedule",
+    "RGameConfig",
+    "RGameWorkload",
+    "TileWorld",
+    "ramp",
+    "steps",
+]

@@ -1,0 +1,38 @@
+"""Unit tests for the broker resource-model configuration."""
+
+import pytest
+
+from repro.broker.config import BrokerConfig
+
+
+class TestBrokerConfig:
+    def test_defaults_valid(self):
+        config = BrokerConfig()
+        assert config.actual_egress_bps == pytest.approx(
+            config.nominal_egress_bps * config.egress_headroom
+        )
+
+    def test_headroom_allows_measured_lr_above_one(self):
+        config = BrokerConfig(nominal_egress_bps=1_000_000, egress_headroom=1.2)
+        # the regime the paper observes: LR can reach ~1.15 before failure
+        assert config.actual_egress_bps / config.nominal_egress_bps > 1.15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nominal_egress_bps": 0},
+            {"nominal_egress_bps": -1},
+            {"egress_headroom": 0.9},
+            {"cpu_per_publish_s": -1e-6},
+            {"cpu_per_delivery_s": -1e-6},
+            {"per_message_overhead_bytes": -1},
+            {"output_buffer_limit_bytes": 0},
+            {"per_connection_bps": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BrokerConfig(**kwargs)
+
+    def test_unlimited_per_connection_allowed(self):
+        assert BrokerConfig(per_connection_bps=None).per_connection_bps is None

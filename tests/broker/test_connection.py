@@ -1,0 +1,66 @@
+"""Unit tests for per-client connection state / output buffer model."""
+
+import pytest
+
+from repro.broker.connection import Connection
+
+
+class TestOutputBuffer:
+    def test_starts_empty(self):
+        conn = Connection("c1")
+        assert conn.buffered_bytes(0.0) == 0
+
+    def test_enqueue_fills_buffer(self):
+        conn = Connection("c1")
+        occupancy = conn.enqueue(0.0, completion_time=1.0, size_bytes=100)
+        assert occupancy == 100
+        assert conn.buffered_bytes(0.5) == 100
+
+    def test_buffer_drains_at_completion(self):
+        conn = Connection("c1")
+        conn.enqueue(0.0, completion_time=1.0, size_bytes=100)
+        conn.enqueue(0.0, completion_time=2.0, size_bytes=50)
+        assert conn.buffered_bytes(1.5) == 50
+        assert conn.buffered_bytes(2.5) == 0
+
+    def test_expiry_is_lazy_but_exact(self):
+        conn = Connection("c1")
+        for i in range(10):
+            conn.enqueue(0.0, completion_time=float(i), size_bytes=10)
+        assert conn.buffered_bytes(4.5) == 50  # completions 5..9 pending
+
+    def test_delivery_counters(self):
+        conn = Connection("c1")
+        conn.enqueue(0.0, 1.0, 100)
+        conn.enqueue(0.0, 2.0, 200)
+        assert conn.deliveries == 2
+        assert conn.bytes_delivered == 300
+
+
+class TestPerConnectionRate:
+    def test_no_ceiling_returns_now(self):
+        conn = Connection("c1", per_connection_bps=None)
+        assert conn.connection_drain_completion(5.0, 1000) == 5.0
+
+    def test_ceiling_imposes_serial_drain(self):
+        conn = Connection("c1", per_connection_bps=1000.0)
+        first = conn.connection_drain_completion(0.0, 500)
+        second = conn.connection_drain_completion(0.0, 500)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+
+    def test_idle_connection_resets(self):
+        conn = Connection("c1", per_connection_bps=1000.0)
+        conn.connection_drain_completion(0.0, 100)
+        assert conn.connection_drain_completion(10.0, 100) == pytest.approx(10.1)
+
+
+class TestKill:
+    def test_kill_clears_state(self):
+        conn = Connection("c1")
+        conn.channels.add("ch")
+        conn.enqueue(0.0, 5.0, 100)
+        conn.kill()
+        assert not conn.alive
+        assert conn.channels == set()
+        assert conn.buffered_bytes(0.0) == 0

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import BALANCER_NONE, DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.net.latency import FixedLatency
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def transport(sim, rng) -> Transport:
+    """A transport with deterministic small latencies (tests only)."""
+    return Transport(
+        sim, rng, lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.02)
+    )
+
+
+def make_static_cluster(
+    *,
+    seed: int = 0,
+    initial_servers: int = 3,
+    broker_config: BrokerConfig = None,
+    config: DynamothConfig = None,
+) -> DynamothCluster:
+    """A cluster without a balancer, for protocol-level tests."""
+    return DynamothCluster(
+        seed=seed,
+        initial_servers=initial_servers,
+        balancer=BALANCER_NONE,
+        broker_config=broker_config,
+        config=config,
+    )
+
+
+@pytest.fixture
+def static_cluster() -> DynamothCluster:
+    return make_static_cluster()

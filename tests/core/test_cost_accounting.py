@@ -1,0 +1,31 @@
+"""Tests for the cloud cost accounting extension."""
+
+import pytest
+
+from repro import DynamothConfig
+from tests.conftest import make_static_cluster
+
+
+class TestServerSeconds:
+    def test_static_pool_accumulates_linearly(self):
+        cluster = make_static_cluster(initial_servers=3)
+        cluster.run_until(20.0)
+        assert cluster.server_seconds() == pytest.approx(60.0)
+
+    def test_until_parameter_caps_horizon(self):
+        cluster = make_static_cluster(initial_servers=2)
+        cluster.run_until(30.0)
+        assert cluster.server_seconds(until=10.0) == pytest.approx(20.0)
+
+    def test_zero_at_start(self):
+        cluster = make_static_cluster(initial_servers=4)
+        assert cluster.server_seconds() == 0.0
+
+    def test_cost_is_monotonic_while_pool_static(self):
+        cluster = make_static_cluster(initial_servers=1)
+        values = []
+        for __ in range(5):
+            cluster.run_for(5.0)
+            values.append(cluster.server_seconds())
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(25.0)

@@ -1,0 +1,200 @@
+"""Tests for the dispatcher reconfiguration protocol (section IV)."""
+
+import pytest
+
+from repro.core.dispatcher import dispatcher_id
+from repro.core.messages import NoMoreSubscribers, PlanPush
+from repro.core.plan import ChannelMapping, ReplicationMode
+from tests.conftest import make_static_cluster
+
+
+@pytest.fixture
+def cluster():
+    return make_static_cluster(initial_servers=3)
+
+
+def home_and_other(cluster, channel):
+    home = cluster.plan.ring.lookup(channel)
+    other = next(s for s in sorted(cluster.servers) if s != home)
+    return home, other
+
+
+class TestWrongServerPublication:
+    """Figure 3a: publication lands on the old server after a move."""
+
+    def test_publisher_redirected_and_message_forwarded(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        got = []
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda ch, body, env: got.append(body))
+        pub = cluster.create_client("pub")
+        cluster.run_for(1.0)
+
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        # Publisher still believes in consistent hashing -> sends to home.
+        pub.publish("ch", "moved?", 20)
+        cluster.run_for(2.0)
+
+        assert got == ["moved?"]  # forwarded, not lost
+        assert pub.known_mapping("ch").servers == (other,)  # redirect arrived
+        assert cluster.dispatchers[home].forwarded_publications >= 1
+        assert cluster.dispatchers[home].redirects_sent >= 1
+
+    def test_subscribers_switch_with_first_publication(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda *a: None)
+        pub = cluster.create_client("pub")
+        cluster.run_for(1.0)
+
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        cluster.run_for(1.0)
+        # No publication yet: subscriber has not been told.
+        assert sub.subscription_servers("ch") == {home}
+
+        pub.publish("ch", "trigger", 20)
+        cluster.run_for(3.0)
+        assert sub.subscription_servers("ch") == {other}
+        assert cluster.servers[other].subscriber_count("ch") == 1
+        assert cluster.servers[home].subscriber_count("ch") == 0
+
+    def test_switch_notice_sent_once_per_version(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda *a: None)
+        pub = cluster.create_client("pub")
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        for __ in range(5):
+            pub.publish("ch", "x", 20)
+        cluster.run_for(3.0)
+        assert cluster.dispatchers[home].switch_notices_sent == 1
+
+
+class TestCorrectServerForwarding:
+    """Figure 3b: publication on the new server while subscribers remain
+    on the old one."""
+
+    def test_forwards_to_old_until_drained(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        got = []
+        laggard = cluster.create_client("laggard")
+        laggard.subscribe("ch", lambda ch, body, env: got.append(body))
+        cluster.run_for(1.0)
+
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        cluster.run_for(0.5)
+
+        # A well-informed publisher sends straight to the new server.
+        informed = cluster.create_client("informed")
+        informed.receive(
+            __import__("repro.core.messages", fromlist=["MappingNotice"]).MappingNotice(
+                "ch", cluster.plan.mapping("ch")
+            ),
+            "test",
+        )
+        informed.publish("ch", "direct", 20)
+        cluster.run_for(2.5)
+        assert "direct" in got  # delivered via old-server forwarding or switch
+
+    def test_no_more_subscribers_stops_forwarding(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda *a: None)
+        pub = cluster.create_client("pub")
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        pub.publish("ch", "move-trigger", 20)
+        cluster.run_for(4.0)  # switch + grace unsubscribe complete
+
+        # old server fully drained -> straggler registry cleared
+        registry = cluster.dispatchers[other]._stragglers.get("ch", {})
+        assert home not in registry
+
+        before = cluster.dispatchers[other].forwarded_publications
+        pub.publish("ch", "steady", 20)
+        cluster.run_for(2.0)
+        assert cluster.dispatchers[other].forwarded_publications == before
+
+    def test_drained_announced_immediately_when_no_subscribers(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        pub = cluster.create_client("pub")
+        pub.publish("ch", "hello", 20)  # channel exists, no subscribers
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        cluster.run_for(1.0)
+        registry = cluster.dispatchers[other]._stragglers.get("ch", {})
+        assert home not in registry
+
+
+class TestWrongServerSubscription:
+    def test_subscriber_redirected_on_wrong_subscribe(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        cluster.run_for(0.5)
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda *a: None)  # CH fallback -> home (wrong)
+        cluster.run_for(3.0)
+        assert sub.subscription_servers("ch") == {other}
+        assert cluster.servers[home].subscriber_count("ch") == 0
+
+    def test_stale_version_subscription_redirected(self, cluster):
+        """A subscriber of a replicated channel arriving with version 0
+        must learn the full mapping (and spread over the replicas)."""
+        servers = tuple(sorted(cluster.servers))
+        cluster.set_static_mapping(
+            "hot", ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, servers)
+        )
+        cluster.run_for(0.5)
+        sub = cluster.create_client("sub")
+        sub.subscribe("hot", lambda *a: None)
+        cluster.run_for(3.0)
+        assert sub.subscription_servers("hot") == set(servers)
+
+
+class TestWatchExpiry:
+    def test_final_nudge_moves_quiet_subscribers(self, cluster):
+        """If no publication arrives during the whole forwarding window,
+        subscribers still get moved by the expiry-time switch notice."""
+        home, other = home_and_other(cluster, "quiet")
+        sub = cluster.create_client("sub")
+        sub.subscribe("quiet", lambda *a: None)
+        cluster.run_for(1.0)
+        cluster.set_static_mapping(
+            "quiet", ChannelMapping(ReplicationMode.SINGLE, (other,))
+        )
+        # no publications at all; wait past the watch timeout
+        cluster.run_for(cluster.config.plan_entry_timeout_s + 3.0)
+        assert sub.subscription_servers("quiet") == {other}
+
+    def test_watch_state_cleared_after_expiry(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        sub = cluster.create_client("sub")
+        sub.subscribe("ch", lambda *a: None)
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        cluster.run_for(cluster.config.plan_entry_timeout_s + 3.0)
+        assert "ch" not in cluster.dispatchers[home]._watch
+        assert "ch" not in cluster.dispatchers[other]._watch
+
+
+class TestPlanPushes:
+    def test_stale_plan_push_ignored(self, cluster):
+        home, other = home_and_other(cluster, "ch")
+        d = cluster.dispatchers[home]
+        v_before = d.plan.version
+        cluster.set_static_mapping("ch", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        assert d.plan.version == v_before + 1
+        stale = PlanPush(cluster.plan)  # re-push same version
+        d.receive(stale, "lb")
+        assert d.plan.version == v_before + 1
+        assert d.plans_received == 1
+
+    def test_no_more_subscribers_for_unknown_channel_is_noop(self, cluster):
+        d = cluster.dispatchers[sorted(cluster.servers)[0]]
+        d.receive(NoMoreSubscribers("ghost", "pubX"), "peer")
+
+    def test_unknown_message_raises(self, cluster):
+        d = cluster.dispatchers[sorted(cluster.servers)[0]]
+        with pytest.raises(TypeError):
+            d.receive(object(), "x")

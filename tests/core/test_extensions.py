@@ -1,0 +1,201 @@
+"""Tests for the future-work extensions: CPU-aware balancing, eager plan
+push and the cloud cost model."""
+
+import pytest
+
+from repro import BrokerConfig, DynamothCluster, DynamothConfig
+from repro.core.cluster import BALANCER_DYNAMOTH
+from repro.core.messages import ChannelMetricsSnapshot, LoadReport
+from repro.core.metrics import ClusterLoadView
+from repro.core.rebalance import LoadEstimator
+from repro.sim.timers import PeriodicTask
+
+
+def report(server, t, measured, nominal=1000.0, channels=(), cpu=0.0):
+    return LoadReport(server, t - 1.0, t, nominal, measured, tuple(channels), cpu)
+
+
+def snap(channel, msgs=0.0, out=0.0):
+    return ChannelMetricsSnapshot(channel, 0.0, 0, 0, msgs, out)
+
+
+class TestCpuAwareEstimator:
+    def make_view(self):
+        view = ClusterLoadView(5.0)
+        view.add_report(
+            report(
+                "a",
+                1.0,
+                measured=100.0,  # egress ratio 0.1 -- NIC is idle
+                channels=[snap("x", msgs=60.0, out=60.0), snap("y", msgs=40.0, out=40.0)],
+                cpu=0.9,  # ... but the CPU is nearly saturated
+            )
+        )
+        view.add_report(report("b", 1.0, measured=0.0))
+        return view
+
+    def test_cpu_ignored_by_default(self):
+        est = LoadEstimator(self.make_view(), ["a", "b"], 1000.0)
+        assert est.load_ratio("a") == pytest.approx(0.1)
+
+    def test_cpu_dominates_when_aware(self):
+        est = LoadEstimator(self.make_view(), ["a", "b"], 1000.0, cpu_aware=True)
+        assert est.load_ratio("a") == pytest.approx(0.9)
+
+    def test_migration_moves_cpu_share(self):
+        est = LoadEstimator(self.make_view(), ["a", "b"], 1000.0, cpu_aware=True)
+        est.migrate("x", "a", "b")  # x carries 60% of deliveries
+        assert est.load_ratio("a") == pytest.approx(0.9 * 0.4)
+        assert est.load_ratio("b") == pytest.approx(0.9 * 0.6)
+
+    def test_set_replicas_splits_cpu(self):
+        est = LoadEstimator(self.make_view(), ["a", "b"], 1000.0, cpu_aware=True)
+        est.set_replicas("x", ("a",), ["a", "b"])
+        assert est.load_ratio("a") == pytest.approx(0.9 * 0.4 + 0.9 * 0.3)
+        assert est.load_ratio("b") == pytest.approx(0.9 * 0.3)
+
+    def test_view_reports_cpu(self):
+        view = self.make_view()
+        assert view.cpu_utilization("a") == pytest.approx(0.9)
+        assert view.cpu_utilization("missing") == 0.0
+
+
+class TestCpuAwareBalancingEndToEnd:
+    def _run(self, cpu_aware):
+        """CPU-bound workload: high fan-out, low bandwidth usage."""
+        config = DynamothConfig(
+            max_servers=4,
+            min_servers=2,
+            t_wait_s=5.0,
+            spawn_delay_s=2.0,
+            cpu_aware_balancing=cpu_aware,
+            # keep Algorithm 1 quiet so system-level balancing is isolated
+            subscriber_threshold=10_000.0,
+            publication_threshold=1e9,
+        )
+        broker = BrokerConfig(
+            nominal_egress_bps=50_000_000.0,  # NIC never the bottleneck
+            cpu_per_delivery_s=400e-6,
+            cpu_per_publish_s=100e-6,
+            per_connection_bps=None,
+        )
+        cluster = DynamothCluster(
+            seed=4, config=config, broker_config=broker, initial_servers=2
+        )
+        # two channels on the SAME CH server, each ~0.6 cores of delivery
+        home = cluster.plan.ring.lookup("cpu0")
+        second = next(
+            f"cpu{i}" for i in range(1, 200)
+            if cluster.plan.ring.lookup(f"cpu{i}") == home
+        )
+        tasks = []
+        for prefix, channel in (("w0", "cpu0"), ("w1", second)):
+            subs = [cluster.create_client(f"{prefix}-s{i}") for i in range(15)]
+            for s in subs:
+                s.subscribe(channel, lambda *a: None)
+            pub = cluster.create_client(f"{prefix}-pub")
+            task = PeriodicTask(
+                cluster.sim, 0.01, lambda now, p=pub, c=channel: p.publish(c, "x", 50)
+            )
+            task.start()
+            tasks.append(task)
+        cluster.run_until(30.0)
+        lb = cluster.balancer
+        cpus = {s: lb.view.cpu_utilization(s) for s in lb.active_servers}
+        return lb, cpus
+
+    def test_blind_balancer_misses_cpu_overload(self):
+        lb, cpus = self._run(cpu_aware=False)
+        # NIC-only load ratios look idle, so nothing is rebalanced even
+        # though one server burns >1 core
+        assert max(cpus.values()) > 1.0
+        assert lb.plan.version == 0
+
+    def test_cpu_aware_balancer_spreads_the_load(self):
+        lb, cpus = self._run(cpu_aware=True)
+        assert lb.plan.version > 0
+        assert max(cpus.values()) < 1.0
+
+
+class TestEagerPlanPush:
+    def _run(self, eager):
+        config = DynamothConfig(
+            max_servers=3,
+            min_servers=2,
+            t_wait_s=5.0,
+            spawn_delay_s=2.0,
+            eager_plan_push=eager,
+        )
+        broker = BrokerConfig(nominal_egress_bps=15_000.0, per_connection_bps=None)
+        cluster = DynamothCluster(
+            seed=6, config=config, broker_config=broker, initial_servers=2
+        )
+        # spectators: many clients subscribed to *other* channels
+        for i in range(50):
+            c = cluster.create_client(f"spectator{i}")
+            c.subscribe(f"idle{i}", lambda *a: None)
+        # two hot channels co-located on the same CH server, so migrating
+        # one of them fixes the overload (and produces a plan change)
+        home = cluster.plan.ring.lookup("hot0")
+        second = next(
+            f"hot{i}" for i in range(1, 300)
+            if cluster.plan.ring.lookup(f"hot{i}") == home
+        )
+        tasks = []
+        for prefix, channel in (("a", "hot0"), ("b", second)):
+            s = cluster.create_client(f"{prefix}-sub")
+            s.subscribe(channel, lambda *a: None)
+            p = cluster.create_client(f"{prefix}-pub")
+            task = PeriodicTask(
+                cluster.sim, 0.1, lambda now, p=p, c=channel: p.publish(c, "x", 1000)
+            )
+            task.start()
+            tasks.append(task)
+        cluster.run_until(30.0)
+        return cluster
+
+    def test_lazy_mode_sends_no_broadcasts(self):
+        cluster = self._run(eager=False)
+        assert getattr(cluster.balancer, "eager_notices_sent", 0) == 0
+
+    def test_eager_mode_floods_all_clients(self):
+        cluster = self._run(eager=True)
+        sent = cluster.balancer.eager_notices_sent
+        assert sent >= 52  # every client notified at least once
+        # spectators receive notices about channels they never use --
+        # exactly the overhead the lazy scheme avoids
+        spectator = cluster.clients["spectator0"]
+        assert spectator.redirects > 0
+
+
+class TestCloudCostModel:
+    def test_server_seconds_accumulate(self):
+        config = DynamothConfig(max_servers=3, min_servers=1, spawn_delay_s=1.0, t_wait_s=5.0)
+        broker = BrokerConfig(nominal_egress_bps=15_000.0, per_connection_bps=None)
+        cluster = DynamothCluster(
+            seed=7, config=config, broker_config=broker, initial_servers=1
+        )
+        cluster.run_until(10.0)
+        assert cluster.server_seconds() == pytest.approx(10.0)
+
+    def test_decommissioned_servers_stop_costing(self):
+        config = DynamothConfig(
+            max_servers=3, min_servers=1, t_wait_s=5.0,
+            spawn_delay_s=1.0, plan_entry_timeout_s=5.0,
+        )
+        broker = BrokerConfig(nominal_egress_bps=15_000.0, per_connection_bps=None)
+        cluster = DynamothCluster(
+            seed=8, config=config, broker_config=broker, initial_servers=1
+        )
+        sub = cluster.create_client("s")
+        sub.subscribe("hot", lambda *a: None)
+        pub = cluster.create_client("p")
+        task = PeriodicTask(cluster.sim, 0.05, lambda now: pub.publish("hot", "x", 1000))
+        task.start()
+        cluster.run_until(30.0)
+        task.stop()
+        cluster.run_until(150.0)
+        assert cluster.server_count < 2 + 1  # scaled back down
+        # cost strictly below the "keep everything forever" ceiling
+        peak = 1 + len(cluster._decommissioned)
+        assert cluster.server_seconds() < peak * 150.0

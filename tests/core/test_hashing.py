@@ -1,0 +1,108 @@
+"""Unit tests for the consistent-hashing ring."""
+
+import pytest
+
+from repro.core.hashing import ConsistentHashRing
+
+
+class TestMembership:
+    def test_servers_listed_in_insertion_order(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.servers == ["a", "b", "c"]
+        assert len(ring) == 3
+        assert "b" in ring
+
+    def test_duplicate_server_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_server("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_server("b")
+
+    def test_invalid_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+
+class TestLookup:
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().lookup("x")
+
+    def test_lookup_deterministic(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.lookup("channel-1") == ring.lookup("channel-1")
+
+    def test_lookup_stable_across_instances(self):
+        r1 = ConsistentHashRing(["a", "b", "c"])
+        r2 = ConsistentHashRing(["a", "b", "c"])
+        for i in range(50):
+            assert r1.lookup(f"ch{i}") == r2.lookup(f"ch{i}")
+
+    def test_single_server_gets_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.lookup(f"ch{i}") == "only" for i in range(20))
+
+    def test_distribution_roughly_uniform(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)], vnodes=128)
+        counts = {}
+        for i in range(4000):
+            server = ring.lookup(f"channel:{i}")
+            counts[server] = counts.get(server, 0) + 1
+        assert len(counts) == 4
+        for count in counts.values():
+            assert 600 <= count <= 1500  # within ~50% of the 1000 ideal
+
+    def test_adding_server_moves_minority_of_channels(self):
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=128)
+        before = {f"ch{i}": ring.lookup(f"ch{i}") for i in range(1000)}
+        ring.add_server("d")
+        moved = sum(1 for c, s in before.items() if ring.lookup(c) != s)
+        # ideal: 1/4 of channels move; must be far below a full reshuffle
+        assert moved < 450
+
+    def test_only_moves_to_the_new_server(self):
+        """Consistent hashing property: a channel either stays or goes to
+        the newly added server, never between old servers."""
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+        before = {f"ch{i}": ring.lookup(f"ch{i}") for i in range(500)}
+        ring.add_server("d")
+        for channel, old in before.items():
+            new = ring.lookup(channel)
+            assert new == old or new == "d"
+
+    def test_removal_redistributes_only_victims_channels(self):
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+        before = {f"ch{i}": ring.lookup(f"ch{i}") for i in range(500)}
+        ring.remove_server("b")
+        for channel, old in before.items():
+            if old != "b":
+                assert ring.lookup(channel) == old
+
+    def test_lookup_n_distinct(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        result = ring.lookup_n("ch", 3)
+        assert len(result) == 3
+        assert len(set(result)) == 3
+        assert result[0] == ring.lookup("ch")
+
+    def test_lookup_n_caps_at_pool_size(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring.lookup_n("ch", 10)) == 2
+
+    def test_copy_independent(self):
+        ring = ConsistentHashRing(["a", "b"])
+        clone = ring.copy()
+        clone.remove_server("a")
+        assert "a" in ring
+        assert "a" not in clone
+
+    def test_assignment_bulk(self):
+        ring = ConsistentHashRing(["a", "b"])
+        channels = [f"ch{i}" for i in range(10)]
+        mapping = ring.assignment(channels)
+        assert set(mapping) == set(channels)
+        assert all(mapping[c] == ring.lookup(c) for c in channels)

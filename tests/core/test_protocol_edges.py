@@ -1,0 +1,127 @@
+"""Edge cases of the reconfiguration protocol machinery."""
+
+import pytest
+
+from repro.core.messages import PlanPush
+from repro.core.plan import ChannelMapping, ReplicationMode
+from tests.conftest import make_static_cluster
+
+
+class TestPlanVersionGaps:
+    def test_dispatcher_handles_skipped_versions(self):
+        """Plan pushes carry full plans, so a dispatcher that missed one
+        version must still converge when a later one arrives."""
+        cluster = make_static_cluster(initial_servers=3)
+        servers = sorted(cluster.servers)
+        d = cluster.dispatchers[servers[0]]
+
+        base = cluster.plan
+        v1 = base.evolve(mappings={"ch": ChannelMapping(ReplicationMode.SINGLE, (servers[0],))})
+        v2 = v1.evolve(mappings={"ch": ChannelMapping(ReplicationMode.SINGLE, (servers[1],))})
+        v3 = v2.evolve(mappings={"ch": ChannelMapping(ReplicationMode.SINGLE, (servers[2],))})
+
+        d.receive(PlanPush(v1), "lb")
+        # v2 lost; v3 arrives
+        d.receive(PlanPush(v3), "lb")
+        assert d.plan.version == 3
+        assert d.plan.mapping("ch").servers == (servers[2],)
+
+    def test_out_of_order_pushes_keep_newest(self):
+        cluster = make_static_cluster(initial_servers=2)
+        servers = sorted(cluster.servers)
+        d = cluster.dispatchers[servers[0]]
+        base = cluster.plan
+        v1 = base.evolve(mappings={"ch": ChannelMapping(ReplicationMode.SINGLE, (servers[0],))})
+        v2 = v1.evolve(mappings={"ch": ChannelMapping(ReplicationMode.SINGLE, (servers[1],))})
+        d.receive(PlanPush(v2), "lb")
+        d.receive(PlanPush(v1), "lb")  # late duplicate of an older plan
+        assert d.plan.version == 2
+        assert d.plan.mapping("ch").servers == (servers[1],)
+
+
+class TestClientReconcileEdges:
+    def test_unsubscribe_during_reconcile_releases_everything(self):
+        """Regression: crossing tiles while a reconcile awaits acks used to
+        leak the old server's subscription."""
+        cluster = make_static_cluster(initial_servers=3)
+        home = cluster.plan.ring.lookup("room")
+        other = next(s for s in sorted(cluster.servers) if s != home)
+
+        client = cluster.create_client("c")
+        client.subscribe("room", lambda *a: None)
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("room", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        # trigger the move via a publication, then unsubscribe immediately,
+        # before acks/graces settle
+        pub = cluster.create_client("p")
+        pub.publish("room", "poke", 20)
+        cluster.run_for(0.4)  # switch notice likely mid-flight
+        client.unsubscribe("room")
+        cluster.run_for(5.0)
+        for server in cluster.servers.values():
+            assert not server.is_subscribed("room", "c")
+
+    def test_disconnect_mid_grace_releases_old_server(self):
+        """Regression: leaving the system between reconcile completion and
+        the grace unsubscribe used to leak the old subscription."""
+        cluster = make_static_cluster(initial_servers=3)
+        home = cluster.plan.ring.lookup("room")
+        other = next(s for s in sorted(cluster.servers) if s != home)
+        client = cluster.create_client("c")
+        client.subscribe("room", lambda *a: None)
+        pub = cluster.create_client("p")
+        cluster.run_for(1.0)
+        cluster.set_static_mapping("room", ChannelMapping(ReplicationMode.SINGLE, (other,)))
+        pub.publish("room", "poke", 20)
+        cluster.run_for(0.9)  # reconcile done; grace-unsub still pending
+        cluster.remove_client("c")
+        cluster.run_for(5.0)
+        for server in cluster.servers.values():
+            assert not server.is_subscribed("room", "c")
+
+    def test_resubscribe_same_channel_after_unsubscribe_works(self):
+        cluster = make_static_cluster(initial_servers=2)
+        got = []
+        client = cluster.create_client("c")
+        client.subscribe("room", lambda ch, body, env: got.append(body))
+        cluster.run_for(1.0)
+        client.unsubscribe("room")
+        cluster.run_for(1.0)
+        client.subscribe("room", lambda ch, body, env: got.append(body))
+        cluster.run_for(1.0)
+        cluster.create_client("p").publish("room", "again", 20)
+        cluster.run_for(2.0)
+        assert got == ["again"]
+
+
+class TestLlaCpuReporting:
+    def test_cpu_utilization_reported(self):
+        from repro.broker.config import BrokerConfig
+        from repro.sim.timers import PeriodicTask
+
+        broker = BrokerConfig(
+            cpu_per_publish_s=0.002, cpu_per_delivery_s=0.003, per_connection_bps=None
+        )
+        cluster = make_static_cluster(broker_config=broker)
+        # route everything at one known server via a static mapping
+        target = sorted(cluster.servers)[0]
+        from repro.core.plan import ChannelMapping, ReplicationMode
+
+        cluster.set_static_mapping(
+            "busy", ChannelMapping(ReplicationMode.SINGLE, (target,))
+        )
+        sub = cluster.create_client("s")
+        sub.subscribe("busy", lambda *a: None)
+        pub = cluster.create_client("p")
+        cluster.run_for(1.0)
+        task = PeriodicTask(cluster.sim, 0.02, lambda now: pub.publish("busy", "x", 20))
+        task.start()
+        # LLAs are idle without a balancer; drive one report manually
+        lla = cluster.llas[target]
+        cluster.run_for(10.0)
+        lla._report(cluster.sim.now)
+        # 50 pubs/s x (2+3)ms = ~25% of a core
+        server = cluster.servers[target]
+        assert server.cpu_time_total > 0
+        # measure utilization over the window just reported
+        assert server.cpu_time_total / cluster.sim.now == pytest.approx(0.25, rel=0.2)

@@ -1,0 +1,92 @@
+"""Unit tests for the straggler tracker (chained-migration support)."""
+
+import pytest
+
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.core.stragglers import StragglerTracker, forwarding_sources
+
+
+def single(server, version=0):
+    return ChannelMapping(ReplicationMode.SINGLE, (server,), version)
+
+
+class TestForwardingSources:
+    def test_single_move_displaces_old_server(self):
+        sources = forwarding_sources(single("a"), single("b"))
+        assert sources == {"a"}
+
+    def test_shared_servers_excluded_for_single(self):
+        old = ChannelMapping(ReplicationMode.ALL_PUBLISHERS, ("a", "b"))
+        new = single("a")
+        assert forwarding_sources(old, new) == {"b"}
+
+    def test_all_subscribers_keeps_shared_servers(self):
+        """Under all-subscribers expansion, a subscriber holding only the
+        old replica misses publications landing on new ones: the old
+        server stays a forwarding target even though it is in the new
+        mapping."""
+        old = single("a")
+        new = ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, ("a", "b", "c"))
+        assert forwarding_sources(old, new) == {"a"}
+
+
+class TestStragglerTracker:
+    def make_plans(self):
+        base = Plan.bootstrap(["a", "b", "c"])
+        home = base.ring.lookup("ch")
+        others = [s for s in ("a", "b", "c") if s != home]
+        v1 = base.evolve(mappings={"ch": single(others[0])})
+        v2 = v1.evolve(mappings={"ch": single(others[1])})
+        return base, v1, v2, home, others
+
+    def test_chained_moves_accumulate(self):
+        base, v1, v2, home, others = self.make_plans()
+        tracker = StragglerTracker(timeout_s=30.0)
+        tracker.record_plan_change(base, v1, now=0.0)
+        tracker.record_plan_change(v1, v2, now=5.0)
+        snapshot = tracker.snapshot()
+        # both earlier homes are remembered
+        assert home in snapshot["ch"]
+        assert others[0] in snapshot["ch"]
+        # the later displacement has the later deadline
+        assert snapshot["ch"][others[0]] == pytest.approx(35.0)
+        assert snapshot["ch"][home] == pytest.approx(30.0)
+
+    def test_drain_removes_entry(self):
+        base, v1, v2, home, others = self.make_plans()
+        tracker = StragglerTracker(30.0)
+        tracker.record_plan_change(base, v1, 0.0)
+        tracker.drain("ch", home)
+        assert "ch" not in tracker.snapshot()
+        assert not tracker
+
+    def test_drain_unknown_is_noop(self):
+        tracker = StragglerTracker(30.0)
+        tracker.drain("ghost", "a")
+
+    def test_prune_expires_old_entries(self):
+        base, v1, v2, home, others = self.make_plans()
+        tracker = StragglerTracker(30.0)
+        tracker.record_plan_change(base, v1, 0.0)
+        tracker.record_plan_change(v1, v2, 20.0)
+        tracker.prune(40.0)  # first entry (deadline 30) expires
+        snapshot = tracker.snapshot()
+        assert home not in snapshot.get("ch", {})
+        assert others[0] in snapshot["ch"]
+
+    def test_re_displacement_extends_deadline(self):
+        base, v1, v2, home, others = self.make_plans()
+        back = v2.evolve(mappings={"ch": single(home)})        # back home
+        away = back.evolve(mappings={"ch": single(others[0])})  # away again
+        tracker = StragglerTracker(30.0)
+        tracker.record_plan_change(base, v1, 0.0)
+        tracker.record_plan_change(back, away, 100.0)
+        assert tracker.snapshot()["ch"][home] == pytest.approx(130.0)
+
+    def test_snapshot_is_a_copy(self):
+        base, v1, v2, home, others = self.make_plans()
+        tracker = StragglerTracker(30.0)
+        tracker.record_plan_change(base, v1, 0.0)
+        snapshot = tracker.snapshot()
+        snapshot["ch"].clear()
+        assert tracker.snapshot()["ch"]

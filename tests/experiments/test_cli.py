@@ -1,0 +1,35 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_fig4a_small_sweep(self, capsys):
+        assert main(["fig4a", "--levels", "100", "--measure-s", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4a" in out
+        assert "100" in out
+
+    def test_fig4b_small_sweep(self, capsys):
+        assert main(["fig4b", "--levels", "100", "--measure-s", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4b" in out
+
+    def test_fig5_dynamoth_only_small(self, capsys):
+        assert main(["fig5", "--players", "90", "--dynamoth-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Figure 6" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_seed_accepted(self, capsys):
+        assert main(["fig4a", "--levels", "100", "--measure-s", "2", "--seed", "9"]) == 0

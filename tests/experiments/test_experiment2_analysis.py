@@ -1,0 +1,109 @@
+"""Unit tests for Experiment 2's analysis layer (no heavy simulation)."""
+
+import pytest
+
+from repro.experiments.experiment2 import (
+    HeadlineComparison,
+    ScalabilityConfig,
+    ScalabilityResult,
+)
+from repro.experiments.records import BucketedStat, SeriesRecorder
+
+
+def synthetic_result(rt_by_second, pop_by_second, config=None):
+    """Build a ScalabilityResult from hand-written series."""
+    config = config or ScalabilityConfig.smoke()
+    rtt = BucketedStat()
+    for second, value in rt_by_second.items():
+        rtt.add(second + 0.5, value)
+    recorder = SeriesRecorder()
+    for second, pop in pop_by_second.items():
+        recorder.record("population", float(second), float(pop))
+    return ScalabilityResult(
+        balancer="dynamoth",
+        config=config,
+        recorder=recorder,
+        response_times=rtt,
+        rebalance_times=[],
+        balancer_events=[],
+        load_history=[],
+        final_server_count=4,
+    )
+
+
+class TestMaxSustainablePlayers:
+    def test_all_healthy_returns_peak(self):
+        result = synthetic_result(
+            rt_by_second={t: 0.08 for t in range(0, 60)},
+            pop_by_second={t: 10 * t for t in range(0, 60)},
+        )
+        assert result.max_sustainable_players() == 590
+
+    def test_degradation_caps_the_count(self):
+        rt = {t: (0.08 if t < 30 else 5.0) for t in range(0, 60)}
+        result = synthetic_result(
+            rt_by_second=rt, pop_by_second={t: 10 * t for t in range(0, 60)}
+        )
+        sustainable = result.max_sustainable_players()
+        # healthy up to ~t=30 (pop 300); smoothing blurs the edge slightly
+        assert 240 <= sustainable <= 330
+
+    def test_short_spike_is_forgiven(self):
+        """The paper keeps counting through short rebalance spikes; the
+        10s smoothing window absorbs a 1-2 s burst."""
+        rt = {t: 0.08 for t in range(0, 60)}
+        rt[30] = 1.0  # single-second spike
+        result = synthetic_result(
+            rt_by_second=rt, pop_by_second={t: 10 * t for t in range(0, 60)}
+        )
+        assert result.max_sustainable_players() == 590
+
+    def test_no_samples_means_no_exclusion(self):
+        result = synthetic_result(
+            rt_by_second={}, pop_by_second={t: t for t in range(0, 10)}
+        )
+        assert result.max_sustainable_players() == 9
+
+
+class TestHeadlineComparison:
+    def test_improvement_math(self):
+        a = synthetic_result({t: 0.08 for t in range(30)}, {t: 10 * t for t in range(30)})
+        b = synthetic_result(
+            {t: (0.08 if t < 15 else 9.9) for t in range(30)},
+            {t: 10 * t for t in range(30)},
+        )
+        comparison = HeadlineComparison(dynamoth=a, consistent_hashing=b)
+        assert comparison.dynamoth_max_players > comparison.ch_max_players
+        expected = (
+            comparison.dynamoth_max_players - comparison.ch_max_players
+        ) / comparison.ch_max_players
+        assert comparison.improvement == pytest.approx(expected)
+
+    def test_zero_baseline_is_infinite(self):
+        a = synthetic_result({0: 0.08}, {0: 10})
+        b = synthetic_result({t: 9.9 for t in range(0, 30)}, {t: 10 for t in range(0, 30)})
+        comparison = HeadlineComparison(dynamoth=a, consistent_hashing=b)
+        if comparison.ch_max_players == 0:
+            assert comparison.improvement == float("inf")
+
+
+class TestConfigPresets:
+    def test_paper_scale_magnitudes(self):
+        config = ScalabilityConfig.paper_scale()
+        assert config.end_players == 1200
+        assert config.tiles_per_side == 8
+        assert config.max_servers == 8
+
+    def test_smoke_is_small(self):
+        config = ScalabilityConfig.smoke()
+        assert config.end_players <= 100
+        assert config.duration_s <= 120
+
+    def test_derived_configs_consistent(self):
+        config = ScalabilityConfig()
+        dyn = config.dynamoth_config()
+        assert dyn.max_servers == config.max_servers
+        broker = config.broker_config()
+        assert broker.nominal_egress_bps == config.nominal_egress_bps
+        rgame = config.rgame_config()
+        assert rgame.tiles_per_side == config.tiles_per_side

@@ -1,0 +1,64 @@
+"""Unit tests for the text report renderers."""
+
+import pytest
+
+from repro.experiments.experiment1 import Experiment1Result, ReplicationPoint
+from repro.experiments.report import render_figure4, sparkline, table
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        text = table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_empty_rows(self):
+        text = table(["x"], [])
+        assert "x" in text
+
+    def test_values_stringified(self):
+        text = table(["n"], [[3.5]])
+        assert "3.5" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5.0] * 10)
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_marks(self):
+        marks = " .:-=+*#%@"
+        line = sparkline([float(i) for i in range(10)])
+        indices = [marks.index(c) for c in line]
+        assert indices == sorted(indices)
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_resampled_to_width(self):
+        line = sparkline([float(i) for i in range(1000)], width=40)
+        assert len(line) == 40
+
+
+class TestRenderFigure4:
+    def test_renders_both_series(self):
+        result = Experiment1Result("fig4a")
+        result.points.append(ReplicationPoint(100, False, 0.1, 0.2, 1.0, 0))
+        result.points.append(ReplicationPoint(100, True, 0.05, 0.1, 1.0, 0))
+        result.points.append(ReplicationPoint(200, False, None, None, 0.5, 3))
+        text = render_figure4(result, "title")
+        assert "title" in text
+        assert "100.0" in text  # 0.1 s -> 100.0 ms
+        assert "50.0" in text
+        assert "-" in text  # missing latency renders as dash
+
+    def test_series_filter(self):
+        result = Experiment1Result("fig4b")
+        result.points.append(ReplicationPoint(100, False, 0.1, 0.2, 1.0, 0))
+        result.points.append(ReplicationPoint(100, True, 0.1, 0.2, 1.0, 0))
+        assert len(result.series(True)) == 1
+        assert len(result.series(False)) == 1

@@ -1,0 +1,89 @@
+"""Churn stress: players joining/leaving while the balancer reshapes plans.
+
+Invariant checks after sustained churn:
+* the simulation never wedges (events keep draining);
+* server-side subscriber sets exactly mirror the live players' state --
+  no leaked subscriptions from departed clients;
+* response times for surviving players stay sane.
+"""
+
+import pytest
+
+from repro import BrokerConfig, DynamothCluster, DynamothConfig
+from repro.core.cluster import BALANCER_DYNAMOTH
+from repro.experiments.records import BucketedStat
+from repro.workload.rgame import RGameConfig, RGameWorkload
+from repro.workload.schedules import steps
+
+
+def test_subscription_state_consistent_after_churn():
+    config = DynamothConfig(
+        max_servers=4, min_servers=1, t_wait_s=6.0,
+        spawn_delay_s=2.0, plan_entry_timeout_s=8.0,
+    )
+    broker = BrokerConfig(nominal_egress_bps=120_000.0, per_connection_bps=None)
+    cluster = DynamothCluster(
+        seed=13, config=config, broker_config=broker, initial_servers=1
+    )
+    rtt = BucketedStat()
+    workload = RGameWorkload(
+        cluster, RGameConfig(tiles_per_side=4), rtt_sink=lambda v, t: rtt.add(t, v)
+    )
+    # sawtooth churn: up, down, up, down, up
+    schedule = steps(
+        [(0, 0), (20, 60), (40, 15), (60, 70), (80, 20), (100, 50), (130, 50)]
+    )
+    workload.follow(schedule)
+    cluster.run_until(130.0)
+    workload.stop()
+    cluster.run_for(12.0)  # let graces/forwarding windows settle
+
+    # 1. population matches the schedule's end state
+    assert workload.population == 50
+
+    # 2. every server-side subscriber is a live player on its current tile
+    live = {p.client.node_id: p for p in workload.players()}
+    for server_id, server in cluster.servers.items():
+        for channel in server.channels():
+            for client_id in server.subscribers(channel):
+                assert client_id in live, f"ghost subscriber {client_id} on {server_id}"
+                player = live[client_id]
+                assert channel == player.current_channel, (
+                    f"{client_id} subscribed to {channel} on {server_id} but "
+                    f"stands in {player.current_channel}"
+                )
+
+    # 3. every live player is subscribed somewhere to its tile
+    coverage = {}
+    for server in cluster.servers.values():
+        for channel in server.channels():
+            for client_id in server.subscribers(channel):
+                coverage.setdefault(client_id, set()).add(channel)
+    for client_id, player in live.items():
+        assert player.current_channel in coverage.get(client_id, set())
+
+    # 4. steady-state latency is healthy for the survivors
+    steady = rtt.window_mean(125, 142)
+    assert steady is not None and steady < 0.200
+
+
+def test_rapid_join_leave_same_identity_slot():
+    """Adding and removing players in quick succession must not wedge
+    dispatcher watches or leave dangling timers."""
+    config = DynamothConfig(max_servers=2, min_servers=2, t_wait_s=5.0)
+    cluster = DynamothCluster(
+        seed=14,
+        config=config,
+        broker_config=BrokerConfig(nominal_egress_bps=500_000.0),
+        initial_servers=2,
+    )
+    workload = RGameWorkload(cluster, RGameConfig(tiles_per_side=2))
+    for __ in range(10):
+        workload.add_players(8)
+        cluster.run_for(2.0)
+        workload.remove_players(8)
+        cluster.run_for(1.0)
+    cluster.run_for(10.0)
+    assert workload.population == 0
+    for server in cluster.servers.values():
+        assert server.channels() == []

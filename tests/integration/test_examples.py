@@ -1,0 +1,36 @@
+"""The example scripts must run clean end to end (they assert internally)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "messages lost during reconfiguration: 0" in out
+
+    def test_flash_crowd(self, capsys):
+        run_example("flash_crowd.py")
+        out = capsys.readouterr().out
+        assert "all-subscribers" in out
+        assert "flash crowd absorbed" in out
+
+    def test_game_world_small(self, capsys):
+        run_example("game_world.py", ["60"])
+        out = capsys.readouterr().out
+        assert "players=" in out and "avg response=" in out

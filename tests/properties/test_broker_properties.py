@@ -1,0 +1,127 @@
+"""Property-based tests for pub/sub broker invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.commands import Delivery, PublishCmd, SubscribeCmd, UnsubscribeCmd
+from repro.broker.config import BrokerConfig
+from repro.broker.server import PubSubServer
+from repro.net.latency import FixedLatency
+from repro.net.transport import Transport
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+
+class Sink(Actor):
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, is_infra=False)
+        self.deliveries = []
+
+    def receive(self, message, src_id):
+        if isinstance(message, Delivery):
+            self.deliveries.append(message)
+
+
+def build_world(n_clients=4):
+    sim = Simulator()
+    net = Transport(
+        sim, random.Random(0), lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.01)
+    )
+    config = BrokerConfig(per_connection_bps=None)
+    server = PubSubServer(sim, "srv", config)
+    net.register(server, config.actual_egress_bps)
+    clients = [Sink(sim, f"c{i}") for i in range(n_clients)]
+    for c in clients:
+        net.register(c)
+    return sim, server, clients
+
+
+# One random op sequence: (op, client_index, channel_index)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["sub", "unsub", "pub"]),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestBrokerInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_membership_matches_replayed_state(self, ops):
+        """The broker's subscriber sets equal a naive replay of the ops."""
+        sim, server, clients = build_world()
+        expected = {}
+        t = 0.0
+        for op, ci, chi in ops:
+            t += 0.05
+            channel = f"ch{chi}"
+            client = clients[ci]
+            if op == "sub":
+                sim.schedule_at(t, client.send, "srv", SubscribeCmd(channel), 64)
+                expected.setdefault(channel, set()).add(client.node_id)
+            elif op == "unsub":
+                sim.schedule_at(t, client.send, "srv", UnsubscribeCmd(channel), 64)
+                expected.get(channel, set()).discard(client.node_id)
+            else:
+                sim.schedule_at(
+                    t, client.send, "srv", PublishCmd(channel, "x", 10), 10
+                )
+        sim.run_until(t + 1.0)
+        for channel, members in expected.items():
+            assert server.subscribers(channel) == members
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_deliveries_only_to_current_subscribers(self, ops):
+        """Every delivery a client received corresponds to a publication on
+        a channel it was subscribed to at that point of the sequence."""
+        sim, server, clients = build_world()
+        # replay model: channel -> subscriber set; record which
+        # (channel, payload) each client may receive
+        allowed = {c.node_id: set() for c in clients}
+        members = {}
+        t = 0.0
+        for i, (op, ci, chi) in enumerate(ops):
+            t += 0.05
+            channel = f"ch{chi}"
+            client = clients[ci]
+            if op == "sub":
+                sim.schedule_at(t, client.send, "srv", SubscribeCmd(channel), 64)
+                members.setdefault(channel, set()).add(client.node_id)
+            elif op == "unsub":
+                sim.schedule_at(t, client.send, "srv", UnsubscribeCmd(channel), 64)
+                members.get(channel, set()).discard(client.node_id)
+            else:
+                payload = f"m{i}"
+                sim.schedule_at(t, client.send, "srv", PublishCmd(channel, payload, 10), 10)
+                for member in members.get(channel, ()):
+                    allowed[member].add((channel, payload))
+        sim.run_until(t + 1.0)
+        for client in clients:
+            for delivery in client.deliveries:
+                assert (delivery.channel, delivery.payload) in allowed[client.node_id]
+
+    @given(
+        sizes=st.lists(st.integers(min_value=10, max_value=3000), min_size=1, max_size=30)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_count_conservation(self, sizes):
+        """deliveries == publications x subscribers when nothing is killed."""
+        sim, server, clients = build_world()
+        for c in clients[:3]:
+            c.send("srv", SubscribeCmd("ch"), 64)
+        sim.run_until(0.5)
+        for i, size in enumerate(sizes):
+            sim.schedule_at(0.5 + i * 0.05, clients[3].send, "srv",
+                            PublishCmd("ch", i, size), size)
+        sim.run_until(0.5 + len(sizes) * 0.05 + 2.0)
+        assert server.killed_connections == 0
+        assert server.delivery_count == len(sizes) * 3
+        total = sum(len(c.deliveries) for c in clients[:3])
+        assert total == len(sizes) * 3

@@ -1,0 +1,77 @@
+"""Property-based tests for the consistent-hashing ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import ConsistentHashRing
+
+server_names = st.lists(
+    st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=8),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+channel_names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz:0123456789", min_size=1, max_size=16),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+class TestRingProperties:
+    @given(servers=server_names, channels=channel_names)
+    def test_lookup_always_returns_a_member(self, servers, channels):
+        ring = ConsistentHashRing(servers, vnodes=16)
+        for channel in channels:
+            assert ring.lookup(channel) in servers
+
+    @given(servers=server_names, channels=channel_names)
+    def test_lookup_is_deterministic(self, servers, channels):
+        r1 = ConsistentHashRing(servers, vnodes=16)
+        r2 = ConsistentHashRing(servers, vnodes=16)
+        assert [r1.lookup(c) for c in channels] == [r2.lookup(c) for c in channels]
+
+    @given(servers=server_names, channels=channel_names, extra=st.text(
+        alphabet="qrstuvwxyz", min_size=1, max_size=8))
+    def test_monotonicity_on_add(self, servers, channels, extra):
+        """Adding a server only ever moves channels *to* that server."""
+        if extra in servers:
+            return
+        ring = ConsistentHashRing(servers, vnodes=16)
+        before = {c: ring.lookup(c) for c in channels}
+        ring.add_server(extra)
+        for channel, old in before.items():
+            new = ring.lookup(channel)
+            assert new == old or new == extra
+
+    @given(servers=server_names, channels=channel_names)
+    def test_removal_only_moves_victims_channels(self, servers, channels):
+        if len(servers) < 2:
+            return
+        ring = ConsistentHashRing(servers, vnodes=16)
+        victim = servers[0]
+        before = {c: ring.lookup(c) for c in channels}
+        ring.remove_server(victim)
+        for channel, old in before.items():
+            if old != victim:
+                assert ring.lookup(channel) == old
+            else:
+                assert ring.lookup(channel) != victim
+
+    @given(servers=server_names)
+    def test_add_then_remove_restores_assignment(self, servers):
+        ring = ConsistentHashRing(servers, vnodes=16)
+        channels = [f"ch{i}" for i in range(30)]
+        before = {c: ring.lookup(c) for c in channels}
+        ring.add_server("zzz-transient")
+        ring.remove_server("zzz-transient")
+        assert {c: ring.lookup(c) for c in channels} == before
+
+    @given(servers=server_names, n=st.integers(min_value=1, max_value=10))
+    def test_lookup_n_distinct_members(self, servers, n):
+        ring = ConsistentHashRing(servers, vnodes=16)
+        result = ring.lookup_n("some-channel", n)
+        assert len(result) == min(n, len(servers))
+        assert len(set(result)) == len(result)
+        assert all(s in servers for s in result)

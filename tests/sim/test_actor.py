@@ -1,0 +1,107 @@
+"""Unit tests for the actor base class."""
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.net.transport import Transport
+from repro.sim.actor import Actor
+
+
+class Echo(Actor):
+    def __init__(self, sim, node_id, *, is_infra=True):
+        super().__init__(sim, node_id, is_infra=is_infra)
+        self.inbox = []
+
+    def receive(self, message, src_id):
+        self.inbox.append((message, src_id))
+
+
+class TestActor:
+    def test_receive_is_abstract(self, sim):
+        actor = Actor(sim, "base", is_infra=True)
+        with pytest.raises(NotImplementedError):
+            actor.receive("x", "y")
+
+    def test_send_requires_transport(self, sim):
+        actor = Echo(sim, "lonely")
+        with pytest.raises(RuntimeError):
+            actor.send("anyone", "hi", 10)
+
+    def test_shutdown_marks_dead(self, sim):
+        actor = Echo(sim, "a")
+        assert actor.alive
+        actor.shutdown()
+        assert not actor.alive
+
+    def test_roundtrip_through_transport(self, sim, rng):
+        net = Transport(sim, rng, lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.01))
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        net.register(a)
+        net.register(b)
+        a.send("b", "ping", 8)
+        sim.run_until(1.0)
+        assert b.inbox == [("ping", "a")]
+
+
+class TestTransportFifo:
+    """TCP-like per-connection ordering (regression tests for the churn
+    reordering bug)."""
+
+    def _net(self, sim, rng):
+        import random
+
+        from repro.net.latency import UniformLatency
+
+        # highly variable latency would reorder without the FIFO lanes
+        return Transport(
+            sim,
+            random.Random(3),
+            lan_model=UniformLatency(0.001, 0.2),
+            wan_model=UniformLatency(0.001, 0.2),
+        )
+
+    def test_same_connection_never_reorders(self, sim, rng):
+        net = self._net(sim, rng)
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        net.register(a)
+        net.register(b)
+        for i in range(50):
+            a.send("b", i, 10)
+        sim.run_until(5.0)
+        received = [m for m, __ in b.inbox]
+        assert received == list(range(50))
+
+    def test_different_connections_may_interleave(self, sim, rng):
+        net = self._net(sim, rng)
+        a, b, c = Echo(sim, "a"), Echo(sim, "b"), Echo(sim, "c")
+        for actor in (a, b, c):
+            net.register(actor)
+        # ordering across *different* sources is not constrained
+        a.send("c", "from-a", 10)
+        b.send("c", "from-b", 10)
+        sim.run_until(5.0)
+        assert {m for m, __ in c.inbox} == {"from-a", "from-b"}
+
+    def test_non_fifo_flag_can_overtake(self, sim, rng):
+        net = self._net(sim, rng)
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        net.register(a, egress_capacity_bps=100.0)  # slow: builds a queue
+        net.register(b)
+        for i in range(5):
+            net.send("a", "b", f"data{i}", 100)  # ~1s each on the NIC
+        net.send("a", "b", "URGENT", 10, fifo=False)
+        sim.run_until(20.0)
+        received = [m for m, __ in b.inbox]
+        assert received.index("URGENT") < received.index("data4")
+
+    def test_unregister_clears_fifo_lanes(self, sim, rng):
+        net = self._net(sim, rng)
+        a, b = Echo(sim, "a"), Echo(sim, "b")
+        net.register(a)
+        net.register(b)
+        a.send("b", "x", 10)
+        net.unregister("a")
+        assert "a" not in net._fifo
+        net.unregister("b")
+        for lane in net._fifo.values():
+            assert "b" not in lane
