@@ -12,13 +12,31 @@ ebbs) collapse it back to a single server.
 Run with::
 
     python examples/flash_crowd.py
+
+Record a flight-recorder trace of the whole scenario with::
+
+    python examples/flash_crowd.py --trace flash_crowd.jsonl
+    python -m repro.obs summary flash_crowd.jsonl
 """
 
+import argparse
+
 from repro import BrokerConfig, DynamothCluster, DynamothConfig, ReplicationMode
+from repro.obs.export import dump_tracer
+from repro.obs.trace import Tracer
 from repro.sim.timers import PeriodicTask
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL flight-recorder trace of the run to PATH",
+    )
+    args = parser.parse_args()
+    tracer = Tracer() if args.trace else None
     config = DynamothConfig(
         max_servers=4,
         min_servers=4,
@@ -31,7 +49,7 @@ def main() -> None:
     )
     broker = BrokerConfig(per_connection_bps=400_000.0)
     cluster = DynamothCluster(
-        seed=3, config=config, broker_config=broker, initial_servers=4
+        seed=3, config=config, broker_config=broker, initial_servers=4, tracer=tracer
     )
 
     received = [0]
@@ -77,6 +95,10 @@ def main() -> None:
     mapping = cluster.balancer.plan.mapping("telemetry")
     assert mapping.mode is ReplicationMode.SINGLE, "replication should collapse"
     print("flash crowd absorbed and resources reclaimed")
+
+    if tracer is not None:
+        count = dump_tracer(tracer, args.trace)
+        print(f"trace: {count} events -> {args.trace}")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,18 @@ from repro.core.messages import LoadReport, NoMoreSubscribers, PlanPush, ServerS
 from repro.core.metrics import ClusterLoadView
 from repro.core.plan import ChannelMapping, Plan, ReplicationMode
 from repro.core.stragglers import StragglerTracker
+from repro.obs.trace import (
+    NULL_TRACER,
+    LoadReportEvent,
+    LoadSnapshotEvent,
+    MigrationSettledEvent,
+    MigrationStartEvent,
+    PlanGeneratedEvent,
+    PlanPushedEvent,
+    ServerReadyEvent,
+    SpawnRequestEvent,
+    Tracer,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTask
@@ -48,12 +60,15 @@ class ConsistentHashingBalancer(Actor):
         cloud: CloudOperations,
         default_nominal_bps: float,
         rng: random.Random,
+        *,
+        tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, node_id, is_infra=True)
         self.config = config
         self.plan = initial_plan
         self._cloud = cloud
         self._rng = rng
+        self._tracer = tracer
 
         self.view = ClusterLoadView(config.load_window_s)
         self.active_servers: List[str] = list(initial_plan.active_servers)
@@ -80,10 +95,24 @@ class ConsistentHashingBalancer(Actor):
     def receive(self, message: Any, src_id: str) -> None:
         if isinstance(message, LoadReport):
             self.view.add_report(message)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    LoadReportEvent(
+                        self.sim.now,
+                        message.server_id,
+                        message.load_ratio,
+                        message.cpu_utilization,
+                        len(message.channels),
+                    )
+                )
         elif isinstance(message, ServerSpawned):
             self._on_server_ready(message.server_id)
         elif isinstance(message, NoMoreSubscribers):
             self._stragglers.drain(message.channel, message.server_id)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    MigrationSettledEvent(self.sim.now, message.channel, message.server_id)
+                )
         else:
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
@@ -94,14 +123,17 @@ class ConsistentHashingBalancer(Actor):
         self.active_servers.append(server_id)
         self.ring.add_server(server_id)
         self.events.append(BalancerEvent(self.sim.now, "server-ready", server_id))
+        if self._tracer.enabled:
+            self._tracer.emit(ServerReadyEvent(self.sim.now, server_id))
         self._rehash(f"server {server_id} joined the ring")
 
     # ------------------------------------------------------------------
     def _evaluate(self, now: float) -> None:
         self.view.prune(now)
-        self.load_history.append(
-            (now, {s: self.view.load_ratio(s) for s in self.active_servers})
-        )
+        ratios = {s: self.view.load_ratio(s) for s in self.active_servers}
+        self.load_history.append((now, ratios))
+        if self._tracer.enabled:
+            self._tracer.emit(LoadSnapshotEvent(now, dict(ratios)))
         if (now - self._last_plan_time) < self.config.t_wait_s:
             return
         if self.pending_spawns > 0:
@@ -118,6 +150,8 @@ class ConsistentHashingBalancer(Actor):
         self.pending_spawns += 1
         self._last_plan_time = now
         self.events.append(BalancerEvent(now, "spawn-request"))
+        if self._tracer.enabled:
+            self._tracer.emit(SpawnRequestEvent(now))
         self._cloud.request_spawn()
 
     def _rehash(self, reason: str) -> None:
@@ -139,10 +173,33 @@ class ConsistentHashingBalancer(Actor):
         self.events.append(
             BalancerEvent(self.sim.now, "rebalance", f"v{self.plan.version}: {reason}")
         )
+        tracer = self._tracer
+        if tracer.enabled:
+            changed = previous_plan.diff(self.plan)
+            tracer.emit(
+                PlanGeneratedEvent(
+                    self.sim.now, self.plan.version, tuple(changed), (), False
+                )
+            )
+            for channel, (old, new) in changed.items():
+                tracer.emit(
+                    MigrationStartEvent(
+                        self.sim.now,
+                        self.plan.version,
+                        channel,
+                        tuple(old.servers),
+                        tuple(new.servers),
+                        new.mode.value,
+                    )
+                )
         push = PlanPush(self.plan, self._stragglers.snapshot())
         size = PlanPush.WIRE_SIZE + 32 * len(self.plan.explicit_channels())
         for server_id in self.active_servers:
             self.send(dispatcher_id(server_id), push, size)
+        if tracer.enabled:
+            tracer.emit(
+                PlanPushedEvent(self.sim.now, self.plan.version, tuple(self.active_servers))
+            )
 
     # ------------------------------------------------------------------
     def rebalance_times(self) -> List[float]:

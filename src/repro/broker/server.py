@@ -31,6 +31,7 @@ from repro.broker.commands import (
 )
 from repro.broker.config import BrokerConfig
 from repro.broker.connection import Connection
+from repro.obs.trace import NULL_TRACER, FanoutEvent, Tracer, channel_class
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 
@@ -45,9 +46,17 @@ UnsubscribeListener = Callable[[str, str], None]
 class PubSubServer(Actor):
     """A single Redis-like pub/sub server node."""
 
-    def __init__(self, sim: Simulator, node_id: str, config: Optional[BrokerConfig] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        config: Optional[BrokerConfig] = None,
+        *,
+        tracer: Tracer = NULL_TRACER,
+    ):
         super().__init__(sim, node_id, is_infra=True)
         self.config = config if config is not None else BrokerConfig()
+        self.tracer = tracer
         self._connections: Dict[str, Connection] = {}
         #: channel -> client node ids subscribed remotely.  An
         #: insertion-ordered dict (used as an ordered set) so fan-out
@@ -204,6 +213,30 @@ class PubSubServer(Actor):
         # egress bytes; expose it before invoking them.
         self.last_fanout = delivered
 
+        tracer = self.tracer
+        if tracer.enabled:
+            # The broker stays payload-agnostic: the message id is read
+            # duck-typed off whatever envelope the payload happens to be.
+            tracer.emit(
+                FanoutEvent(
+                    now,
+                    self.node_id,
+                    channel,
+                    getattr(cmd.payload, "msg_id", None),
+                    delivered,
+                    wire_size,
+                )
+            )
+            metrics = tracer.metrics
+            metrics.counter("publishes_total", server=self.node_id).inc()
+            metrics.counter("deliveries_total", server=self.node_id).inc(delivered)
+            metrics.counter("egress_bytes_total", server=self.node_id).inc(
+                delivered * wire_size
+            )
+            metrics.histogram("fanout_size", channel_class=channel_class(channel)).observe(
+                float(delivered)
+            )
+
         # Loopback deliveries: dispatcher subscriptions and LLA observation.
         for callback in list(self._local_subs.get(channel, ())):
             callback(channel, publisher_id, cmd.payload, cmd.payload_size)
@@ -222,6 +255,10 @@ class PubSubServer(Actor):
                 listener(channel, client_id)
         conn.kill()
         self.killed_connections += 1
+        if self.tracer.enabled:
+            self.tracer.metrics.counter(
+                "killed_connections_total", server=self.node_id
+            ).inc()
         del self._connections[client_id]
         closed = ConnectionClosed(self.node_id, "output-buffer-overflow")
         # A reset is out-of-band: it is not queued behind the buffered

@@ -31,6 +31,19 @@ from repro.core.metrics import ClusterLoadView
 from repro.core.plan import Plan
 from repro.core.rebalance import generate_decision
 from repro.core.stragglers import StragglerTracker
+from repro.obs.trace import (
+    NULL_TRACER,
+    DecommissionEvent,
+    LoadReportEvent,
+    LoadSnapshotEvent,
+    MigrationSettledEvent,
+    MigrationStartEvent,
+    PlanGeneratedEvent,
+    PlanPushedEvent,
+    ServerReadyEvent,
+    SpawnRequestEvent,
+    Tracer,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTask
@@ -70,6 +83,8 @@ class LoadBalancer(Actor):
         cloud: CloudOperations,
         default_nominal_bps: float,
         rng: random.Random,
+        *,
+        tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, node_id, is_infra=True)
         self.config = config
@@ -77,6 +92,7 @@ class LoadBalancer(Actor):
         self._cloud = cloud
         self._default_nominal_bps = default_nominal_bps
         self._rng = rng
+        self._tracer = tracer
 
         self.view = ClusterLoadView(config.load_window_s)
         self.active_servers: List[str] = list(initial_plan.active_servers)
@@ -110,11 +126,29 @@ class LoadBalancer(Actor):
     def receive(self, message: Any, src_id: str) -> None:
         if isinstance(message, LoadReport):
             self.view.add_report(message)
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.emit(
+                    LoadReportEvent(
+                        self.sim.now,
+                        message.server_id,
+                        message.load_ratio,
+                        message.cpu_utilization,
+                        len(message.channels),
+                    )
+                )
+                tracer.metrics.gauge(
+                    "reported_load_ratio", server=message.server_id
+                ).set(message.load_ratio)
         elif isinstance(message, ServerSpawned):
             self._on_server_ready(message.server_id)
         elif isinstance(message, NoMoreSubscribers):
             # stop re-seeding this straggler into future plan pushes
             self._stragglers.drain(message.channel, message.server_id)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    MigrationSettledEvent(self.sim.now, message.channel, message.server_id)
+                )
         else:
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
@@ -124,15 +158,18 @@ class LoadBalancer(Actor):
         self.pending_spawns = max(0, self.pending_spawns - 1)
         self._pool_changed = True
         self.events.append(BalancerEvent(self.sim.now, "server-ready", server_id))
+        if self._tracer.enabled:
+            self._tracer.emit(ServerReadyEvent(self.sim.now, server_id))
 
     # ------------------------------------------------------------------
     # Periodic evaluation
     # ------------------------------------------------------------------
     def _evaluate(self, now: float) -> None:
         self.view.prune(now)
-        self.load_history.append(
-            (now, {s: self.view.load_ratio(s) for s in self.active_servers})
-        )
+        ratios = {s: self.view.load_ratio(s) for s in self.active_servers}
+        self.load_history.append((now, ratios))
+        if self._tracer.enabled:
+            self._tracer.emit(LoadSnapshotEvent(now, dict(ratios)))
 
         waited_enough = (now - self._last_plan_time) >= self.config.t_wait_s
         if not (waited_enough or self._pool_changed):
@@ -171,6 +208,34 @@ class LoadBalancer(Actor):
             )
             self._stragglers.record_plan_change(previous_plan, self.plan, now)
             self._stragglers.prune(now)
+            tracer = self._tracer
+            if tracer.enabled:
+                changed = previous_plan.diff(self.plan)
+                tracer.emit(
+                    PlanGeneratedEvent(
+                        now,
+                        self.plan.version,
+                        tuple(changed),
+                        tuple(decision.decommission),
+                        decision.spawn_servers > 0,
+                    )
+                )
+                for channel, (old, new) in changed.items():
+                    tracer.emit(
+                        MigrationStartEvent(
+                            now,
+                            self.plan.version,
+                            channel,
+                            tuple(old.servers),
+                            tuple(new.servers),
+                            new.mode.value,
+                        )
+                    )
+                tracer.metrics.counter("plans_generated_total").inc()
+                tracer.metrics.gauge("plan_version").set(self.plan.version)
+                tracer.metrics.gauge("plan_size").set(
+                    len(self.plan.explicit_channels())
+                )
             self._push_plan(extra_recipients=decision.decommission)
             if self.config.eager_plan_push:
                 self._eager_push(previous_plan)
@@ -189,6 +254,8 @@ class LoadBalancer(Actor):
         for server_id in decision.decommission:
             self.view.forget_server(server_id)
             self._cloud.request_decommission(server_id)
+            if self._tracer.enabled:
+                self._tracer.emit(DecommissionEvent(now, server_id))
 
     def _maybe_spawn(self) -> None:
         total = len(self.active_servers) + self.pending_spawns
@@ -196,6 +263,8 @@ class LoadBalancer(Actor):
             return
         self.pending_spawns += 1
         self.events.append(BalancerEvent(self.sim.now, "spawn-request"))
+        if self._tracer.enabled:
+            self._tracer.emit(SpawnRequestEvent(self.sim.now))
         self._cloud.request_spawn()
 
     def _push_plan(self, extra_recipients: List[str] = ()) -> None:
@@ -204,6 +273,10 @@ class LoadBalancer(Actor):
         recipients = list(self.active_servers) + list(extra_recipients)
         for server_id in recipients:
             self.send(dispatcher_id(server_id), push, size)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                PlanPushedEvent(self.sim.now, self.plan.version, tuple(recipients))
+            )
 
     def _eager_push(self, previous_plan: Plan) -> None:
         """Strawman propagation: notify *every* client of every change.

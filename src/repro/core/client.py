@@ -35,6 +35,16 @@ from repro.broker.commands import (
 from repro.core.hashing import ConsistentHashRing
 from repro.core.messages import AppEnvelope, MappingNotice, SwitchNotice
 from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.obs.trace import (
+    NULL_TRACER,
+    DeliveryEvent,
+    PlanMissEvent,
+    PublishEvent,
+    SubscribeEvent,
+    Tracer,
+    UnsubscribeEvent,
+    channel_class,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 
@@ -84,12 +94,14 @@ class DynamothClient(Actor):
         *,
         plan_entry_timeout_s: float = 30.0,
         resubscribe_grace_s: float = 0.25,
+        tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, node_id, is_infra=False)
         self._ring = bootstrap_ring
         self._rng = rng
         self._plan_entry_timeout = plan_entry_timeout_s
         self._resubscribe_grace = resubscribe_grace_s
+        self._tracer = tracer
 
         self._entries: Dict[str, _PlanEntry] = {}
         #: consistent-hashing fallback mappings, cached because the
@@ -136,6 +148,11 @@ class DynamothClient(Actor):
             self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
         sub.servers = desired
         self._touch(channel)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                SubscribeEvent(self.sim.now, self.node_id, channel, tuple(sorted(desired)))
+            )
 
     def unsubscribe(self, channel: str) -> None:
         """Drop the subscription to ``channel`` (idempotent)."""
@@ -152,6 +169,9 @@ class DynamothClient(Actor):
             targets |= set(pending.drop) | set(pending.confirm) | pending.awaiting
         for server in sorted(targets):
             self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(UnsubscribeEvent(self.sim.now, self.node_id, channel))
 
     def publish(self, channel: str, body: Any, payload_size: int) -> str:
         """Publish ``body`` on ``channel``; returns the message id."""
@@ -161,10 +181,27 @@ class DynamothClient(Actor):
         envelope = AppEnvelope(msg_id, self.node_id, body, mapping.version, self.sim.now)
         wire_payload = payload_size + AppEnvelope.WIRE_OVERHEAD
         cmd = PublishCmd(channel, envelope, wire_payload)
-        for server in mapping.publish_targets(self._rng):
+        targets = mapping.publish_targets(self._rng)
+        for server in targets:
             self.send(server, cmd, wire_payload)
         self.published += 1
         self._touch(channel)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                PublishEvent(
+                    self.sim.now,
+                    msg_id,
+                    channel,
+                    self.node_id,
+                    mapping.version,
+                    tuple(targets),
+                    payload_size,
+                )
+            )
+            tracer.metrics.counter(
+                "publications_total", channel_class=channel_class(channel)
+            ).inc()
         return msg_id
 
     def is_subscribed(self, channel: str) -> bool:
@@ -206,11 +243,22 @@ class DynamothClient(Actor):
             else:
                 return entry.mapping
         fallback = self._ch_cache.get(channel)
+        tracer = self._tracer
         if fallback is None:
             fallback = ChannelMapping(
                 ReplicationMode.SINGLE, (self._ring.lookup(channel),), 0
             )
             self._ch_cache[channel] = fallback
+            if tracer.enabled:
+                tracer.emit(
+                    PlanMissEvent(
+                        self.sim.now, self.node_id, channel, fallback.servers[0]
+                    )
+                )
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "plan_miss_total", channel_class=channel_class(channel)
+            ).inc()
         return fallback
 
     def _touch(self, channel: str) -> None:
@@ -356,10 +404,29 @@ class DynamothClient(Actor):
             self._apply_mapping(channel, envelope.body.mapping)
             return
 
+        tracer = self._tracer
         if self._is_duplicate(envelope.msg_id):
             self.duplicates += 1
+            if tracer.enabled:
+                tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
             return
         self.delivered += 1
+        if tracer.enabled:
+            latency = self.sim.now - envelope.sent_at
+            tracer.emit(
+                DeliveryEvent(
+                    self.sim.now,
+                    self.node_id,
+                    channel,
+                    envelope.msg_id,
+                    envelope.sender,
+                    latency,
+                    envelope.plan_version,
+                )
+            )
+            tracer.metrics.histogram(
+                "delivery_latency_s", channel_class=channel_class(channel)
+            ).observe(latency)
 
         if envelope.sender == self.node_id and self.on_response_time is not None:
             self.on_response_time(channel, self.sim.now - envelope.sent_at, self.sim.now)

@@ -35,6 +35,8 @@ from repro.core.messages import PlanPush, ServerSpawned
 from repro.core.plan import ChannelMapping, Plan
 from repro.net.latency import LatencyModel
 from repro.net.transport import Transport
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -60,6 +62,7 @@ class DynamothCluster:
         balancer: str = BALANCER_DYNAMOTH,
         wan_model: Optional[LatencyModel] = None,
         lan_model: Optional[LatencyModel] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if initial_servers < 1:
             raise ValueError("initial_servers must be >= 1")
@@ -67,6 +70,11 @@ class DynamothCluster:
         self.broker_config = broker_config if broker_config is not None else BrokerConfig()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
+        #: shared flight recorder; the no-op NULL_TRACER unless one is
+        #: passed in, so untraced runs pay only guard checks.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.attach_kernel(self.sim)
         self.transport = Transport(
             self.sim,
             self.rng.stream("net"),
@@ -98,6 +106,7 @@ class DynamothCluster:
                 self,
                 self.broker_config.nominal_egress_bps,
                 self.rng.stream("balancer"),
+                tracer=self.tracer,
             )
         elif balancer == BALANCER_CONSISTENT_HASHING:
             # Imported lazily to avoid a package cycle.
@@ -111,18 +120,28 @@ class DynamothCluster:
                 self,
                 self.broker_config.nominal_egress_bps,
                 self.rng.stream("balancer"),
+                tracer=self.tracer,
             )
         elif balancer != BALANCER_NONE:
             raise ValueError(f"unknown balancer kind: {balancer!r}")
 
         if self.balancer is not None:
             self.transport.register(self.balancer)
+            self._wire_tap(self.balancer)
 
         for server_id in bootstrap_ids:
             self._materialize_server(server_id)
 
         if self.balancer is not None:
             self.balancer.start()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _wire_tap(self, actor: Actor) -> None:
+        """Attach the tracer's per-message tap when tracing is enabled."""
+        if self.tracer.enabled:
+            actor.tap = self.tracer.message_tap
 
     # ------------------------------------------------------------------
     # Server pool
@@ -133,9 +152,10 @@ class DynamothCluster:
 
     def _materialize_server(self, server_id: str) -> PubSubServer:
         """Create and wire a pub/sub server node plus its LLA/dispatcher."""
-        server = PubSubServer(self.sim, server_id, self.broker_config)
+        server = PubSubServer(self.sim, server_id, self.broker_config, tracer=self.tracer)
         port = self.transport.register(server, self.broker_config.actual_egress_bps)
         self.servers[server_id] = server
+        self._wire_tap(server)
 
         current_plan = self.balancer.plan if self.balancer is not None else self.plan
         dispatcher = Dispatcher(
@@ -144,9 +164,11 @@ class DynamothCluster:
             current_plan,
             self.rng.stream(f"dispatcher:{server_id}"),
             plan_entry_timeout_s=self.config.plan_entry_timeout_s,
+            tracer=self.tracer,
         )
         self.transport.register(dispatcher)
         self.dispatchers[server_id] = dispatcher
+        self._wire_tap(dispatcher)
 
         lla = LocalLoadAnalyzer(
             self.sim,
@@ -154,9 +176,11 @@ class DynamothCluster:
             port,
             LB_NODE_ID,
             report_interval_s=self.config.lla_report_interval_s,
+            tracer=self.tracer,
         )
         self.transport.register(lla)
         self.llas[server_id] = lla
+        self._wire_tap(lla)
         self._server_started[server_id] = self.sim.now
         if self.balancer is not None:
             lla.start()
@@ -233,9 +257,11 @@ class DynamothCluster:
             self.rng.stream(f"client:{client_id}"),
             plan_entry_timeout_s=self.config.plan_entry_timeout_s,
             resubscribe_grace_s=self.config.resubscribe_grace_s,
+            tracer=self.tracer,
         )
         self.transport.register(client)
         self.clients[client_id] = client
+        self._wire_tap(client)
         return client
 
     def remove_client(self, client_id: str) -> None:

@@ -43,6 +43,12 @@ from repro.core.messages import (
     SwitchNotice,
 )
 from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.obs.trace import (
+    NULL_TRACER,
+    PlanAppliedEvent,
+    SwitchNoticeEvent,
+    Tracer,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 
@@ -80,12 +86,14 @@ class Dispatcher(Actor):
         rng: random.Random,
         *,
         plan_entry_timeout_s: float = 30.0,
+        tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, dispatcher_id(server.node_id), is_infra=True)
         self.server = server
         self.plan = initial_plan
         self._rng = rng
         self._timeout = plan_entry_timeout_s
+        self._tracer = tracer
 
         self._watch: Dict[str, _Watch] = {}
         #: the balancer node id, learned from plan pushes (drain
@@ -166,10 +174,18 @@ class Dispatcher(Actor):
         forwarded = envelope.as_forwarded()
         self.send(dst, PublishCmd(channel, forwarded, payload_size), payload_size)
         self.forwarded_publications += 1
+        if self._tracer.enabled:
+            self._tracer.metrics.counter(
+                "forwarded_publications_total", server=self.server.node_id
+            ).inc()
 
     def _redirect(self, client_id: str, channel: str, mapping: ChannelMapping) -> None:
         self.send(client_id, MappingNotice(channel, mapping), MappingNotice.WIRE_SIZE)
         self.redirects_sent += 1
+        if self._tracer.enabled:
+            self._tracer.metrics.counter(
+                "redirects_total", server=self.server.node_id
+            ).inc()
 
     def _maybe_switch_notice(self, channel: str, mapping: ChannelMapping) -> None:
         """Publish a switch notice locally, once per (channel, version)."""
@@ -189,6 +205,13 @@ class Dispatcher(Actor):
         cmd = PublishCmd(channel, envelope, SwitchNotice.WIRE_SIZE)
         self.send(self.server.node_id, cmd, SwitchNotice.WIRE_SIZE)
         self.switch_notices_sent += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                SwitchNoticeEvent(
+                    self.sim.now, self.server.node_id, channel, mapping.version
+                )
+            )
 
     # ------------------------------------------------------------------
     # Plan pushes
@@ -213,6 +236,10 @@ class Dispatcher(Actor):
         self.plan = new_plan
         self._mapping_cache.clear()
         self.plans_received += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                PlanAppliedEvent(self.sim.now, self.node_id, new_plan.version)
+            )
 
         if pushed_stragglers:
             # Merge the balancer's plan-history view: it covers moves that

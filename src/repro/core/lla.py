@@ -23,6 +23,7 @@ from typing import Any, Dict, Set
 from repro.broker.server import PubSubServer
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
 from repro.net.link import EgressPort
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTask
@@ -50,12 +51,14 @@ class LocalLoadAnalyzer(Actor):
         balancer_id: str,
         *,
         report_interval_s: float = 1.0,
+        tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, f"lla@{server.node_id}", is_infra=True)
         self.server = server
         self._port = egress_port
         self._balancer_id = balancer_id
         self.report_interval_s = report_interval_s
+        self._tracer = tracer
 
         self._accumulators: Dict[str, _ChannelAccumulator] = {}
         self._window_start = sim.now
@@ -129,6 +132,16 @@ class LocalLoadAnalyzer(Actor):
         size = LoadReport.WIRE_SIZE + 64 * len(snapshots)
         self.send(self._balancer_id, report, size)
         self.reports_sent += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("load_reports_total", server=self.server.node_id).inc()
+            metrics.gauge("measured_load_ratio", server=self.server.node_id).set(
+                report.load_ratio
+            )
+            metrics.gauge("cpu_utilization", server=self.server.node_id).set(
+                report.cpu_utilization
+            )
 
         self._accumulators.clear()
         self._window_start = now

@@ -85,7 +85,7 @@ class LoadEstimator:
             }
             cpu = view.cpu_utilization(server)
             self._cpu[server] = cpu
-            total_msgs = sum(l.messages_out_per_s for l in loads.values())
+            total_msgs = sum(load.messages_out_per_s for load in loads.values())
             if cpu > 0 and total_msgs > 0:
                 # Attribute CPU to channels proportionally to their
                 # delivery counts (deliveries dominate publish costs).

@@ -11,21 +11,45 @@ Regenerate any of the paper's figures from a shell::
 
 Each subcommand prints the same table the corresponding benchmark prints,
 so results can be regenerated without pytest.
+
+Every figure subcommand also accepts ``--trace PATH``: the run is then
+executed with the flight recorder attached and a JSONL trace written to
+PATH, ready for ``python -m repro.obs summary PATH``.  Tracing does not
+change the simulation -- the printed tables are byte-identical with and
+without it.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.cluster import BALANCER_CONSISTENT_HASHING, BALANCER_DYNAMOTH
 from repro.experiments import experiment1, experiment2, experiment3, report
+from repro.obs.export import dump_tracer
+from repro.obs.trace import Tracer
+
+logger = logging.getLogger(__name__)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a flight-recorder trace of the run to a JSONL file "
+        "(inspect it with: python -m repro.obs summary PATH)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log progress to stderr while the simulation runs",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,22 +105,58 @@ def _scalability_config(args) -> "experiment2.ScalabilityConfig":
     return replace(config, seed=args.seed)
 
 
+def _make_tracer(args) -> Optional[Tracer]:
+    if not args.trace:
+        return None
+    # Fail before the (long) simulation, not at dump time afterwards.
+    try:
+        with open(args.trace, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace file: {exc}")
+    return Tracer()
+
+
+def _dump(tracer: Optional[Tracer], args) -> None:
+    if tracer is None:
+        return
+    count = dump_tracer(tracer, args.trace)
+    logger.info("wrote %d trace events to %s", count, args.trace)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    tracer = _make_tracer(args)
 
     if args.command == "fig4a":
-        result = experiment1.run_fig4a(args.levels, seed=args.seed, measure_s=args.measure_s)
+        result = experiment1.run_fig4a(
+            args.levels, seed=args.seed, measure_s=args.measure_s, tracer=tracer
+        )
+        _dump(tracer, args)
         print(report.render_figure4(result, "Figure 4a -- all-publishers replication"))
     elif args.command == "fig4b":
-        result = experiment1.run_fig4b(args.levels, seed=args.seed, measure_s=args.measure_s)
+        result = experiment1.run_fig4b(
+            args.levels, seed=args.seed, measure_s=args.measure_s, tracer=tracer
+        )
+        _dump(tracer, args)
         print(report.render_figure4(result, "Figure 4b -- all-subscribers replication"))
     elif args.command == "fig5":
         config = _scalability_config(args)
-        print(f"running Dynamoth ({config.end_players} players max)...", file=sys.stderr)
-        dynamoth = experiment2.run_scalability(config, balancer=BALANCER_DYNAMOTH)
+        logger.info("running Dynamoth (%d players max)...", config.end_players)
+        # The trace follows the Dynamoth run; the consistent-hashing
+        # comparison run is untraced.
+        dynamoth = experiment2.run_scalability(
+            config, balancer=BALANCER_DYNAMOTH, tracer=tracer
+        )
+        _dump(tracer, args)
         hashing = None
         if not args.dynamoth_only:
-            print("running consistent hashing...", file=sys.stderr)
+            logger.info("running consistent hashing...")
             hashing = experiment2.run_scalability(
                 config, balancer=BALANCER_CONSISTENT_HASHING
             )
@@ -108,8 +168,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.render_headline(experiment2.HeadlineComparison(dynamoth, hashing)))
     elif args.command == "headline":
         config = _scalability_config(args)
-        comparison = experiment2.run_headline_comparison(config)
-        print(report.render_headline(comparison))
+        logger.info("running Dynamoth (%d players max)...", config.end_players)
+        dynamoth = experiment2.run_scalability(
+            config, balancer=BALANCER_DYNAMOTH, tracer=tracer
+        )
+        _dump(tracer, args)
+        logger.info("running consistent hashing...")
+        hashing = experiment2.run_scalability(config, balancer=BALANCER_CONSISTENT_HASHING)
+        print(report.render_headline(experiment2.HeadlineComparison(dynamoth, hashing)))
     elif args.command == "fig7":
         if args.paper_scale:
             config = experiment3.ElasticityConfig.paper_scale()
@@ -125,7 +191,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 plan_entry_timeout_s=15.0,
             )
         config = replace(config, seed=args.seed)
-        result = experiment3.run_elasticity(config)
+        logger.info("running elasticity scenario...")
+        result = experiment3.run_elasticity(config, tracer=tracer)
+        _dump(tracer, args)
         print(report.render_figure7(result))
     return 0
 

@@ -31,6 +31,7 @@ from repro.broker.config import BrokerConfig
 from repro.core.cluster import BALANCER_NONE, DynamothCluster
 from repro.core.config import DynamothConfig
 from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.obs.trace import Tracer
 from repro.workload.microbench import FanInWorkload, FanOutWorkload
 
 CHANNEL = "hotspot"
@@ -88,7 +89,9 @@ class Experiment1Result:
         return [p for p in self.points if p.replicated == replicated]
 
 
-def _build_cluster(broker_config: BrokerConfig, seed: int) -> DynamothCluster:
+def _build_cluster(
+    broker_config: BrokerConfig, seed: int, tracer: Optional[Tracer] = None
+) -> DynamothCluster:
     config = DynamothConfig(max_servers=3, min_servers=3)
     return DynamothCluster(
         seed=seed,
@@ -96,6 +99,7 @@ def _build_cluster(broker_config: BrokerConfig, seed: int) -> DynamothCluster:
         broker_config=broker_config,
         initial_servers=3,
         balancer=BALANCER_NONE,
+        tracer=tracer,
     )
 
 
@@ -115,9 +119,10 @@ def run_fig4a_point(
     seed: int = 0,
     warmup_s: float = 5.0,
     measure_s: float = 15.0,
+    tracer: Optional[Tracer] = None,
 ) -> ReplicationPoint:
     """Measure one subscriber-count level of Figure 4a."""
-    cluster = _build_cluster(fanout_broker_config(), seed)
+    cluster = _build_cluster(fanout_broker_config(), seed, tracer)
     _static_mapping(cluster, replicated, ReplicationMode.ALL_PUBLISHERS)
     workload = FanOutWorkload(cluster, CHANNEL, n_subscribers)
     cluster.run_until(1.0)  # let subscriptions land
@@ -142,9 +147,10 @@ def run_fig4b_point(
     seed: int = 0,
     warmup_s: float = 5.0,
     measure_s: float = 15.0,
+    tracer: Optional[Tracer] = None,
 ) -> ReplicationPoint:
     """Measure one publisher-count level of Figure 4b."""
-    cluster = _build_cluster(fanin_broker_config(), seed)
+    cluster = _build_cluster(fanin_broker_config(), seed, tracer)
     _static_mapping(cluster, replicated, ReplicationMode.ALL_SUBSCRIBERS)
     workload = FanInWorkload(cluster, CHANNEL, n_publishers)
     cluster.run_until(1.0)
@@ -166,26 +172,38 @@ DEFAULT_LEVELS = (100, 200, 300, 400, 500, 600, 700, 800)
 
 
 def run_fig4a(
-    levels: Sequence[int] = DEFAULT_LEVELS, *, seed: int = 0, measure_s: float = 15.0
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    *,
+    seed: int = 0,
+    measure_s: float = 15.0,
+    tracer: Optional[Tracer] = None,
 ) -> Experiment1Result:
     """The full Figure 4a sweep: both configurations over all levels."""
     result = Experiment1Result("fig4a")
     for replicated in (False, True):
         for level in levels:
             result.points.append(
-                run_fig4a_point(level, replicated, seed=seed, measure_s=measure_s)
+                run_fig4a_point(
+                    level, replicated, seed=seed, measure_s=measure_s, tracer=tracer
+                )
             )
     return result
 
 
 def run_fig4b(
-    levels: Sequence[int] = DEFAULT_LEVELS, *, seed: int = 0, measure_s: float = 15.0
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    *,
+    seed: int = 0,
+    measure_s: float = 15.0,
+    tracer: Optional[Tracer] = None,
 ) -> Experiment1Result:
     """The full Figure 4b sweep: both configurations over all levels."""
     result = Experiment1Result("fig4b")
     for replicated in (False, True):
         for level in levels:
             result.points.append(
-                run_fig4b_point(level, replicated, seed=seed, measure_s=measure_s)
+                run_fig4b_point(
+                    level, replicated, seed=seed, measure_s=measure_s, tracer=tracer
+                )
             )
     return result

@@ -37,6 +37,7 @@ from repro.core.cluster import (
 )
 from repro.core.config import DynamothConfig
 from repro.experiments.records import BucketedStat, Sampler, SeriesRecorder
+from repro.obs.trace import Tracer
 from repro.workload.rgame import RGameConfig, RGameWorkload
 from repro.workload.schedules import ramp
 
@@ -176,6 +177,7 @@ def run_scalability(
     config: Optional[ScalabilityConfig] = None,
     *,
     balancer: str = BALANCER_DYNAMOTH,
+    tracer: Optional[Tracer] = None,
 ) -> ScalabilityResult:
     """One full Experiment 2 run under the given balancer."""
     config = config if config is not None else ScalabilityConfig()
@@ -185,6 +187,7 @@ def run_scalability(
         broker_config=config.broker_config(),
         initial_servers=config.initial_servers,
         balancer=balancer,
+        tracer=tracer,
     )
 
     rtt = BucketedStat()

@@ -21,6 +21,7 @@ from repro.broker.config import BrokerConfig
 from repro.core.cluster import BALANCER_DYNAMOTH, DynamothCluster
 from repro.core.config import DynamothConfig
 from repro.experiments.records import BucketedStat, Sampler, SeriesRecorder
+from repro.obs.trace import Tracer
 from repro.workload.rgame import RGameConfig, RGameWorkload
 from repro.workload.schedules import PopulationSchedule, steps
 
@@ -151,7 +152,11 @@ class ElasticityResult:
         return after < peak
 
 
-def run_elasticity(config: Optional[ElasticityConfig] = None) -> ElasticityResult:
+def run_elasticity(
+    config: Optional[ElasticityConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> ElasticityResult:
     """One full Experiment 3 run (Dynamoth balancer)."""
     config = config if config is not None else ElasticityConfig()
     cluster = DynamothCluster(
@@ -160,6 +165,7 @@ def run_elasticity(config: Optional[ElasticityConfig] = None) -> ElasticityResul
         broker_config=config.broker_config(),
         initial_servers=config.initial_servers,
         balancer=BALANCER_DYNAMOTH,
+        tracer=tracer,
     )
 
     rtt = BucketedStat()

@@ -1,0 +1,30 @@
+"""Observability: the flight recorder every component can emit into.
+
+Three pieces:
+
+* :mod:`repro.obs.trace` -- typed, timestamped trace events and the
+  :class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.trace.NullTracer`
+  pair components emit through;
+* :mod:`repro.obs.metrics` -- the label-aware counter / gauge / histogram
+  registry shared through the tracer;
+* :mod:`repro.obs.export` + :mod:`repro.obs.cli` -- JSONL export with a
+  stable schema and the ``python -m repro.obs summary`` analysis command.
+"""
+
+from repro.obs.export import dump_tracer, read_trace, write_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, channel_class
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "channel_class",
+    "dump_tracer",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,283 @@
+"""Trace-analysis CLI: ``python -m repro.obs summary <trace.jsonl>``.
+
+Loads a JSONL trace produced by :mod:`repro.obs.export` and prints a run
+summary:
+
+* delivery-latency percentiles, overall and per *phase* (a phase is the
+  interval between two consecutive plan generations -- the natural unit for
+  "did the reconfiguration hurt latency?");
+* the reconfiguration timeline: every plan version with the channels it
+  moved and how long the migration took to settle;
+* per-server load-ratio series rendered as compact sparklines;
+* the top-N hottest channels by deliveries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import read_trace
+from repro.obs.trace import (
+    DecommissionEvent,
+    DeliveryEvent,
+    FanoutEvent,
+    LoadSnapshotEvent,
+    MigrationSettledEvent,
+    MigrationStartEvent,
+    PlanGeneratedEvent,
+    ServerReadyEvent,
+    TraceEvent,
+)
+
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Exact percentile (q in [0, 100]) of a sample list, nearest-rank."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def sparkline(values: Sequence[float], width: int = 32, ceiling: Optional[float] = None) -> str:
+    """Downsample ``values`` to ``width`` columns of block characters."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Mean-pool each column so spikes are averaged, not dropped.
+        pooled = []
+        for column in range(width):
+            lo = column * len(values) // width
+            hi = max(lo + 1, (column + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    top = ceiling if ceiling is not None else max(values)
+    if top <= 0:
+        return SPARK_LEVELS[1] * len(values)
+    steps = len(SPARK_LEVELS) - 1
+    out = []
+    for value in values:
+        level = min(steps, max(1, 1 + int(value / top * (steps - 1))))
+        out.append(SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return f"{seconds * 1000:8.2f}ms" if seconds is not None else "       --"
+
+
+class TraceSummary:
+    """All derived views of one loaded trace."""
+
+    def __init__(self, events: List[TraceEvent]):
+        self.events = events
+        self.deliveries: List[DeliveryEvent] = [
+            e for e in events if isinstance(e, DeliveryEvent)
+        ]
+        self.fanouts: List[FanoutEvent] = [e for e in events if isinstance(e, FanoutEvent)]
+        self.plans: List[PlanGeneratedEvent] = [
+            e for e in events if isinstance(e, PlanGeneratedEvent)
+        ]
+        self.migrations: List[MigrationStartEvent] = [
+            e for e in events if isinstance(e, MigrationStartEvent)
+        ]
+        self.settlements: List[MigrationSettledEvent] = [
+            e for e in events if isinstance(e, MigrationSettledEvent)
+        ]
+        self.load_snapshots: List[LoadSnapshotEvent] = [
+            e for e in events if isinstance(e, LoadSnapshotEvent)
+        ]
+
+    @property
+    def duration(self) -> float:
+        return max((e.t for e in self.events), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Phases: intervals between plan generations
+    # ------------------------------------------------------------------
+    def phases(self) -> List[Tuple[float, float, int]]:
+        """``(start, end, plan_version)`` windows covering the whole run."""
+        end = self.duration
+        if not self.plans:
+            return [(0.0, end, 0)]
+        out = []
+        initial_version = max(0, self.plans[0].version - 1)
+        boundaries = [(0.0, initial_version)] + [(p.t, p.version) for p in self.plans]
+        for index, (start, version) in enumerate(boundaries):
+            stop = boundaries[index + 1][0] if index + 1 < len(boundaries) else end
+            out.append((start, stop, version))
+        return out
+
+    def settle_time(self, plan: PlanGeneratedEvent) -> Optional[float]:
+        """Seconds from plan generation until its last migration settled."""
+        channels = set(plan.channels_changed)
+        if not channels:
+            return None
+        next_plan_t = min((p.t for p in self.plans if p.t > plan.t), default=float("inf"))
+        settled = [
+            s.t
+            for s in self.settlements
+            if s.channel in channels and plan.t <= s.t < next_plan_t
+        ]
+        return max(settled) - plan.t if settled else None
+
+    # ------------------------------------------------------------------
+    # Channel and server aggregates
+    # ------------------------------------------------------------------
+    def hottest_channels(self, top: int) -> List[Tuple[str, int, float]]:
+        """``(channel, deliveries, p99 latency)`` ordered hottest first."""
+        counts: Dict[str, int] = defaultdict(int)
+        latencies: Dict[str, List[float]] = defaultdict(list)
+        for event in self.deliveries:
+            counts[event.channel] += 1
+            latencies[event.channel].append(event.latency_s)
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        return [
+            (channel, count, percentile(latencies[channel], 99) or 0.0)
+            for channel, count in ranked
+        ]
+
+    def load_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        for snap in self.load_snapshots:
+            for server, ratio in snap.ratios.items():
+                series[server].append((snap.t, ratio))
+        return dict(series)
+
+
+def render_summary(summary: TraceSummary, top: int = 5) -> str:
+    lines: List[str] = []
+    out = lines.append
+    out(
+        f"trace: {len(summary.events)} events over "
+        f"{summary.duration:.1f} sim-seconds"
+    )
+
+    # --- delivery latency, overall + per phase ---
+    all_latencies = [e.latency_s for e in summary.deliveries]
+    out("")
+    out(f"delivery latency ({len(all_latencies)} deliveries)")
+    out(
+        f"  overall          n={len(all_latencies):>7}  "
+        f"p50={_fmt_ms(percentile(all_latencies, 50))}  "
+        f"p99={_fmt_ms(percentile(all_latencies, 99))}  "
+        f"max={_fmt_ms(max(all_latencies) if all_latencies else None)}"
+    )
+    phases = summary.phases()
+    if len(phases) > 1:
+        out("  per phase (between plan generations):")
+        for start, stop, version in phases:
+            window = [
+                e.latency_s for e in summary.deliveries if start <= e.t < stop
+            ]
+            out(
+                f"    plan v{version:<3} [{start:8.1f}s, {stop:8.1f}s)  "
+                f"n={len(window):>7}  "
+                f"p50={_fmt_ms(percentile(window, 50))}  "
+                f"p99={_fmt_ms(percentile(window, 99))}"
+            )
+
+    # --- reconfiguration timeline ---
+    out("")
+    if summary.plans:
+        out(f"reconfiguration timeline ({len(summary.plans)} plan generations)")
+        moved_by_version: Dict[int, List[MigrationStartEvent]] = defaultdict(list)
+        for migration in summary.migrations:
+            moved_by_version[migration.version].append(migration)
+        for plan in summary.plans:
+            settle = summary.settle_time(plan)
+            settle_text = f"settled +{settle:.2f}s" if settle is not None else "no settle signal"
+            details = []
+            for migration in moved_by_version.get(plan.version, [])[:3]:
+                details.append(
+                    f"{migration.channel}: {','.join(migration.from_servers)}"
+                    f" -> {','.join(migration.to_servers)} ({migration.mode})"
+                )
+            moved = len(plan.channels_changed)
+            extra = f" +{moved - 3} more" if moved > 3 else ""
+            flags = []
+            if plan.spawn_requested:
+                flags.append("spawn requested")
+            if plan.decommissioned:
+                flags.append(f"decommission {','.join(plan.decommissioned)}")
+            flag_text = f"  [{'; '.join(flags)}]" if flags else ""
+            out(
+                f"  t={plan.t:8.2f}s  plan v{plan.version:<3} "
+                f"{moved} channel(s) moved, {settle_text}{flag_text}"
+            )
+            for detail in details:
+                out(f"             {detail}{extra and ''}")
+            if extra:
+                out(f"             ...{extra}")
+        ready = [e for e in summary.events if isinstance(e, ServerReadyEvent)]
+        gone = [e for e in summary.events if isinstance(e, DecommissionEvent)]
+        if ready or gone:
+            out(
+                f"  elasticity: {len(ready)} server(s) spawned, "
+                f"{len(gone)} decommissioned"
+            )
+    else:
+        out("reconfiguration timeline: no plan generations recorded")
+
+    # --- per-server load ratios ---
+    out("")
+    series = summary.load_series()
+    if series:
+        out("per-server load ratio (window-averaged, one sample per eval tick)")
+        ceiling = max(
+            (ratio for points in series.values() for __, ratio in points), default=1.0
+        )
+        ceiling = max(ceiling, 1e-9)
+        for server in sorted(series):
+            values = [ratio for __, ratio in series[server]]
+            out(
+                f"  {server:<10} n={len(values):>5}  "
+                f"min={min(values):5.2f}  mean={sum(values) / len(values):5.2f}  "
+                f"max={max(values):5.2f}  {sparkline(values, ceiling=ceiling)}"
+            )
+    else:
+        out("per-server load ratio: no load snapshots recorded")
+
+    # --- hottest channels ---
+    out("")
+    hottest = summary.hottest_channels(top)
+    if hottest:
+        out(f"hottest channels (top {len(hottest)} by deliveries)")
+        for channel, count, p99 in hottest:
+            out(f"  {channel:<16} {count:>8} deliveries  p99={_fmt_ms(p99)}")
+    else:
+        out("hottest channels: no deliveries recorded")
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze Dynamoth flight-recorder traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("summary", help="print a run summary of a JSONL trace")
+    p.add_argument("trace", help="path to a trace.jsonl file")
+    p.add_argument("--top", type=int, default=5, help="hottest channels to list")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "summary":
+        try:
+            events = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            print(render_summary(TraceSummary(events), top=args.top))
+        except BrokenPipeError:  # e.g. piped into head; not an error
+            return 0
+    return 0

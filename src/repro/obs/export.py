@@ -1,0 +1,93 @@
+"""JSONL trace export and loading.
+
+Schema (one JSON object per line):
+
+* Line 1 is a header: ``{"type": "trace_header", "schema": 1}``.
+* Every following line is one event: ``{"type": "<tag>", "t": <float>, ...}``
+  where ``<tag>`` is a key of :data:`repro.obs.trace.EVENT_TYPES` and the
+  remaining keys are that event dataclass's fields (tuples serialized as
+  JSON arrays).
+* When exported through :func:`dump_tracer`, the final line is a
+  ``metrics`` event embedding a full registry snapshot.
+
+The loader reconstructs typed event objects, so a write/read cycle is
+lossless (``loaded == original`` field for field); unknown event types in
+*newer* traces are skipped rather than failing, keeping old readers usable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.trace import EVENT_TYPES, MetricsEvent, TraceEvent, Tracer
+
+SCHEMA_VERSION = 1
+HEADER_TYPE = "trace_header"
+
+
+def event_to_json(event: TraceEvent) -> str:
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    cls = EVENT_TYPES.get(data.get("type", ""))
+    if cls is None:
+        raise ValueError(f"unknown trace event type: {data.get('type')!r}")
+    return cls.from_dict(data)
+
+
+def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
+    """Write ``events`` as JSONL; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": HEADER_TYPE, "schema": SCHEMA_VERSION}) + "\n")
+        for event in events:
+            fh.write(event_to_json(event) + "\n")
+            count += 1
+    return count
+
+
+def dump_tracer(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Export a tracer's events plus a final metrics snapshot."""
+    trailer = MetricsEvent(t=_last_time(tracer.events), data=tracer.metrics.snapshot())
+    return write_trace(path, list(tracer.events) + [trailer])
+
+
+def _last_time(events: List[TraceEvent]) -> float:
+    return events[-1].t if events else 0.0
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace back into typed event objects.
+
+    Validates the header, tolerates (skips) event types this version does
+    not know, and raises ``ValueError`` on malformed input.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("type") != HEADER_TYPE:
+            raise ValueError(f"{path}: missing trace header")
+        if header.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported schema {header.get('schema')!r} "
+                f"(reader supports {SCHEMA_VERSION})"
+            )
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            cls = EVENT_TYPES.get(data.get("type", ""))
+            if cls is None:
+                continue  # forward compatibility: newer writers add types
+            try:
+                events.append(cls.from_dict(data))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed event: {exc}") from exc
+    return events

@@ -1,0 +1,235 @@
+"""Metrics registry: named counters, gauges and log-bucketed histograms.
+
+The registry is the *aggregated* half of the flight recorder (the event
+trace in :mod:`repro.obs.trace` is the other).  Instruments are created
+lazily on first use and identified by a name plus an optional label set::
+
+    registry.counter("deliveries_total", server="pub1").inc()
+    registry.histogram("delivery_latency_s", channel_class="tile").observe(0.012)
+
+Histograms are HDR-style: a fixed array of geometrically growing buckets,
+so memory stays constant no matter how many samples are recorded and
+percentile queries are deterministic (no reservoir sampling).  The relative
+error of a percentile estimate is bounded by the bucket growth factor.
+
+:meth:`MetricsRegistry.snapshot` renders everything into plain dicts with
+stable, sorted ``name{label=value,...}`` keys -- suitable for JSON export,
+assertions in tests, and per-sim-second sampling by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+#: Canonical instrument key: (name, sorted (label, value) pairs).
+InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> InstrumentKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_key(key: InstrumentKey) -> str:
+    """Render ``(name, labels)`` as ``name{k=v,...}`` (no braces unlabeled)."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (set to the latest observation)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-memory log-bucketed histogram.
+
+    Bucket ``i >= 1`` covers ``(min_value * factor**(i-1), min_value * factor**i]``;
+    bucket 0 catches everything at or below ``min_value``; the last bucket
+    absorbs overflow.  With the defaults (1 microsecond lower bound, factor
+    2, 64 buckets) the range extends far past any simulated latency while
+    keeping percentile estimates within 2x -- tightened further by clamping
+    to the exact observed min/max.
+    """
+
+    __slots__ = ("_counts", "count", "sum", "min", "max", "_min_value", "_inv_log_factor", "_factor")
+
+    DEFAULT_MIN = 1e-6
+    DEFAULT_FACTOR = 2.0
+    DEFAULT_BUCKETS = 64
+
+    def __init__(
+        self,
+        min_value: float = DEFAULT_MIN,
+        factor: float = DEFAULT_FACTOR,
+        buckets: int = DEFAULT_BUCKETS,
+    ):
+        if min_value <= 0 or factor <= 1 or buckets < 2:
+            raise ValueError("need min_value > 0, factor > 1, buckets >= 2")
+        self._counts: List[int] = [0] * buckets
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._min_value = min_value
+        self._factor = factor
+        self._inv_log_factor = 1.0 / math.log(factor)
+
+    def observe(self, value: float) -> None:
+        if value <= self._min_value:
+            index = 0
+        else:
+            index = 1 + int(math.log(value / self._min_value) * self._inv_log_factor)
+            last = len(self._counts) - 1
+            if index > last:
+                index = last
+        self._counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated value at percentile ``q`` (0..100)."""
+        if not self.count:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q!r}")
+        # The extremes are tracked exactly; don't pay the bucket error there.
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
+        rank = q / 100.0 * (self.count - 1)
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative > rank:
+                estimate = self._bucket_midpoint(index)
+                # Exact extremes beat the bucket estimate at the edges.
+                assert self.min is not None and self.max is not None
+                return min(self.max, max(self.min, estimate))
+        return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    def _bucket_midpoint(self, index: int) -> float:
+        if index == 0:
+            return self._min_value
+        lower = self._min_value * self._factor ** (index - 1)
+        return lower * math.sqrt(self._factor)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily created, label-aware instruments plus on-demand snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[InstrumentKey, Counter] = {}
+        self._gauges: Dict[InstrumentKey, Gauge] = {}
+        self._histograms: Dict[InstrumentKey, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------
+    def _check_kind(self, name: str, kind: str) -> None:
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise ValueError(f"metric {name!r} already registered as a {existing}")
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            self._check_kind(name, "counter")
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            self._check_kind(name, "gauge")
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        min_value: float = Histogram.DEFAULT_MIN,
+        factor: float = Histogram.DEFAULT_FACTOR,
+        buckets: int = Histogram.DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            self._check_kind(name, "histogram")
+            instrument = self._histograms[key] = Histogram(min_value, factor, buckets)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything, as plain JSON-serializable dicts with stable keys."""
+        return {
+            "counters": {
+                format_key(k): c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {format_key(k): g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                format_key(k): h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        instrument = self._counters.get(_key(name, labels))
+        return instrument.value if instrument is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family over all label sets."""
+        return sum(c.value for (n, __), c in self._counters.items() if n == name)

@@ -1,0 +1,345 @@
+"""Event tracing: the flight recorder's raw, typed timeline.
+
+A :class:`Tracer` collects cheap timestamped dataclass events emitted by
+every layer of the stack -- the publication lifecycle (publish, broker
+fan-out, delivery with hop latency), control-plane actions (load reports,
+plan generation and pushes, migrations starting and settling, elasticity)
+and client lifecycle (subscribe/unsubscribe, plan-miss fallbacks).
+
+The default everywhere is :data:`NULL_TRACER`, a :class:`NullTracer` whose
+``enabled`` flag is ``False``.  Instrumented hot paths guard event
+construction behind that flag::
+
+    tr = self._tracer
+    if tr.enabled:
+        tr.emit(DeliveryEvent(...))
+
+so an untraced run performs one attribute check per hook and allocates
+nothing.  Tracing never touches any RNG stream or schedules simulator
+events, which keeps traced and untraced runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def channel_class(channel: str) -> str:
+    """Low-cardinality label for a channel name.
+
+    The namespace prefix before the first ``:`` (``tile:3:4`` -> ``tile``),
+    with any trailing digits stripped so unprefixed families like
+    ``room17`` collapse to ``room``.
+    """
+    prefix = channel.split(":", 1)[0]
+    stripped = prefix.rstrip("0123456789")
+    return stripped if stripped else prefix
+
+
+@dataclass
+class TraceEvent:
+    """Base event: every record carries the virtual timestamp ``t``."""
+
+    TYPE = "event"
+
+    t: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": self.TYPE}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        kwargs = {}
+        for f in fields(cls):
+            value = data[f.name]
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Data-plane events (publication lifecycle)
+# ----------------------------------------------------------------------
+@dataclass
+class PublishEvent(TraceEvent):
+    """A client handed a publication to the broker layer."""
+
+    TYPE = "publish"
+
+    msg_id: str
+    channel: str
+    sender: str
+    plan_version: int
+    targets: Tuple[str, ...]
+    payload_size: int
+
+
+@dataclass
+class FanoutEvent(TraceEvent):
+    """A broker finished processing a publication and fanned it out."""
+
+    TYPE = "fanout"
+
+    server: str
+    channel: str
+    msg_id: Optional[str]
+    fanout: int
+    wire_bytes: int
+
+
+@dataclass
+class DeliveryEvent(TraceEvent):
+    """A client received a (non-duplicate) application publication."""
+
+    TYPE = "delivery"
+
+    client: str
+    channel: str
+    msg_id: str
+    sender: str
+    latency_s: float
+    plan_version: int
+
+
+# ----------------------------------------------------------------------
+# Client lifecycle events
+# ----------------------------------------------------------------------
+@dataclass
+class SubscribeEvent(TraceEvent):
+    TYPE = "subscribe"
+
+    client: str
+    channel: str
+    servers: Tuple[str, ...]
+
+
+@dataclass
+class UnsubscribeEvent(TraceEvent):
+    TYPE = "unsubscribe"
+
+    client: str
+    channel: str
+
+
+@dataclass
+class PlanMissEvent(TraceEvent):
+    """A client had no plan entry and fell back to consistent hashing."""
+
+    TYPE = "plan_miss"
+
+    client: str
+    channel: str
+    server: str
+
+
+# ----------------------------------------------------------------------
+# Control-plane events
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReportEvent(TraceEvent):
+    """The balancer ingested one LLA report."""
+
+    TYPE = "load_report"
+
+    server: str
+    load_ratio: float
+    cpu_utilization: float
+    channel_count: int
+
+
+@dataclass
+class LoadSnapshotEvent(TraceEvent):
+    """One balancer evaluation tick: window-averaged LR per active server."""
+
+    TYPE = "load_snapshot"
+
+    ratios: Dict[str, float]
+
+
+@dataclass
+class PlanGeneratedEvent(TraceEvent):
+    """The balancer produced a new plan version."""
+
+    TYPE = "plan_generated"
+
+    version: int
+    channels_changed: Tuple[str, ...]
+    decommissioned: Tuple[str, ...]
+    spawn_requested: bool
+
+
+@dataclass
+class PlanPushedEvent(TraceEvent):
+    TYPE = "plan_pushed"
+
+    version: int
+    recipients: Tuple[str, ...]
+
+
+@dataclass
+class MigrationStartEvent(TraceEvent):
+    """One channel's mapping changed in a new plan."""
+
+    TYPE = "migration_start"
+
+    version: int
+    channel: str
+    from_servers: Tuple[str, ...]
+    to_servers: Tuple[str, ...]
+    mode: str
+
+
+@dataclass
+class MigrationSettledEvent(TraceEvent):
+    """An old server drained: no unreconciled subscriber remains on it."""
+
+    TYPE = "migration_settled"
+
+    channel: str
+    server: str
+
+
+@dataclass
+class SpawnRequestEvent(TraceEvent):
+    TYPE = "spawn_request"
+
+
+@dataclass
+class ServerReadyEvent(TraceEvent):
+    TYPE = "server_ready"
+
+    server: str
+
+
+@dataclass
+class DecommissionEvent(TraceEvent):
+    TYPE = "decommission"
+
+    server: str
+
+
+@dataclass
+class PlanAppliedEvent(TraceEvent):
+    """A dispatcher adopted a pushed plan version."""
+
+    TYPE = "plan_applied"
+
+    node: str
+    version: int
+
+
+@dataclass
+class SwitchNoticeEvent(TraceEvent):
+    """A dispatcher published a switch notice to migrate subscribers."""
+
+    TYPE = "switch_notice"
+
+    server: str
+    channel: str
+    version: int
+
+
+@dataclass
+class MetricsEvent(TraceEvent):
+    """A metrics-registry snapshot embedded in the trace (usually last)."""
+
+    TYPE = "metrics"
+
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+#: type tag -> event class, for the JSONL loader.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.TYPE: cls
+    for cls in (
+        PublishEvent,
+        FanoutEvent,
+        DeliveryEvent,
+        SubscribeEvent,
+        UnsubscribeEvent,
+        PlanMissEvent,
+        LoadReportEvent,
+        LoadSnapshotEvent,
+        PlanGeneratedEvent,
+        PlanPushedEvent,
+        MigrationStartEvent,
+        MigrationSettledEvent,
+        SpawnRequestEvent,
+        ServerReadyEvent,
+        DecommissionEvent,
+        PlanAppliedEvent,
+        SwitchNoticeEvent,
+        MetricsEvent,
+    )
+}
+
+
+class Tracer:
+    """Collects trace events and owns the shared metrics registry.
+
+    One tracer is shared by every component of a cluster; experiments query
+    ``tracer.events`` / ``tracer.metrics`` afterwards or export them with
+    :mod:`repro.obs.export`.
+    """
+
+    #: Hot paths check this before constructing any event.
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.events: List[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def events_of(self, event_type: Type[TraceEvent]) -> List[TraceEvent]:
+        return [e for e in self.events if type(e) is event_type]
+
+    # ------------------------------------------------------------------
+    # Taps (aggregate-only hooks for very hot paths)
+    # ------------------------------------------------------------------
+    def message_tap(self, src_id: str, dst_id: str, message: Any, size_bytes: int) -> None:
+        """Per-message actor tap: counts sends without recording events."""
+        metrics = self.metrics
+        metrics.counter("messages_sent_total", node=src_id).inc()
+        metrics.counter("bytes_sent_total", node=src_id).inc(size_bytes)
+
+    def attach_kernel(self, sim: Any) -> None:
+        """Install the kernel hook tracking sim events and the clock."""
+        events_total = self.metrics.counter("sim_events_total")
+        clock = self.metrics.gauge("sim_clock_s")
+
+        def hook(now: float, events_processed: int) -> None:
+            events_total.inc()
+            clock.set(now)
+
+        sim.event_hook = hook
+
+
+class NullTracer(Tracer):
+    """Recording disabled: every hook is a no-op behind the flag check."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - guarded out
+        pass
+
+    def message_tap(self, src_id: str, dst_id: str, message: Any, size_bytes: int) -> None:
+        pass  # pragma: no cover - never wired up
+
+    def attach_kernel(self, sim: Any) -> None:
+        pass
+
+
+#: Shared default: components fall back to this when no tracer is wired in.
+NULL_TRACER = NullTracer()

@@ -67,6 +67,11 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
+        #: Optional observability hook ``(now, events_processed) -> None``,
+        #: invoked after each executed event.  ``None`` (the default) costs
+        #: one attribute check per event; the hook must not schedule events
+        #: or touch any RNG so instrumented runs stay deterministic.
+        self.event_hook: Optional[Callable[[float, int], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -129,6 +134,9 @@ class Simulator:
             self._events_processed += 1
             assert fn is not None
             fn(*args)
+            hook = self.event_hook
+            if hook is not None:
+                hook(self._now, self._events_processed)
             return True
         return False
 

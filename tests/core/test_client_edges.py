@@ -3,7 +3,7 @@
 import pytest
 
 from repro.broker.commands import Delivery
-from repro.core.messages import AppEnvelope, MappingNotice, SwitchNotice
+from repro.core.messages import AppEnvelope, SwitchNotice
 from repro.core.plan import ChannelMapping, ReplicationMode
 from tests.conftest import make_static_cluster
 

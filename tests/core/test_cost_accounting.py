@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import DynamothConfig
 from tests.conftest import make_static_cluster
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.dispatcher import dispatcher_id
 from repro.core.messages import NoMoreSubscribers, PlanPush
 from repro.core.plan import ChannelMapping, ReplicationMode
 from tests.conftest import make_static_cluster

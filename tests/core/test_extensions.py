@@ -4,7 +4,6 @@ push and the cloud cost model."""
 import pytest
 
 from repro import BrokerConfig, DynamothCluster, DynamothConfig
-from repro.core.cluster import BALANCER_DYNAMOTH
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
 from repro.core.metrics import ClusterLoadView
 from repro.core.rebalance import LoadEstimator

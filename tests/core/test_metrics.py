@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
-from repro.core.metrics import ClusterLoadView
+from repro.core.metrics import ClusterLoadView, ServerLoadView
 from repro.core.plan import ChannelMapping, ReplicationMode
 
 
@@ -64,6 +64,38 @@ class TestLoadRatio:
         assert not view.has_report("a")
 
 
+class TestServerLoadViewPrune:
+    def test_evicts_reports_older_than_window(self):
+        view = ServerLoadView(window_s=3.0)
+        view.add(report("s1", 1.0, measured=100.0))
+        view.add(report("s1", 5.0, measured=200.0))
+        view.add(report("s1", 9.0, measured=300.0))
+        view.prune(10.0)  # horizon = 7.0: only the t=9 report survives
+        assert view.report_count == 1
+        assert view.load_ratio() == pytest.approx(0.3)
+
+    def test_keeps_report_exactly_on_horizon(self):
+        view = ServerLoadView(window_s=3.0)
+        view.add(report("s1", 7.0, measured=100.0))
+        view.prune(10.0)  # window_end == horizon is *not* evicted
+        assert view.report_count == 1
+
+    def test_prune_all_leaves_zero_ratio(self):
+        view = ServerLoadView(window_s=1.0)
+        view.add(report("s1", 1.0, measured=500.0))
+        view.prune(100.0)
+        assert view.report_count == 0
+        assert view.load_ratio() == 0.0
+
+    def test_prune_is_idempotent(self):
+        view = ServerLoadView(window_s=3.0)
+        view.add(report("s1", 1.0, measured=100.0))
+        view.add(report("s1", 9.0, measured=300.0))
+        view.prune(10.0)
+        view.prune(10.0)
+        assert view.report_count == 1
+
+
 class TestChannelLoads:
     def test_channel_loads_averaged(self):
         view = ClusterLoadView(5.0)
@@ -113,3 +145,27 @@ class TestChannelTotals:
         view = ClusterLoadView(5.0)
         mapping = ChannelMapping(ReplicationMode.SINGLE, ("a",))
         assert view.channel_totals("ghost", mapping) is None
+
+    def test_counts_servers_outside_current_mapping(self):
+        """During a reconfiguration window the channel's traffic is still
+        observed on the old server; totals must include it even though
+        the current mapping no longer names that server."""
+        view = ClusterLoadView(5.0)
+        view.add_report(report("old", 1.0, 0, channels=[snap("ch", pubs=30, subs=2, out=90)]))
+        view.add_report(report("new", 1.0, 0, channels=[snap("ch", pubs=10, subs=2, out=30)]))
+        mapping = ChannelMapping(ReplicationMode.SINGLE, ("new",))  # "old" displaced
+        totals = view.channel_totals("ch", mapping)
+        assert totals.publications_per_s == pytest.approx(40.0)
+        assert totals.bytes_out_per_s == pytest.approx(120.0)
+
+    def test_only_outside_servers_report(self):
+        """Consistent-hashing fallback mismatch: the mapped server has no
+        traffic at all, yet the channel is live elsewhere."""
+        view = ClusterLoadView(5.0)
+        view.add_report(report("b", 1.0, 0, channels=[snap("ch", pubs=20, subs=5, out=60)]))
+        view.add_report(report("a", 1.0, 0, channels=[]))  # mapped server: silent
+        mapping = ChannelMapping(ReplicationMode.SINGLE, ("a",))
+        totals = view.channel_totals("ch", mapping)
+        assert totals is not None
+        assert totals.publications_per_s == pytest.approx(20.0)
+        assert totals.subscriber_count == 5

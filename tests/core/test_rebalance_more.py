@@ -1,12 +1,10 @@
 """Additional rebalancer coverage: interactions and boundary behaviour."""
 
-import pytest
-
 from repro.core.config import DynamothConfig
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
 from repro.core.metrics import ClusterLoadView
-from repro.core.plan import ChannelMapping, Plan, ReplicationMode
-from repro.core.rebalance import LoadEstimator, generate_decision
+from repro.core.plan import Plan, ReplicationMode
+from repro.core.rebalance import generate_decision
 
 NOMINAL = 1000.0
 

@@ -1,7 +1,5 @@
 """Unit tests for the text report renderers."""
 
-import pytest
-
 from repro.experiments.experiment1 import Experiment1Result, ReplicationPoint
 from repro.experiments.report import render_figure4, sparkline, table
 

@@ -7,10 +7,7 @@ Invariant checks after sustained churn:
 * response times for surviving players stay sane.
 """
 
-import pytest
-
 from repro import BrokerConfig, DynamothCluster, DynamothConfig
-from repro.core.cluster import BALANCER_DYNAMOTH
 from repro.experiments.records import BucketedStat
 from repro.workload.rgame import RGameConfig, RGameWorkload
 from repro.workload.schedules import steps

@@ -1,9 +1,6 @@
 """Failure injection: overloads, kills and shutdowns, observed end to end."""
 
-import pytest
-
-from repro import BrokerConfig, DynamothCluster, DynamothConfig
-from repro.core.cluster import BALANCER_NONE
+from repro import BrokerConfig
 from repro.core.plan import ChannelMapping, ReplicationMode
 from repro.sim.timers import PeriodicTask
 from tests.conftest import make_static_cluster

@@ -11,8 +11,6 @@ same cluster, and checks isolation properties:
   delivery guarantees.
 """
 
-import pytest
-
 from repro import BrokerConfig, DynamothCluster, DynamothConfig
 from repro.experiments.records import BucketedStat
 from repro.sim.timers import PeriodicTask

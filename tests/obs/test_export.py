@@ -1,0 +1,136 @@
+"""JSONL export round-trip tests: every event type survives write -> read."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    HEADER_TYPE,
+    SCHEMA_VERSION,
+    dump_tracer,
+    read_trace,
+    write_trace,
+)
+from repro.obs.trace import (
+    EVENT_TYPES,
+    DecommissionEvent,
+    DeliveryEvent,
+    FanoutEvent,
+    LoadReportEvent,
+    LoadSnapshotEvent,
+    MetricsEvent,
+    MigrationSettledEvent,
+    MigrationStartEvent,
+    PlanAppliedEvent,
+    PlanGeneratedEvent,
+    PlanMissEvent,
+    PlanPushedEvent,
+    PublishEvent,
+    ServerReadyEvent,
+    SpawnRequestEvent,
+    SubscribeEvent,
+    SwitchNoticeEvent,
+    Tracer,
+    UnsubscribeEvent,
+)
+
+#: One instance of every event type, exercising tuples, dicts and None.
+SAMPLE_EVENTS = [
+    PublishEvent(0.5, "m1", "tile:1:1", "alice", 3, ("pub1", "pub2"), 120),
+    FanoutEvent(0.6, "pub1", "tile:1:1", "m1", 7, 298),
+    FanoutEvent(0.6, "pub1", "tile:1:1", None, 0, 298),  # msg-id-less payload
+    DeliveryEvent(0.7, "bob", "tile:1:1", "m1", "alice", 0.012, 3),
+    SubscribeEvent(1.0, "bob", "tile:1:1", ("pub1",)),
+    UnsubscribeEvent(2.0, "bob", "tile:1:1"),
+    PlanMissEvent(2.1, "bob", "ghost", "pub2"),
+    LoadReportEvent(3.0, "pub1", 0.82, 0.4, 12),
+    LoadSnapshotEvent(3.5, {"pub1": 0.82, "pub2": 0.11}),
+    PlanGeneratedEvent(4.0, 4, ("tile:1:1",), ("pub3",), True),
+    PlanPushedEvent(4.0, 4, ("pub1", "pub2")),
+    MigrationStartEvent(4.0, 4, "tile:1:1", ("pub1",), ("pub2",), "all-subscribers"),
+    MigrationSettledEvent(4.4, "tile:1:1", "pub1"),
+    SpawnRequestEvent(5.0),
+    ServerReadyEvent(10.0, "pub4"),
+    DecommissionEvent(12.0, "pub3"),
+    PlanAppliedEvent(4.1, "dispatcher@pub1", 4),
+    SwitchNoticeEvent(4.2, "pub1", "tile:1:1", 4),
+    MetricsEvent(13.0, {"counters": {"x": 1.0}, "gauges": {}, "histograms": {}}),
+]
+
+
+def test_sample_covers_every_event_type():
+    assert {type(e).TYPE for e in SAMPLE_EVENTS} == set(EVENT_TYPES)
+
+
+class TestRoundTrip:
+    def test_every_event_type_round_trips_losslessly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(path, SAMPLE_EVENTS) == len(SAMPLE_EVENTS)
+        loaded = read_trace(path)
+        assert loaded == SAMPLE_EVENTS  # dataclass equality, field for field
+
+    def test_header_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, [])
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"type": HEADER_TYPE, "schema": SCHEMA_VERSION}
+
+    def test_dump_tracer_appends_metrics_trailer(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(ServerReadyEvent(2.0, "pub1"))
+        tracer.metrics.counter("deliveries_total", server="pub1").inc(5)
+        path = tmp_path / "trace.jsonl"
+        count = dump_tracer(tracer, path)
+        assert count == 2
+        loaded = read_trace(path)
+        assert isinstance(loaded[-1], MetricsEvent)
+        assert loaded[-1].t == 2.0  # stamped with the last event's time
+        assert loaded[-1].data["counters"]["deliveries_total{server=pub1}"] == 5
+
+
+class TestReaderRobustness:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "delivery"}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"type": "trace_header", "schema": 99}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_trace(path)
+
+    def test_unknown_event_types_skipped(self, tmp_path):
+        path = tmp_path / "forward.jsonl"
+        path.write_text(
+            '{"type": "trace_header", "schema": 1}\n'
+            '{"type": "hologram", "t": 1.0, "payload": "?"}\n'
+            '{"type": "server_ready", "t": 2.0, "server": "pub1"}\n'
+        )
+        loaded = read_trace(path)
+        assert loaded == [ServerReadyEvent(2.0, "pub1")]
+
+    def test_malformed_event_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"type": "trace_header", "schema": 1}\n'
+            '{"type": "server_ready", "t": 2.0}\n'  # missing "server"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"type": "trace_header", "schema": 1}\n'
+            "\n"
+            '{"type": "spawn_request", "t": 1.0}\n'
+        )
+        assert read_trace(path) == [SpawnRequestEvent(1.0)]

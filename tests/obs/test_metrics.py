@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, format_key
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean() is None
+        assert h.percentile(50) is None
+
+    def test_mean_and_count(self):
+        h = Histogram()
+        for v in (0.010, 0.020, 0.030):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean() == pytest.approx(0.020)
+        assert h.min == pytest.approx(0.010)
+        assert h.max == pytest.approx(0.030)
+
+    def test_percentiles_within_bucket_error(self):
+        """With factor 2 the relative error is bounded by 2x; edges are
+        exact thanks to min/max clamping."""
+        h = Histogram()
+        values = [i / 1000.0 for i in range(1, 101)]  # 1ms .. 100ms
+        for v in values:
+            h.observe(v)
+        p50 = h.percentile(50)
+        assert 0.025 <= p50 <= 0.100  # true p50 is ~50ms
+        assert h.percentile(0) == pytest.approx(0.001)
+        assert h.percentile(100) == pytest.approx(0.100)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe(0.0421)
+        assert h.percentile(50) == pytest.approx(0.0421)
+        assert h.percentile(99) == pytest.approx(0.0421)
+
+    def test_percentile_out_of_range_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_underflow_and_overflow_buckets(self):
+        h = Histogram(min_value=1e-3, factor=2.0, buckets=4)
+        h.observe(1e-9)   # below min -> bucket 0
+        h.observe(1e9)    # far above range -> last bucket
+        assert h.count == 2
+        assert h.percentile(0) == pytest.approx(1e-9)
+        assert h.percentile(100) == pytest.approx(1e9)
+
+    def test_fixed_memory(self):
+        h = Histogram(buckets=8)
+        for i in range(10_000):
+            h.observe(0.001 * (1 + i % 100))
+        assert len(h._counts) == 8
+        assert h.count == 10_000
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            Histogram(factor=1.0)
+        with pytest.raises(ValueError):
+            Histogram(buckets=1)
+
+    def test_to_dict_fields(self):
+        h = Histogram()
+        h.observe(0.5)
+        d = h.to_dict()
+        assert d["count"] == 1
+        assert d["min"] == d["max"] == d["p50"] == d["p99"] == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("deliveries_total", server="pub1")
+        b = reg.counter("deliveries_total", server="pub1")
+        assert a is b
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("deliveries_total", server="pub1").inc(3)
+        reg.counter("deliveries_total", server="pub2").inc(4)
+        assert reg.counter_value("deliveries_total", server="pub1") == 3
+        assert reg.counter_value("deliveries_total", server="pub2") == 4
+        assert reg.counter_total("deliveries_total") == 7
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.counter_value("x", b="2", a="1") == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("thing")
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0.0
+
+    def test_snapshot_stable_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("c", server="b").inc()
+        reg.counter("c", server="a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", channel_class="tile").observe(0.01)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["c{server=a}", "c{server=b}"]
+        assert snap["counters"]["c{server=a}"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h{channel_class=tile}"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(2.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+
+class TestFormatKey:
+    def test_unlabeled(self):
+        assert format_key(("name", ())) == "name"
+
+    def test_labeled(self):
+        assert format_key(("name", (("a", "1"), ("b", "2")))) == "name{a=1,b=2}"

@@ -1,0 +1,123 @@
+"""Tests for the tracer: channel classes, event capture on a live cluster."""
+
+from repro.core.cluster import BALANCER_NONE, DynamothCluster
+from repro.obs.trace import (
+    NULL_TRACER,
+    DeliveryEvent,
+    FanoutEvent,
+    NullTracer,
+    PublishEvent,
+    SubscribeEvent,
+    Tracer,
+    UnsubscribeEvent,
+    channel_class,
+)
+
+
+class TestChannelClass:
+    def test_prefix_before_colon(self):
+        assert channel_class("tile:3:4") == "tile"
+
+    def test_trailing_digits_stripped(self):
+        assert channel_class("room17") == "room"
+
+    def test_plain_name_unchanged(self):
+        assert channel_class("telemetry") == "telemetry"
+
+    def test_all_digits_kept_verbatim(self):
+        assert channel_class("1234") == "1234"
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_null_hooks_are_noops(self):
+        t = NullTracer()
+        t.emit(SubscribeEvent(0.0, "c", "ch", ("s",)))
+        t.message_tap("a", "b", object(), 10)
+        t.attach_kernel(object())  # must not touch the object
+        assert t.events == []
+
+
+def _traced_cluster():
+    tracer = Tracer()
+    cluster = DynamothCluster(
+        seed=7, initial_servers=2, balancer=BALANCER_NONE, tracer=tracer
+    )
+    return cluster, tracer
+
+
+class TestTracedRun:
+    def test_publication_lifecycle_events(self):
+        cluster, tracer = _traced_cluster()
+        got = []
+        sub = cluster.create_client("sub")
+        sub.subscribe("news", lambda ch, body, env: got.append(body))
+        cluster.run_for(1.0)
+        pub = cluster.create_client("pub")
+        pub.publish("news", "hello", payload_size=50)
+        cluster.run_for(2.0)
+
+        assert got == ["hello"]
+        publishes = tracer.events_of(PublishEvent)
+        fanouts = tracer.events_of(FanoutEvent)
+        deliveries = tracer.events_of(DeliveryEvent)
+        assert len(publishes) == 1
+        assert publishes[0].channel == "news"
+        assert publishes[0].sender == "pub"
+        assert len(fanouts) >= 1
+        assert any(f.fanout == 1 for f in fanouts)
+        assert len(deliveries) == 1
+        delivery = deliveries[0]
+        assert delivery.client == "sub"
+        assert delivery.msg_id == publishes[0].msg_id
+        assert delivery.latency_s > 0.0
+        # Event timestamps are monotonically consistent with causality.
+        assert publishes[0].t <= fanouts[0].t <= delivery.t
+
+    def test_subscribe_unsubscribe_events(self):
+        cluster, tracer = _traced_cluster()
+        client = cluster.create_client("c1")
+        client.subscribe("a", lambda *a: None)
+        cluster.run_for(1.0)
+        client.unsubscribe("a")
+        cluster.run_for(1.0)
+        subs = tracer.events_of(SubscribeEvent)
+        unsubs = tracer.events_of(UnsubscribeEvent)
+        assert [e.channel for e in subs] == ["a"]
+        assert subs[0].client == "c1"
+        assert [e.channel for e in unsubs] == ["a"]
+
+    def test_message_tap_counts_sends(self):
+        cluster, tracer = _traced_cluster()
+        sub = cluster.create_client("sub")
+        sub.subscribe("news", lambda *a: None)
+        cluster.run_for(1.0)
+        pub = cluster.create_client("pub")
+        pub.publish("news", "x", payload_size=10)
+        cluster.run_for(1.0)
+        sent = tracer.metrics.counter_total("messages_sent_total")
+        assert sent >= 2  # at least subscribe + publish
+        assert tracer.metrics.counter_value("messages_sent_total", node="pub") >= 1
+
+    def test_kernel_hook_tracks_clock(self):
+        cluster, tracer = _traced_cluster()
+        cluster.create_client("c").subscribe("x", lambda *a: None)
+        cluster.run_for(3.0)
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["sim_events_total"] > 0
+        assert 0.0 < snap["gauges"]["sim_clock_s"] <= 3.0
+
+    def test_delivery_latency_histogram_recorded(self):
+        cluster, tracer = _traced_cluster()
+        sub = cluster.create_client("sub")
+        sub.subscribe("tile:1:2", lambda *a: None)
+        cluster.run_for(1.0)
+        pub = cluster.create_client("pub")
+        pub.publish("tile:1:2", "u", payload_size=20)
+        cluster.run_for(1.0)
+        hist = tracer.metrics.histogram("delivery_latency_s", channel_class="tile")
+        assert hist.count == 1
+        assert hist.min > 0.0

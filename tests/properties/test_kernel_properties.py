@@ -1,6 +1,6 @@
 """Property-based tests for the simulation kernel and egress model."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.link import EgressPort

@@ -1,6 +1,6 @@
 """Property-based tests for plans, mappings and the load estimator."""
 
-from hypothesis import assume, given
+from hypothesis import given
 from hypothesis import strategies as st
 
 import random

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.sim.kernel import Simulator
-
 
 class TestScheduling:
     def test_clock_starts_at_zero(self, sim):
