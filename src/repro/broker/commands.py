@@ -72,6 +72,28 @@ class SubscribeAck:
 
 
 @dataclass(frozen=True)
+class PingCmd:
+    """Client-side liveness probe (Redis ``PING``).
+
+    The Dynamoth client library sends these to every server it holds
+    subscriptions on; a run of unanswered pings marks the server dead and
+    triggers subscription failover.  A stock broker answers PING, so this
+    needs no broker modification.
+    """
+
+    WIRE_SIZE = 16
+
+
+@dataclass(frozen=True)
+class PongReply:
+    """Server's answer to :class:`PingCmd` (Redis ``+PONG``)."""
+
+    server_id: str
+
+    WIRE_SIZE = 16
+
+
+@dataclass(frozen=True)
 class Delivery:
     """Server forwards a publication to one subscriber."""
 

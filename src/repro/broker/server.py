@@ -24,6 +24,8 @@ from typing import Any, Callable, Dict, List, Optional, Set
 from repro.broker.commands import (
     ConnectionClosed,
     Delivery,
+    PingCmd,
+    PongReply,
     PublishCmd,
     SubscribeAck,
     SubscribeCmd,
@@ -138,6 +140,10 @@ class PubSubServer(Actor):
             self._handle_subscribe(message.channel, src_id, message.plan_version)
         elif isinstance(message, UnsubscribeCmd):
             self._handle_unsubscribe(message.channel, src_id)
+        elif isinstance(message, PingCmd):
+            self.transport.send(
+                self.node_id, src_id, PongReply(self.node_id), PongReply.WIRE_SIZE
+            )
         else:
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
@@ -187,6 +193,11 @@ class PubSubServer(Actor):
 
     def _complete_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
         """Fan a processed publication out to all subscribers."""
+        if not self.alive or self.transport is None:
+            # The server crashed between accepting the publish and the CPU
+            # finishing it; the already-scheduled completion must die with
+            # the process instead of touching a transport it left.
+            return
         now = self.sim.now
         channel = cmd.channel
         wire_size = cmd.payload_size + self.config.per_message_overhead_bytes

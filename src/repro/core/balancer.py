@@ -28,8 +28,8 @@ from repro.core.messages import (
     ServerSpawned,
 )
 from repro.core.metrics import ClusterLoadView
-from repro.core.plan import Plan
-from repro.core.rebalance import generate_decision
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.core.rebalance import LoadEstimator, generate_decision
 from repro.core.stragglers import StragglerTracker
 from repro.obs.trace import (
     NULL_TRACER,
@@ -40,7 +40,12 @@ from repro.obs.trace import (
     MigrationStartEvent,
     PlanGeneratedEvent,
     PlanPushedEvent,
+    PlanRepairDoneEvent,
+    PlanRepairStartEvent,
+    ServerFailureConfirmedEvent,
     ServerReadyEvent,
+    ServerResurrectedEvent,
+    ServerSuspectEvent,
     SpawnRequestEvent,
     Tracer,
 )
@@ -109,12 +114,31 @@ class LoadBalancer(Actor):
         #: recently displaced servers per channel, shipped with each push
         self._stragglers = StragglerTracker(config.plan_entry_timeout_s)
 
+        # --- heartbeat failure detection (repro.faults recovery path) ---
+        #: servers confirmed dead and not yet resurrected
+        self.failed_servers: Set[str] = set()
+        #: server -> time its silence crossed the suspect threshold
+        self._suspect_since: Dict[str, float] = {}
+        #: server -> arrival time of its most recent LoadReport.  Kept
+        #: separately from ``view`` because the sliding load window prunes
+        #: reports far sooner than the failure-confirmation timeout.
+        self._last_report_at: Dict[str, float] = {}
+        #: failures confirmed while no live server existed to re-home onto;
+        #: repaired as soon as a spawn completes
+        self._pending_repairs: List[str] = []
+
         self._task = PeriodicTask(sim, config.lb_eval_interval_s, self._evaluate)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        # Monitor the bootstrap servers from t=0: a server that dies before
+        # its first report must still be detected (otherwise the
+        # all-bootstrap-reported gate would block plan generation forever).
+        now = self.sim.now
+        for server_id in self.active_servers:
+            self._last_report_at.setdefault(server_id, now)
         self._task.start()
 
     def stop(self) -> None:
@@ -125,6 +149,12 @@ class LoadBalancer(Actor):
     # ------------------------------------------------------------------
     def receive(self, message: Any, src_id: str) -> None:
         if isinstance(message, LoadReport):
+            self._last_report_at[message.server_id] = self.sim.now
+            self._suspect_since.pop(message.server_id, None)
+            if message.server_id in self.failed_servers:
+                # A "dead" server is talking again (e.g. its LLA was only
+                # stalled, or a partition healed): re-admit it.
+                self._on_server_resurrected(message.server_id)
             self.view.add_report(message)
             tracer = self._tracer
             if tracer.enabled:
@@ -153,19 +183,30 @@ class LoadBalancer(Actor):
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
     def _on_server_ready(self, server_id: str) -> None:
+        if server_id in self.failed_servers:
+            # A crashed server came back (restart with the same id).
+            self._on_server_resurrected(server_id)
         if server_id not in self.active_servers:
             self.active_servers.append(server_id)
         self.pending_spawns = max(0, self.pending_spawns - 1)
         self._pool_changed = True
+        self._last_report_at.setdefault(server_id, self.sim.now)
         self.events.append(BalancerEvent(self.sim.now, "server-ready", server_id))
         if self._tracer.enabled:
             self._tracer.emit(ServerReadyEvent(self.sim.now, server_id))
+        if self._pending_repairs:
+            # Failures confirmed while the pool was empty: repair now that
+            # a live server exists to take the channels.
+            pending, self._pending_repairs = self._pending_repairs, []
+            for dead_id in pending:
+                self._repair_plan(dead_id, self.sim.now)
 
     # ------------------------------------------------------------------
     # Periodic evaluation
     # ------------------------------------------------------------------
     def _evaluate(self, now: float) -> None:
         self.view.prune(now)
+        self._check_heartbeats(now)
         ratios = {s: self.view.load_ratio(s) for s in self.active_servers}
         self.load_history.append((now, ratios))
         if self._tracer.enabled:
@@ -208,34 +249,12 @@ class LoadBalancer(Actor):
             )
             self._stragglers.record_plan_change(previous_plan, self.plan, now)
             self._stragglers.prune(now)
-            tracer = self._tracer
-            if tracer.enabled:
-                changed = previous_plan.diff(self.plan)
-                tracer.emit(
-                    PlanGeneratedEvent(
-                        now,
-                        self.plan.version,
-                        tuple(changed),
-                        tuple(decision.decommission),
-                        decision.spawn_servers > 0,
-                    )
-                )
-                for channel, (old, new) in changed.items():
-                    tracer.emit(
-                        MigrationStartEvent(
-                            now,
-                            self.plan.version,
-                            channel,
-                            tuple(old.servers),
-                            tuple(new.servers),
-                            new.mode.value,
-                        )
-                    )
-                tracer.metrics.counter("plans_generated_total").inc()
-                tracer.metrics.gauge("plan_version").set(self.plan.version)
-                tracer.metrics.gauge("plan_size").set(
-                    len(self.plan.explicit_channels())
-                )
+            self._emit_plan_events(
+                previous_plan,
+                now,
+                decommissioned=tuple(decision.decommission),
+                spawn_requested=decision.spawn_servers > 0,
+            )
             self._push_plan(extra_recipients=decision.decommission)
             if self.config.eager_plan_push:
                 self._eager_push(previous_plan)
@@ -253,9 +272,186 @@ class LoadBalancer(Actor):
         # window; the cloud shuts them down afterwards.
         for server_id in decision.decommission:
             self.view.forget_server(server_id)
+            # Planned removal, not a failure: stop monitoring its heartbeat.
+            self._last_report_at.pop(server_id, None)
+            self._suspect_since.pop(server_id, None)
             self._cloud.request_decommission(server_id)
             if self._tracer.enabled:
                 self._tracer.emit(DecommissionEvent(now, server_id))
+
+    def _emit_plan_events(
+        self,
+        previous_plan: Plan,
+        now: float,
+        *,
+        decommissioned: Tuple[str, ...] = (),
+        spawn_requested: bool = False,
+    ) -> None:
+        """Trace one adopted plan: generation record plus per-channel moves."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        changed = previous_plan.diff(self.plan)
+        tracer.emit(
+            PlanGeneratedEvent(
+                now,
+                self.plan.version,
+                tuple(changed),
+                decommissioned,
+                spawn_requested,
+            )
+        )
+        for channel, (old, new) in changed.items():
+            tracer.emit(
+                MigrationStartEvent(
+                    now,
+                    self.plan.version,
+                    channel,
+                    tuple(old.servers),
+                    tuple(new.servers),
+                    new.mode.value,
+                )
+            )
+        tracer.metrics.counter("plans_generated_total").inc()
+        tracer.metrics.gauge("plan_version").set(self.plan.version)
+        tracer.metrics.gauge("plan_size").set(len(self.plan.explicit_channels()))
+
+    # ------------------------------------------------------------------
+    # Heartbeat failure detection & plan repair (repro.faults subsystem)
+    # ------------------------------------------------------------------
+    def _check_heartbeats(self, now: float) -> None:
+        """Suspect, then confirm, servers whose LLA reports stopped.
+
+        A monitored server silent for ``heartbeat_suspect_s`` becomes a
+        suspect; one silent for ``heartbeat_confirm_s`` longer is confirmed
+        dead and its channels are re-homed.  Detection never acts while
+        reports keep arriving, so failure-free runs are unaffected.
+        """
+        if not self.config.failure_detection:
+            return
+        suspect_after = self.config.heartbeat_suspect_s
+        confirm_after = suspect_after + self.config.heartbeat_confirm_s
+        for server_id in list(self.active_servers):
+            last = self._last_report_at.get(server_id)
+            if last is None:
+                continue  # not monitored (no report and no spawn record)
+            silence = now - last
+            if silence >= confirm_after:
+                self._confirm_failure(server_id, now, silence)
+            elif silence >= suspect_after and server_id not in self._suspect_since:
+                self._suspect_since[server_id] = now
+                self.events.append(BalancerEvent(now, "server-suspect", server_id))
+                if self._tracer.enabled:
+                    self._tracer.emit(ServerSuspectEvent(now, server_id, silence))
+
+    def _confirm_failure(self, server_id: str, now: float, silence: float) -> None:
+        self._suspect_since.pop(server_id, None)
+        self._last_report_at.pop(server_id, None)
+        self.failed_servers.add(server_id)
+        if server_id in self.active_servers:
+            self.active_servers.remove(server_id)
+        # A dead bootstrap server must not gate plan generation forever.
+        self.bootstrap_servers.discard(server_id)
+        self.events.append(BalancerEvent(now, "server-failed", server_id))
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(ServerFailureConfirmedEvent(now, server_id, silence))
+            tracer.metrics.counter("server_failures_total").inc()
+        self._repair_plan(server_id, now)
+        if (
+            self.config.replace_failed_servers
+            or len(self.active_servers) < self.config.min_servers
+        ):
+            self._maybe_spawn()
+
+    def _repair_plan(self, dead_id: str, now: float) -> None:
+        """Re-home every channel the dead server carried onto live servers.
+
+        Covers both explicitly mapped channels and consistent-hashing
+        fallback channels the view observed traffic for; fallback channels
+        the balancer never saw are handled client-side by the
+        exclusion-aware ring lookup.  Repair bypasses ``T_wait`` -- waiting
+        out the settle window would prolong the outage.
+        """
+        channels = sorted(
+            set(self.plan.channels_on(dead_id)) | set(self.view.channel_loads(dead_id))
+        )
+        live = list(self.active_servers)
+        if not live:
+            # Nothing to re-home onto; repair once a spawn completes.
+            self._pending_repairs.append(dead_id)
+            self.view.forget_server(dead_id)
+            self._maybe_spawn()
+            return
+
+        estimator = LoadEstimator(
+            self.view,
+            live,
+            self._default_nominal_bps,
+            cpu_aware=self.config.cpu_aware_balancing,
+        )
+        mappings: Dict[str, ChannelMapping] = {}
+        for channel in channels:
+            current = self.plan.mapping(channel)
+            if dead_id not in current.servers:
+                continue  # observed on the dead server but homed elsewhere
+            survivors = tuple(
+                s for s in current.servers if s != dead_id and s in live
+            )
+            if not survivors:
+                target = estimator.least_loaded(live)
+                estimator.migrate(channel, dead_id, target)
+                mappings[channel] = ChannelMapping(ReplicationMode.SINGLE, (target,))
+            elif len(survivors) == 1:
+                # A replicated channel down to one replica collapses to
+                # SINGLE; the next regular rebalance re-replicates it if
+                # the thresholds still hold.
+                mappings[channel] = ChannelMapping(ReplicationMode.SINGLE, survivors)
+            else:
+                mappings[channel] = ChannelMapping(current.mode, survivors)
+
+        if self._tracer.enabled:
+            self._tracer.emit(PlanRepairStartEvent(now, dead_id, tuple(mappings)))
+        previous_plan = self.plan
+        self.plan = previous_plan.evolve(
+            mappings=mappings, active_servers=tuple(self.active_servers)
+        )
+        self._stragglers.record_plan_change(previous_plan, self.plan, now)
+        self._drop_failed_stragglers()
+        self._stragglers.prune(now)
+        self.view.forget_server(dead_id)
+        self._emit_plan_events(previous_plan, now)
+        self._push_plan()
+        self._last_plan_time = now
+        self.events.append(
+            BalancerEvent(
+                now, "repair", f"{dead_id} -> v{self.plan.version}: {len(mappings)} channels"
+            )
+        )
+        if self._tracer.enabled:
+            self._tracer.emit(PlanRepairDoneEvent(now, dead_id, self.plan.version))
+
+    def _drop_failed_stragglers(self) -> None:
+        """Forwarding toward a dead server is wasted egress: stop it."""
+        for channel, registry in self._stragglers.snapshot().items():
+            for server_id in registry:
+                if server_id in self.failed_servers:
+                    self._stragglers.drain(channel, server_id)
+
+    def _on_server_resurrected(self, server_id: str) -> None:
+        now = self.sim.now
+        self.failed_servers.discard(server_id)
+        if server_id not in self.active_servers:
+            self.active_servers.append(server_id)
+        self._pool_changed = True
+        self._last_report_at.setdefault(server_id, now)
+        self.events.append(BalancerEvent(now, "server-resurrected", server_id))
+        if self._tracer.enabled:
+            self._tracer.emit(ServerResurrectedEvent(now, server_id))
+        # Re-push the current plan so dispatchers clear the server from
+        # their failed sets (receive() applies that even to a same-version
+        # push); the next evaluation rebalances onto the returned capacity.
+        self._push_plan()
 
     def _maybe_spawn(self) -> None:
         total = len(self.active_servers) + self.pending_spawns
@@ -268,7 +464,9 @@ class LoadBalancer(Actor):
         self._cloud.request_spawn()
 
     def _push_plan(self, extra_recipients: List[str] = ()) -> None:
-        push = PlanPush(self.plan, self._stragglers.snapshot())
+        push = PlanPush(
+            self.plan, self._stragglers.snapshot(), tuple(sorted(self.failed_servers))
+        )
         size = PlanPush.WIRE_SIZE + 32 * len(self.plan.explicit_channels())
         recipients = list(self.active_servers) + list(extra_recipients)
         for server_id in recipients:

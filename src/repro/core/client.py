@@ -27,6 +27,8 @@ from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 from repro.broker.commands import (
     ConnectionClosed,
     Delivery,
+    PingCmd,
+    PongReply,
     PublishCmd,
     SubscribeAck,
     SubscribeCmd,
@@ -37,6 +39,8 @@ from repro.core.messages import AppEnvelope, MappingNotice, SwitchNotice
 from repro.core.plan import ChannelMapping, ReplicationMode
 from repro.obs.trace import (
     NULL_TRACER,
+    ClientFailoverEvent,
+    ClientReconnectEvent,
     DeliveryEvent,
     PlanMissEvent,
     PublishEvent,
@@ -47,6 +51,7 @@ from repro.obs.trace import (
 )
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTask
 
 #: application delivery callback: (channel, body, envelope) -> None
 DeliveryCallback = Callable[[str, Any, AppEnvelope], None]
@@ -94,6 +99,12 @@ class DynamothClient(Actor):
         *,
         plan_entry_timeout_s: float = 30.0,
         resubscribe_grace_s: float = 0.25,
+        ping_interval_s: Optional[float] = None,
+        ping_miss_limit: int = 3,
+        subscribe_ack_timeout_s: float = 2.0,
+        reconnect_backoff_base_s: float = 0.5,
+        reconnect_backoff_max_s: float = 10.0,
+        failed_server_ttl_s: float = 60.0,
         tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, node_id, is_infra=False)
@@ -101,6 +112,12 @@ class DynamothClient(Actor):
         self._rng = rng
         self._plan_entry_timeout = plan_entry_timeout_s
         self._resubscribe_grace = resubscribe_grace_s
+        self._ping_interval = ping_interval_s
+        self._ping_miss_limit = ping_miss_limit
+        self._subscribe_ack_timeout = subscribe_ack_timeout_s
+        self._reconnect_backoff_base = reconnect_backoff_base_s
+        self._reconnect_backoff_max = reconnect_backoff_max_s
+        self._failed_server_ttl = failed_server_ttl_s
         self._tracer = tracer
 
         self._entries: Dict[str, _PlanEntry] = {}
@@ -117,6 +134,33 @@ class DynamothClient(Actor):
         self._seen_order: Deque[str] = deque()
         self._msg_counter = 0
 
+        # --- failure detection & recovery (repro.faults subsystem) ---
+        #: server -> time this client declared it dead; entries expire
+        #: after ``failed_server_ttl_s`` so a restarted server becomes
+        #: routable again without any explicit signal.
+        self._failed_servers: Dict[str, float] = {}
+        #: server -> consecutive unanswered pings
+        self._ping_pending: Dict[str, int] = {}
+        #: server -> last time this client published through it.  Pure
+        #: publishers have no subscriptions to probe, so liveness checks
+        #: must also cover recently-used publish targets -- otherwise a
+        #: publisher keeps sending into a dead server forever.
+        self._publish_targets: Dict[str, float] = {}
+        #: channel -> servers whose SubscribeAck we have seen
+        self._acked: Dict[str, Set[str]] = {}
+        #: channels with a failover recovery in flight
+        self._recovery_pending: Set[str] = set()
+        #: channel -> newest recovery attempt number (stale timers ignored)
+        self._recovery_attempt: Dict[str, int] = {}
+        #: liveness probing of subscribed servers; disabled by default
+        #: because pong traffic perturbs measured egress.  The sends are
+        #: fully deterministic (no RNG, no jitter), so enabling it changes
+        #: nothing else.
+        self._ping_task: Optional[PeriodicTask] = None
+        if ping_interval_s is not None:
+            self._ping_task = PeriodicTask(sim, ping_interval_s, self._ping_tick)
+            self._ping_task.start()
+
         #: optional hook fired when the client receives its own publication
         #: back (the paper's response-time metric).
         self.on_response_time: Optional[ResponseTimeHook] = None
@@ -128,6 +172,9 @@ class DynamothClient(Actor):
         self.redirects = 0
         self.switches = 0
         self.disconnects = 0
+        self.failovers = 0
+        self.reconnects = 0
+        self.resubscribes = 0
 
     # ------------------------------------------------------------------
     # Public pub/sub API (mirrors the standard Redis client interface)
@@ -162,6 +209,9 @@ class DynamothClient(Actor):
         # so the unsubscribe must reach them too.
         pending = self._reconcile.pop(channel, None)
         sub = self._subs.pop(channel, None)
+        self._acked.pop(channel, None)
+        self._recovery_pending.discard(channel)
+        self._recovery_attempt.pop(channel, None)
         if sub is None and pending is None:
             return
         targets = set(sub.servers) if sub is not None else set()
@@ -184,6 +234,9 @@ class DynamothClient(Actor):
         targets = mapping.publish_targets(self._rng)
         for server in targets:
             self.send(server, cmd, wire_payload)
+        if self._ping_interval is not None:
+            for server in targets:
+                self._publish_targets[server] = self.sim.now
         self.published += 1
         self._touch(channel)
         tracer = self._tracer
@@ -218,6 +271,8 @@ class DynamothClient(Actor):
 
     def disconnect(self) -> None:
         """Leave the system cleanly: drop all subscriptions."""
+        if self._ping_task is not None:
+            self._ping_task.stop()
         for channel in list(self._subs):
             self.unsubscribe(channel)
         # Flush grace-period drops that have not fired yet; once we are
@@ -233,6 +288,7 @@ class DynamothClient(Actor):
     # ------------------------------------------------------------------
     def _resolve(self, channel: str) -> ChannelMapping:
         """Current mapping for ``channel``: fresh entry or CH fallback."""
+        failed = self._live_failed(self.sim.now) if self._failed_servers else ()
         entry = self._entries.get(channel)
         if entry is not None:
             idle = self.sim.now - entry.last_activity
@@ -240,8 +296,20 @@ class DynamothClient(Actor):
                 # Timer expired while not subscribed: drop the entry and
                 # fall back to consistent hashing (section IV-A.5).
                 del self._entries[channel]
+            elif failed and any(s in failed for s in entry.mapping.servers):
+                # The entry routes to a server we declared dead: drop it;
+                # the repair plan's notices will teach us the new home.
+                del self._entries[channel]
             else:
                 return entry.mapping
+        if failed:
+            # Bypass the CH cache: the ring walk must skip dead servers.
+            # Not cached -- the failed set shrinks as TTLs expire.
+            return ChannelMapping(
+                ReplicationMode.SINGLE,
+                (self._ring.lookup(channel, exclude=failed),),
+                0,
+            )
         fallback = self._ch_cache.get(channel)
         tracer = self._tracer
         if fallback is None:
@@ -291,6 +359,10 @@ class DynamothClient(Actor):
 
     def _apply_mapping(self, channel: str, mapping: ChannelMapping) -> None:
         """Adopt a (possibly newer) mapping and reconcile subscriptions."""
+        if self._failed_servers:
+            failed = self._live_failed(self.sim.now)
+            if any(s in failed for s in mapping.servers):
+                return  # stale routing info pointing at a dead server
         entry = self._entries.get(channel)
         old = entry.mapping if entry is not None else None
         if old is not None and mapping.version < old.version:
@@ -356,6 +428,7 @@ class DynamothClient(Actor):
             )
 
     def _handle_subscribe_ack(self, ack: SubscribeAck) -> None:
+        self._acked.setdefault(ack.channel, set()).add(ack.server_id)
         pending = self._reconcile.get(ack.channel)
         if pending is None:
             return
@@ -387,6 +460,9 @@ class DynamothClient(Actor):
             self._apply_mapping(message.channel, message.mapping)
         elif isinstance(message, SubscribeAck):
             self._handle_subscribe_ack(message)
+        elif isinstance(message, PongReply):
+            self._ping_pending[message.server_id] = 0
+            self._failed_servers.pop(message.server_id, None)
         elif isinstance(message, ConnectionClosed):
             self._handle_disconnect(message.server_id)
         else:
@@ -450,6 +526,9 @@ class DynamothClient(Actor):
         affected = [c for c, sub in self._subs.items() if server_id in sub.servers]
         for channel in affected:
             self._subs[channel].servers.discard(server_id)
+            acked = self._acked.get(channel)
+            if acked is not None:
+                acked.discard(server_id)
             # The mapping pointing at a decommissioned server is useless;
             # drop it so the reconnect resolves fresh (CH fallback or a
             # notice from the fallback server's dispatcher).
@@ -467,3 +546,161 @@ class DynamothClient(Actor):
             if sub is None:
                 continue
             self.subscribe(channel, sub.callback)
+
+    # ------------------------------------------------------------------
+    # Failure detection & failover recovery (repro.faults subsystem)
+    # ------------------------------------------------------------------
+    def _live_failed(self, now: float) -> Set[str]:
+        """Currently-dead servers; expires marks past the TTL."""
+        ttl = self._failed_server_ttl
+        expired = [s for s, t in self._failed_servers.items() if now - t >= ttl]
+        for server in expired:
+            del self._failed_servers[server]
+        return set(self._failed_servers)
+
+    def _ping_tick(self, now: float) -> None:
+        """Probe every subscribed server; declare it dead after N misses.
+
+        A crashed server never answers (its connection vanished without a
+        FIN in this failure model), so consecutive unanswered pings are the
+        only client-side liveness signal.  Servers this client recently
+        published through are probed as well: a pure publisher would
+        otherwise never notice its target died.
+        """
+        servers: Set[str] = set()
+        for sub in self._subs.values():
+            servers |= sub.servers
+        if self._publish_targets:
+            window = 5.0 * (self._ping_interval or 1.0)
+            stale = [s for s, t in self._publish_targets.items() if now - t > window]
+            for server in stale:
+                del self._publish_targets[server]
+            servers |= set(self._publish_targets)
+        for server in list(self._ping_pending):
+            if server not in servers:
+                del self._ping_pending[server]
+        for server in sorted(servers):
+            misses = self._ping_pending.get(server, 0)
+            if misses >= self._ping_miss_limit:
+                self._on_server_failed(server)
+                continue
+            self._ping_pending[server] = misses + 1
+            self.send(server, PingCmd(), PingCmd.WIRE_SIZE)
+
+    def _on_server_failed(self, server_id: str) -> None:
+        """Declare ``server_id`` dead and fail its subscriptions over."""
+        now = self.sim.now
+        if server_id in self._live_failed(now):
+            return  # already failing over
+        self._failed_servers[server_id] = now
+        self._ping_pending.pop(server_id, None)
+        self._publish_targets.pop(server_id, None)
+        # Any plan entry routing through the dead server is poison.
+        for channel in list(self._entries):
+            if server_id in self._entries[channel].mapping.servers:
+                del self._entries[channel]
+        affected = []
+        for channel, sub in self._subs.items():
+            if server_id not in sub.servers:
+                continue
+            sub.servers.discard(server_id)
+            acked = self._acked.get(channel)
+            if acked is not None:
+                acked.discard(server_id)
+            pending = self._reconcile.get(channel)
+            if pending is not None:
+                # A reconcile must not wait forever on a dead server's ack.
+                pending.awaiting.discard(server_id)
+                if server_id in pending.confirm:
+                    pending.confirm.remove(server_id)
+                if server_id in pending.drop:
+                    pending.drop.remove(server_id)
+                if not pending.awaiting:
+                    self._finish_reconcile(channel)
+            affected.append(channel)
+        self.failovers += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                ClientFailoverEvent(now, self.node_id, server_id, tuple(affected))
+            )
+            self._tracer.metrics.counter("client_failovers_total").inc()
+        for channel in affected:
+            if channel not in self._recovery_pending:
+                self._recovery_pending.add(channel)
+                self._try_recover(channel, 0)
+
+    def _try_recover(self, channel: str, attempt: int) -> None:
+        """(Re-)establish the channel's subscriptions on live servers."""
+        if not self.alive or self.transport is None:
+            return
+        sub = self._subs.get(channel)
+        if sub is None or channel not in self._recovery_pending:
+            self._recovery_pending.discard(channel)
+            self._recovery_attempt.pop(channel, None)
+            return
+        self._recovery_attempt[channel] = attempt
+        now = self.sim.now
+        failed = self._live_failed(now)
+        mapping = self._resolve(channel)
+        desired = {
+            s
+            for s in self._desired_sub_servers(mapping, sub.servers)
+            if s not in failed
+        }
+        if not desired:
+            # Every candidate is currently marked dead; back off and retry
+            # (marks expire, and repair notices may arrive meanwhile).
+            self._schedule_recovery_retry(channel, attempt)
+            return
+        for server in sorted(desired - sub.servers):
+            self.send(
+                server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE
+            )
+            self.resubscribes += 1
+        sub.servers |= desired
+        self.sim.schedule(
+            self._subscribe_ack_timeout, self._verify_recovery, channel, attempt
+        )
+
+    def _verify_recovery(self, channel: str, attempt: int) -> None:
+        """Ack check: recovery is done only when every server confirmed."""
+        if not self.alive or self.transport is None:
+            return
+        if self._recovery_attempt.get(channel) != attempt:
+            return  # superseded by a newer recovery round
+        sub = self._subs.get(channel)
+        if sub is None or channel not in self._recovery_pending:
+            self._recovery_pending.discard(channel)
+            self._recovery_attempt.pop(channel, None)
+            return
+        acked = self._acked.get(channel, set())
+        missing = {s for s in sub.servers if s not in acked}
+        if not missing:
+            self._recovery_pending.discard(channel)
+            self._recovery_attempt.pop(channel, None)
+            self.reconnects += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    ClientReconnectEvent(
+                        self.sim.now,
+                        self.node_id,
+                        channel,
+                        tuple(sorted(sub.servers)),
+                        attempt + 1,
+                    )
+                )
+                self._tracer.metrics.counter("client_reconnects_total").inc()
+            return
+        # No ack within the window: that server is dead (or unreachable)
+        # too.  Mark it and retry against the next candidate with
+        # exponential backoff.
+        for server in sorted(missing):
+            self._on_server_failed(server)
+        self._schedule_recovery_retry(channel, attempt)
+
+    def _schedule_recovery_retry(self, channel: str, attempt: int) -> None:
+        delay = min(
+            self._reconnect_backoff_base * (2.0 ** attempt),
+            self._reconnect_backoff_max,
+        )
+        self.sim.schedule(delay, self._try_recover, channel, attempt + 1)

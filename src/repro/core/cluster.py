@@ -22,20 +22,26 @@ This is the main entry point of the library::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.broker.config import BrokerConfig
 from repro.broker.server import PubSubServer
 from repro.core.balancer import LoadBalancer
 from repro.core.client import DynamothClient
 from repro.core.config import DynamothConfig
-from repro.core.dispatcher import Dispatcher
+from repro.core.dispatcher import Dispatcher, dispatcher_id
 from repro.core.lla import LocalLoadAnalyzer
 from repro.core.messages import PlanPush, ServerSpawned
 from repro.core.plan import ChannelMapping, Plan
 from repro.net.latency import LatencyModel
 from repro.net.transport import Transport
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import (
+    NULL_TRACER,
+    LlaStallEvent,
+    ServerCrashEvent,
+    ServerRestartEvent,
+    Tracer,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
@@ -88,9 +94,14 @@ class DynamothCluster:
         self.clients: Dict[str, DynamothClient] = {}
         self._server_counter = 0
         self._decommissioned: List[str] = []
+        #: ids crashed via :meth:`crash_server` and not yet restarted
+        self.crashed_servers: Set[str] = set()
         #: server-hours accounting for the cloud cost model: id -> start
         self._server_started: Dict[str, float] = {}
         self._server_stopped: Dict[str, float] = {}
+        #: rental seconds of closed intervals whose id was later reused
+        #: (crash -> restart); keeps :meth:`server_seconds` correct
+        self._server_closed_seconds = 0.0
 
         bootstrap_ids = [self._next_server_id() for __ in range(initial_servers)]
         self.plan = Plan.bootstrap(bootstrap_ids, vnodes=self.config.vnodes_per_server)
@@ -164,6 +175,8 @@ class DynamothCluster:
             current_plan,
             self.rng.stream(f"dispatcher:{server_id}"),
             plan_entry_timeout_s=self.config.plan_entry_timeout_s,
+            repair_buffer_s=self.config.repair_buffer_s,
+            repair_buffer_max_msgs=self.config.repair_buffer_max_msgs,
             tracer=self.tracer,
         )
         self.transport.register(dispatcher)
@@ -218,6 +231,74 @@ class DynamothCluster:
         self._decommissioned.append(server_id)
         self._server_stopped[server_id] = self.sim.now
 
+    # ------------------------------------------------------------------
+    # Fault injection surface (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def colocated_node_ids(self, server_id: str) -> Tuple[str, str, str]:
+        """All transport node ids living on one server machine."""
+        return (server_id, dispatcher_id(server_id), f"lla@{server_id}")
+
+    def crash_server(self, server_id: str) -> PubSubServer:
+        """Hard-crash a server node (and its co-located LLA/dispatcher).
+
+        Unlike a decommission there is no connection teardown -- a crashed
+        machine sends no FIN.  Clients and peers simply stop hearing from
+        it; in-flight messages to it are dropped on arrival.  Returns the
+        dead server object for post-mortem inspection.
+        """
+        server = self.servers.pop(server_id, None)
+        if server is None:
+            raise KeyError(f"unknown or already-dead server: {server_id}")
+        lla = self.llas.pop(server_id)
+        dispatcher = self.dispatchers.pop(server_id)
+        lla.stop()
+        server.shutdown()
+        dispatcher.shutdown()
+        lla.shutdown()
+        for node_id in self.colocated_node_ids(server_id):
+            self.transport.unregister(node_id)
+        self.crashed_servers.add(server_id)
+        self._server_stopped[server_id] = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(ServerCrashEvent(self.sim.now, server_id))
+        return server
+
+    def restart_server(self, server_id: str) -> PubSubServer:
+        """Boot a fresh, empty server under a previously crashed id.
+
+        State (subscriptions, buffers) is *not* recovered -- clients
+        resubscribe through the normal recovery path.  The balancer learns
+        about the comeback via the cloud's ready notification.
+        """
+        if server_id in self.servers:
+            raise ValueError(f"server {server_id} is already running")
+        if server_id not in self.crashed_servers:
+            raise KeyError(f"server {server_id} was never crashed")
+        self.crashed_servers.discard(server_id)
+        # Fold the finished rental interval into the closed accumulator so
+        # server_seconds() stays correct when the id is reused.
+        started = self._server_started.pop(server_id, None)
+        stopped = self._server_stopped.pop(server_id, None)
+        if started is not None and stopped is not None:
+            self._server_closed_seconds += max(0.0, stopped - started)
+        server = self._materialize_server(server_id)
+        if self.tracer.enabled:
+            self.tracer.emit(ServerRestartEvent(self.sim.now, server_id))
+        if self.balancer is not None:
+            self.balancer.receive(ServerSpawned(server_id), "cloud")
+        return server
+
+    def stall_lla(self, server_id: str) -> None:
+        """Freeze a server's LLA: its load reports stop (gray failure)."""
+        self.llas[server_id].stop()
+        if self.tracer.enabled:
+            self.tracer.emit(LlaStallEvent(self.sim.now, server_id, True))
+
+    def resume_lla(self, server_id: str) -> None:
+        self.llas[server_id].start()
+        if self.tracer.enabled:
+            self.tracer.emit(LlaStallEvent(self.sim.now, server_id, False))
+
     def all_client_ids(self) -> List[str]:
         """Currently connected clients (used by the eager-push strawman)."""
         return list(self.clients)
@@ -230,7 +311,7 @@ class DynamothCluster:
         minimize Cloud-related costs".
         """
         horizon = self.sim.now if until is None else until
-        total = 0.0
+        total = self._server_closed_seconds
         for server_id, started in self._server_started.items():
             stopped = self._server_stopped.get(server_id, horizon)
             total += max(0.0, min(stopped, horizon) - started)
@@ -257,6 +338,12 @@ class DynamothCluster:
             self.rng.stream(f"client:{client_id}"),
             plan_entry_timeout_s=self.config.plan_entry_timeout_s,
             resubscribe_grace_s=self.config.resubscribe_grace_s,
+            ping_interval_s=self.config.client_ping_interval_s,
+            ping_miss_limit=self.config.client_ping_miss_limit,
+            subscribe_ack_timeout_s=self.config.subscribe_ack_timeout_s,
+            reconnect_backoff_base_s=self.config.reconnect_backoff_base_s,
+            reconnect_backoff_max_s=self.config.reconnect_backoff_max_s,
+            failed_server_ttl_s=self.config.failed_server_ttl_s,
             tracer=self.tracer,
         )
         self.transport.register(client)

@@ -10,6 +10,7 @@ experiment shapes are reproduced.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -105,6 +106,45 @@ class DynamothConfig:
     max_servers: int = 8
     min_servers: int = 1
 
+    # --- failure detection & recovery (repro.faults subsystem) ---
+    #: heartbeat-based failure detection in the load balancer: a monitored
+    #: server (one that has reported at least once) silent for this long is
+    #: *suspected*...
+    heartbeat_suspect_s: float = 3.0
+    #: ...and a suspect silent for this much longer is *confirmed* failed,
+    #: triggering plan repair.  Detection only ever acts when reports stop
+    #: arriving, so it is safe to leave on for failure-free runs.
+    heartbeat_confirm_s: float = 2.0
+    #: whether the balancer runs heartbeat detection at all
+    failure_detection: bool = True
+    #: rent a replacement server after confirming a failure (in addition
+    #: to the min_servers floor, which always forces one)
+    replace_failed_servers: bool = False
+    #: a confirmed-failed server that resumes reporting (e.g. its LLA was
+    #: only stalled) is re-admitted to the pool; this TTL bounds how long
+    #: clients keep refusing to route to a server they found dead.
+    failed_server_ttl_s: float = 60.0
+    #: client-side liveness probing: PING each subscribed-on server this
+    #: often (``None`` disables probing -- the default, because pong
+    #: traffic changes measured egress and therefore plans in runs that
+    #: do not exercise failures).
+    client_ping_interval_s: Optional[float] = None
+    #: consecutive unanswered pings before the client declares the server
+    #: dead and fails over its subscriptions
+    client_ping_miss_limit: int = 3
+    #: seconds a recovering client waits for a SubscribeAck before
+    #: treating the target server as dead too and retrying elsewhere
+    subscribe_ack_timeout_s: float = 2.0
+    #: exponential resubscribe backoff: base * 2^attempt, capped
+    reconnect_backoff_base_s: float = 0.5
+    reconnect_backoff_max_s: float = 10.0
+    #: dispatcher-side repair buffering: a repaired channel's new home
+    #: holds publications for this long (and at most this many) after the
+    #: repair plan arrives, replaying them when the first recovering
+    #: subscriber resubscribes.
+    repair_buffer_s: float = 5.0
+    repair_buffer_max_msgs: int = 64
+
     # --- consistent hashing ---
     vnodes_per_server: int = 64
 
@@ -139,5 +179,19 @@ class DynamothConfig:
             raise ValueError("need 1 <= min_servers <= max_servers")
         if self.plan_entry_timeout_s <= 0:
             raise ValueError("plan_entry_timeout_s must be positive")
+        if self.heartbeat_suspect_s <= 0 or self.heartbeat_confirm_s <= 0:
+            raise ValueError("heartbeat timeouts must be positive")
+        if self.client_ping_interval_s is not None and self.client_ping_interval_s <= 0:
+            raise ValueError("client_ping_interval_s must be positive or None")
+        if self.client_ping_miss_limit < 1:
+            raise ValueError("client_ping_miss_limit must be >= 1")
+        if self.subscribe_ack_timeout_s <= 0:
+            raise ValueError("subscribe_ack_timeout_s must be positive")
+        if not (0 < self.reconnect_backoff_base_s <= self.reconnect_backoff_max_s):
+            raise ValueError("need 0 < reconnect_backoff_base_s <= reconnect_backoff_max_s")
+        if self.failed_server_ttl_s <= 0:
+            raise ValueError("failed_server_ttl_s must be positive")
+        if self.repair_buffer_s < 0 or self.repair_buffer_max_msgs < 0:
+            raise ValueError("repair buffer settings must be non-negative")
         if self.vnodes_per_server < 1:
             raise ValueError("vnodes_per_server must be >= 1")

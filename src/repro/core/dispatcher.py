@@ -30,8 +30,9 @@ be modified").
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Set
+from typing import Any, Deque, Dict, Set, Tuple
 
 from repro.broker.commands import PublishCmd
 from repro.broker.server import PubSubServer
@@ -75,6 +76,21 @@ class _Watch:
     announced: bool = False
 
 
+@dataclass
+class _RepairBuffer:
+    """Publications parked while failed-over subscribers resubscribe.
+
+    Created when a repair plan re-homes a dead server's channel onto this
+    server; flushed (republished locally) on the first subscribe so clients
+    racing their resubscribe against in-flight traffic do not miss the
+    window.  Bounded in both time and size -- overflow drops the oldest
+    message, keeping the documented at-most-once semantics during repair.
+    """
+
+    deadline: float
+    messages: Deque[Tuple[AppEnvelope, int]]
+
+
 class Dispatcher(Actor):
     """Reconfiguration agent co-located with one pub/sub server."""
 
@@ -86,6 +102,8 @@ class Dispatcher(Actor):
         rng: random.Random,
         *,
         plan_entry_timeout_s: float = 30.0,
+        repair_buffer_s: float = 5.0,
+        repair_buffer_max_msgs: int = 64,
         tracer: Tracer = NULL_TRACER,
     ):
         super().__init__(sim, dispatcher_id(server.node_id), is_infra=True)
@@ -93,6 +111,8 @@ class Dispatcher(Actor):
         self.plan = initial_plan
         self._rng = rng
         self._timeout = plan_entry_timeout_s
+        self._buffer_window = repair_buffer_s
+        self._buffer_max = repair_buffer_max_msgs
         self._tracer = tracer
 
         self._watch: Dict[str, _Watch] = {}
@@ -115,12 +135,19 @@ class Dispatcher(Actor):
         #: ring hash per observed publication)
         self._mapping_cache: Dict[str, ChannelMapping] = {}
         self._msg_counter = 0
+        #: servers the balancer confirmed dead (from plan pushes): no
+        #: forwarding toward them, and CH fallbacks resolve past them
+        self._failed: Set[str] = set()
+        #: channel -> parked publications awaiting a post-repair subscribe
+        self._repair_buffers: Dict[str, _RepairBuffer] = {}
 
         # --- counters ---
         self.forwarded_publications = 0
         self.redirects_sent = 0
         self.switch_notices_sent = 0
         self.plans_received = 0
+        self.buffered_publications = 0
+        self.replayed_publications = 0
 
         server.add_observer(self._on_publication)
         server.add_subscribe_listener(self._on_subscribe)
@@ -133,6 +160,20 @@ class Dispatcher(Actor):
         cached = self._mapping_cache.get(channel)
         if cached is None:
             cached = self.plan.mapping(channel)
+            if (
+                cached.version == 0
+                and self._failed
+                and any(s in self._failed for s in cached.servers)
+            ):
+                # CH fallback landing on a dead server: walk the ring past
+                # every confirmed-failed server.  (Explicitly mapped
+                # channels are re-homed by the balancer's repair plan
+                # instead.)
+                cached = ChannelMapping(
+                    ReplicationMode.SINGLE,
+                    (self.plan.ring.lookup(channel, exclude=self._failed),),
+                    0,
+                )
             self._mapping_cache[channel] = cached
         return cached
 
@@ -145,7 +186,7 @@ class Dispatcher(Actor):
         my_id = self.server.node_id
         targets = []
         for server, deadline in list(registry.items()):
-            if deadline <= now:
+            if deadline <= now or server in self._failed:
                 del registry[server]
                 continue
             if server == my_id:
@@ -160,6 +201,16 @@ class Dispatcher(Actor):
         if not registry:
             del self._stragglers[channel]
         return targets
+
+    def _prune_failed_stragglers(self) -> None:
+        """Forwarding toward a confirmed-dead server is wasted egress."""
+        for channel in list(self._stragglers):
+            registry = self._stragglers[channel]
+            for server in list(registry):
+                if server in self._failed:
+                    del registry[server]
+            if not registry:
+                del self._stragglers[channel]
 
     def _forward_targets(self, mapping: ChannelMapping) -> tuple:
         """Servers a misrouted publication must be forwarded to."""
@@ -219,6 +270,14 @@ class Dispatcher(Actor):
     def receive(self, message: Any, src_id: str) -> None:
         if isinstance(message, PlanPush):
             self._balancer_id = src_id
+            failed = set(message.failed_servers)
+            if failed != self._failed:
+                # Applied even when the plan itself is stale or a duplicate
+                # (resurrections re-push the same version): routing must
+                # stop targeting dead servers immediately.
+                self._failed = failed
+                self._mapping_cache.clear()
+                self._prune_failed_stragglers()
             self._handle_plan(message.plan, message.stragglers)
         elif isinstance(message, NoMoreSubscribers):
             registry = self._stragglers.get(message.channel)
@@ -273,6 +332,20 @@ class Dispatcher(Actor):
                     if registry.get(server, 0.0) < deadline:
                         registry[server] = deadline
 
+            if (
+                self._buffer_window > 0.0
+                and self._buffer_max > 0
+                and my_id in new.servers
+                and set(old.servers) & self._failed
+            ):
+                # This server inherited the channel from a dead one: park
+                # incoming publications until a failed-over subscriber's
+                # resubscribe lands, then replay them (at-most-once).
+                self._repair_buffers[channel] = _RepairBuffer(
+                    deadline=now + self._buffer_window,
+                    messages=deque(maxlen=self._buffer_max),
+                )
+
             involved = my_id in old.servers or my_id in new.servers
             if not involved:
                 continue
@@ -313,6 +386,8 @@ class Dispatcher(Actor):
             self.send(self._balancer_id, notice, NoMoreSubscribers.WIRE_SIZE)
 
     def _expire_watch(self, channel: str, version: int) -> None:
+        if not self.alive:
+            return  # this dispatcher's node crashed after scheduling
         watch = self._watch.get(channel)
         if watch is None or watch.version != version:
             return  # superseded by a newer plan change
@@ -340,6 +415,8 @@ class Dispatcher(Actor):
         mapping = self._mapping(channel)
         if watch is not None:
             self._maybe_switch_notice(channel, mapping)
+        if self._repair_buffers and self.server.node_id in mapping.servers:
+            self._buffer_for_repair(channel, envelope, payload_size)
         if envelope.forwarded:
             return  # a peer dispatcher already handled routing
 
@@ -368,7 +445,44 @@ class Dispatcher(Actor):
         for server in self._straggler_targets(channel, mapping):
             self._forward(channel, envelope, payload_size, server)
 
+    def _buffer_for_repair(self, channel: str, envelope: AppEnvelope, payload_size: int) -> None:
+        buffer = self._repair_buffers.get(channel)
+        if buffer is None:
+            return
+        if buffer.deadline <= self.sim.now:
+            del self._repair_buffers[channel]
+            return
+        buffer.messages.append((envelope, payload_size))
+        self.buffered_publications += 1
+
+    def _flush_repair_buffer(self, channel: str) -> None:
+        """Replay parked publications now that a subscriber (re)attached.
+
+        The buffer is popped *before* republishing, so the replayed copies
+        (which come back through ``_on_publication`` as forwarded traffic)
+        cannot re-enter it.  Subscribers already attached dedup the replays
+        by message id.
+        """
+        buffer = self._repair_buffers.pop(channel, None)
+        if buffer is None:
+            return
+        if buffer.deadline <= self.sim.now:
+            return
+        for envelope, size in buffer.messages:
+            self.send(
+                self.server.node_id,
+                PublishCmd(channel, envelope.as_forwarded(), size),
+                size,
+            )
+            self.replayed_publications += 1
+        if self._tracer.enabled and buffer.messages:
+            self._tracer.metrics.counter(
+                "repair_replays_total", server=self.server.node_id
+            ).inc(len(buffer.messages))
+
     def _on_subscribe(self, channel: str, client_id: str, plan_version: int) -> None:
+        if self._repair_buffers:
+            self._flush_repair_buffer(channel)
         watch = self._watch.get(channel)
         if watch is not None and plan_version >= watch.version:
             # The client confirmed the new mapping; it is reconciled.

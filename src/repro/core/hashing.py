@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Collection, Dict, List, Sequence, Tuple
 
 
 def _hash64(key: str) -> int:
@@ -75,14 +75,28 @@ class ConsistentHashRing:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def lookup(self, channel: str) -> str:
-        """Server responsible for ``channel``."""
+    def lookup(self, channel: str, exclude: Collection[str] = ()) -> str:
+        """Server responsible for ``channel``.
+
+        ``exclude`` names servers to walk past on the ring -- the failure
+        fallback: when a channel's ring-determined server is known dead,
+        every node excluding the same failed set independently agrees on
+        the next live server clockwise.  If every server is excluded the
+        primary is returned anyway (the caller has nowhere better to go).
+        """
         if not self._points:
             raise RuntimeError("consistent hash ring is empty")
         point = _hash64(channel)
         index = bisect.bisect_right(self._keys, point)
         if index == len(self._keys):
             index = 0
+        if not exclude:
+            return self._points[index][1]
+        total = len(self._points)
+        for offset in range(total):
+            __, server = self._points[(index + offset) % total]
+            if server not in exclude:
+                return server
         return self._points[index][1]
 
     def lookup_n(self, channel: str, n: int) -> List[str]:

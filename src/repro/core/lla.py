@@ -75,6 +75,11 @@ class LocalLoadAnalyzer(Actor):
     def stop(self) -> None:
         self._task.stop()
 
+    @property
+    def running(self) -> bool:
+        """Whether periodic reporting is active (False while stalled)."""
+        return self._task.running
+
     # ------------------------------------------------------------------
     # Observation (loopback, zero network cost)
     # ------------------------------------------------------------------

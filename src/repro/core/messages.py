@@ -84,10 +84,16 @@ class PlanPush:
     servers per channel (server -> forwarding deadline): dispatchers
     merge it into their local registries so that forwarding survives
     chained migrations and reaches dispatchers spawned mid-chain.
+
+    ``failed_servers`` lists servers the balancer currently considers
+    dead (heartbeat-confirmed): dispatchers stop forwarding toward them,
+    drop them from straggler registries, and re-resolve consistent-hashing
+    fallbacks past them on the ring.
     """
 
     plan: Plan
     stragglers: Any = None
+    failed_servers: Tuple[str, ...] = ()
 
     WIRE_SIZE = 512
 

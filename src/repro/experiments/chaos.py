@@ -1,0 +1,228 @@
+"""Chaos scenario: crash a broker under the RGame workload, measure recovery.
+
+The canonical acceptance scenario of the ``repro.faults`` subsystem: a
+steady RGame population publishes on tile channels across three pub/sub
+servers; at ``crash_at_s`` one server hard-crashes (no FIN, no warning).
+The run then exercises the full recovery chain:
+
+1. the balancer's heartbeat monitor suspects and then confirms the
+   failure (LLA reports stopped);
+2. plan repair re-homes the dead server's channels onto the survivors and
+   pushes the repaired plan;
+3. ping-probing clients declare the server dead, fail over, and
+   resubscribe with exponential backoff until every subscription is
+   acked again.
+
+The result quantifies each stage relative to the crash instant --
+detection, repair, and the **time-to-recover**: when the *slowest*
+affected subscriber received an application publication again.  Clients
+that never recover make the scenario fail, which is exactly what the CI
+``chaos-smoke`` job asserts.
+
+Everything is seed-deterministic: the same seed produces the same fault
+timeline, the same recovery milestones, and a byte-identical trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.faults import ChaosSchedule, FaultInjector
+from repro.obs.cli import TraceSummary
+from repro.obs.trace import ClientReconnectEvent, ServerCrashEvent, Tracer
+from repro.workload.rgame import RGameConfig, RGameWorkload
+
+
+@dataclass
+class ChaosScenarioConfig:
+    """Parameters of one broker-crash run."""
+
+    tiles_per_side: int = 4
+    players: int = 60
+    #: virtual time of the crash
+    crash_at_s: float = 30.0
+    duration_s: float = 90.0
+    #: restart the victim this long after the crash (None = stays dead)
+    restart_after_s: Optional[float] = None
+    #: crash victim; None picks the second bootstrap server
+    victim: Optional[str] = None
+    updates_per_s: float = 2.0
+    payload_size: int = 200
+    nominal_egress_bps: float = 400_000.0
+    initial_servers: int = 3
+    max_servers: int = 4
+    t_wait_s: float = 10.0
+    #: chaos runs enable client-side ping probing -- without it a
+    #: subscriber has no way to notice its server silently vanished
+    client_ping_interval_s: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ChaosScenarioConfig":
+        """A small, fast preset for CI (the ``chaos-smoke`` job)."""
+        return cls(
+            tiles_per_side=3,
+            players=24,
+            crash_at_s=20.0,
+            duration_s=60.0,
+            nominal_egress_bps=250_000.0,
+        )
+
+    def dynamoth_config(self) -> DynamothConfig:
+        return DynamothConfig(
+            max_servers=self.max_servers,
+            spawn_delay_s=5.0,
+            t_wait_s=self.t_wait_s,
+            client_ping_interval_s=self.client_ping_interval_s,
+        )
+
+    def broker_config(self) -> BrokerConfig:
+        return BrokerConfig(
+            nominal_egress_bps=self.nominal_egress_bps,
+            cpu_per_publish_s=10e-6,
+            cpu_per_delivery_s=5e-6,
+            per_connection_bps=None,
+            output_buffer_limit_bytes=8 * 1_048_576,
+        )
+
+    def rgame_config(self) -> RGameConfig:
+        return RGameConfig(
+            tiles_per_side=self.tiles_per_side,
+            updates_per_s=self.updates_per_s,
+            payload_size=self.payload_size,
+        )
+
+
+@dataclass
+class ChaosResult:
+    """Recovery milestones of one run, all relative to the crash time."""
+
+    config: ChaosScenarioConfig
+    victim: str
+    crash_t: float
+    #: crash -> balancer failure confirmation (None = never detected)
+    detection_s: Optional[float]
+    #: crash -> repaired plan pushed (None = never repaired)
+    repair_s: Optional[float]
+    #: clients that declared the victim dead and failed over
+    failover_count: int
+    #: crash -> slowest affected client delivering again (None while any
+    #: affected client never received another publication)
+    recovery_s: Optional[float]
+    #: acked resubscribes recorded during recovery
+    reconnects: int
+    tracer: Tracer
+
+    @property
+    def recovered(self) -> bool:
+        """Every affected subscriber resumed delivery."""
+        return self.failover_count == 0 or self.recovery_s is not None
+
+    def within_bound(self, bound_s: float) -> bool:
+        return self.recovered and (self.recovery_s or 0.0) <= bound_s
+
+
+def run_chaos(
+    config: Optional[ChaosScenarioConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> ChaosResult:
+    """One crash-and-recover run.
+
+    A tracer is always attached -- the recovery milestones are computed
+    from the trace -- but only handed back through ``result.tracer`` (the
+    CLI dumps it when ``--trace`` was given).
+    """
+    config = config if config is not None else ChaosScenarioConfig()
+    tracer = tracer if tracer is not None else Tracer()
+    cluster = DynamothCluster(
+        seed=config.seed,
+        config=config.dynamoth_config(),
+        broker_config=config.broker_config(),
+        initial_servers=config.initial_servers,
+        tracer=tracer,
+    )
+    victim = config.victim
+    if victim is None:
+        candidates = sorted(cluster.servers)
+        victim = candidates[min(1, len(candidates) - 1)]
+    elif victim not in cluster.servers:
+        raise ValueError(f"victim {victim!r} is not a bootstrap server")
+
+    injector = FaultInjector(
+        cluster,
+        ChaosSchedule.single_crash(
+            victim, at=config.crash_at_s, restart_after_s=config.restart_after_s
+        ),
+    )
+    injector.arm()
+
+    workload = RGameWorkload(cluster, config.rgame_config())
+    workload.add_players(config.players)
+    cluster.run_until(config.duration_s)
+
+    summary = TraceSummary(list(tracer.events))
+    crash = next(
+        (
+            e
+            for e in summary.fault_events
+            if isinstance(e, ServerCrashEvent) and e.server == victim
+        ),
+        None,
+    )
+    if crash is None:  # pragma: no cover - the schedule always fires
+        raise RuntimeError("crash never executed; check crash_at_s < duration_s")
+    detection_s, repair_s, failover_count, recovery_s = summary.crash_recovery(crash)
+    reconnects = sum(
+        1 for e in summary.fault_events if isinstance(e, ClientReconnectEvent)
+    )
+    return ChaosResult(
+        config=config,
+        victim=victim,
+        crash_t=crash.t,
+        detection_s=detection_s,
+        repair_s=repair_s,
+        failover_count=failover_count,
+        recovery_s=recovery_s,
+        reconnects=reconnects,
+        tracer=tracer,
+    )
+
+
+def render_chaos(result: ChaosResult) -> str:
+    """A compact report of the recovery chain."""
+    config = result.config
+    lines: List[str] = []
+    out = lines.append
+    out("Chaos scenario -- broker crash under RGame workload")
+    out(
+        f"  {config.players} players, {config.initial_servers} servers, "
+        f"{config.tiles_per_side}x{config.tiles_per_side} tiles, "
+        f"seed {config.seed}"
+    )
+    out(f"  victim {result.victim} crashed at t={result.crash_t:.2f}s")
+    out("")
+    detect = (
+        f"+{result.detection_s:.2f}s"
+        if result.detection_s is not None
+        else "NEVER"
+    )
+    repair = f"+{result.repair_s:.2f}s" if result.repair_s is not None else "NEVER"
+    out(f"  failure detected (heartbeat confirm)   {detect}")
+    out(f"  plan repaired and pushed               {repair}")
+    out(f"  client failovers                       {result.failover_count}")
+    out(f"  acked resubscribes                     {result.reconnects}")
+    if result.failover_count:
+        recover = (
+            f"+{result.recovery_s:.2f}s"
+            if result.recovery_s is not None
+            else "NEVER (subscriber lost!)"
+        )
+        out(f"  slowest subscriber delivering again    {recover}")
+    out("")
+    out("  verdict: " + ("RECOVERED" if result.recovered else "SUBSCRIPTION LOST"))
+    return "\n".join(lines)

@@ -8,6 +8,7 @@ Regenerate any of the paper's figures from a shell::
     python -m repro.experiments fig5  --paper-scale        # 1200 players
     python -m repro.experiments fig7
     python -m repro.experiments headline
+    python -m repro.experiments chaos --smoke --max-recovery-s 30
 
 Each subcommand prints the same table the corresponding benchmark prints,
 so results can be regenerated without pytest.
@@ -28,7 +29,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.cluster import BALANCER_CONSISTENT_HASHING, BALANCER_DYNAMOTH
-from repro.experiments import experiment1, experiment2, experiment3, report
+from repro.experiments import chaos, experiment1, experiment2, experiment3, report
 from repro.obs.export import dump_tracer
 from repro.obs.trace import Tracer
 
@@ -83,6 +84,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig7", help="Experiment 3 (elasticity)")
     p.add_argument("--paper-scale", action="store_true")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "chaos", help="broker-crash recovery scenario (repro.faults)"
+    )
+    p.add_argument("--smoke", action="store_true", help="small fast preset (CI)")
+    p.add_argument("--players", type=int, default=None)
+    p.add_argument("--crash-at", type=float, default=None, help="crash time, seconds")
+    p.add_argument(
+        "--restart-after",
+        type=float,
+        default=None,
+        help="restart the victim this many seconds after the crash",
+    )
+    p.add_argument(
+        "--max-recovery-s",
+        type=float,
+        default=None,
+        help="exit 1 unless every affected subscriber delivers again "
+        "within this bound after the crash",
+    )
     _add_common(p)
 
     return parser
@@ -195,6 +217,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = experiment3.run_elasticity(config, tracer=tracer)
         _dump(tracer, args)
         print(report.render_figure7(result))
+    elif args.command == "chaos":
+        config = (
+            chaos.ChaosScenarioConfig.smoke()
+            if args.smoke
+            else chaos.ChaosScenarioConfig()
+        )
+        overrides = {"seed": args.seed}
+        if args.players is not None:
+            overrides["players"] = args.players
+        if args.crash_at is not None:
+            overrides["crash_at_s"] = args.crash_at
+        if args.restart_after is not None:
+            overrides["restart_after_s"] = args.restart_after
+        config = replace(config, **overrides)
+        logger.info(
+            "running chaos scenario (%d players, crash at t=%.1fs)...",
+            config.players,
+            config.crash_at_s,
+        )
+        result = chaos.run_chaos(config, tracer=tracer)
+        # run_chaos always traces internally; dump only on explicit --trace.
+        _dump(result.tracer if args.trace else None, args)
+        print(chaos.render_chaos(result))
+        if args.max_recovery_s is not None and not result.within_bound(
+            args.max_recovery_s
+        ):
+            print(
+                f"FAIL: recovery bound {args.max_recovery_s:.1f}s exceeded "
+                f"(recovery_s={result.recovery_s})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -1,0 +1,177 @@
+"""Declarative chaos schedules.
+
+A :class:`ChaosSchedule` is an immutable list of fault actions, each
+stamped with its (virtual) execution time.  Deterministic actions name an
+exact time and target; the stochastic :class:`RandomCrashes` process is
+*expanded* into concrete crash/restart actions by :meth:`ChaosSchedule
+.expand` using the injector's dedicated ``"chaos"`` RNG stream -- so the
+same seed always yields the same fault timeline, and fault-free runs never
+touch that stream at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class CrashServer:
+    """Hard-crash ``server`` at time ``at``."""
+
+    at: float
+    server: str
+
+
+@dataclass(frozen=True)
+class RestartServer:
+    """Restart a previously crashed ``server`` at time ``at``."""
+
+    at: float
+    server: str
+
+
+@dataclass(frozen=True)
+class PartitionNodes:
+    """Cut all traffic between ``a`` and ``b`` starting at ``at``.
+
+    Endpoints naming a pub/sub server are expanded to the whole machine
+    (server + dispatcher + LLA).  ``until`` schedules the matching heal;
+    ``None`` means the partition holds until an explicit
+    :class:`HealPartition`.
+    """
+
+    at: float
+    a: str
+    b: str
+    until: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HealPartition:
+    at: float
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class DegradeLink:
+    """Inject loss and/or jitter on the ``a``--``b`` link at ``at``.
+
+    ``loss`` is a per-message drop probability, ``jitter_s`` a uniform
+    extra one-way delay bound.  ``until`` schedules automatic clearing.
+    """
+
+    at: float
+    a: str
+    b: str
+    loss: float = 0.0
+    jitter_s: float = 0.0
+    until: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StallLla:
+    """Freeze ``server``'s LLA reports at ``at`` (a gray failure: the
+    broker keeps serving traffic while its heartbeat goes silent).
+    ``duration_s=None`` stalls it for good."""
+
+    at: float
+    server: str
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RandomCrashes:
+    """Poisson crash process over ``[start, end)`` at ``rate_per_s``.
+
+    Each sampled instant crashes one uniformly chosen *currently-known*
+    server; with ``restart_after_s`` set, every crash is followed by a
+    restart that much later.  Expanded deterministically from the chaos
+    RNG stream before the run starts.
+    """
+
+    rate_per_s: float
+    start: float
+    end: float
+    restart_after_s: Optional[float] = None
+
+
+FaultAction = Union[
+    CrashServer,
+    RestartServer,
+    PartitionNodes,
+    HealPartition,
+    DegradeLink,
+    StallLla,
+    RandomCrashes,
+]
+
+#: Action types executable as-is (everything except RandomCrashes).
+ConcreteAction = Union[
+    CrashServer,
+    RestartServer,
+    PartitionNodes,
+    HealPartition,
+    DegradeLink,
+    StallLla,
+]
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An immutable fault timeline; see the module docstring."""
+
+    actions: Tuple[FaultAction, ...] = ()
+
+    @classmethod
+    def single_crash(
+        cls,
+        server: str,
+        at: float,
+        restart_after_s: Optional[float] = None,
+    ) -> "ChaosSchedule":
+        """The canonical scenario: crash one broker, optionally restart."""
+        actions: List[FaultAction] = [CrashServer(at, server)]
+        if restart_after_s is not None:
+            actions.append(RestartServer(at + restart_after_s, server))
+        return cls(tuple(actions))
+
+    def expand(
+        self, rng: random.Random, server_ids: Sequence[str]
+    ) -> List[ConcreteAction]:
+        """Resolve stochastic actions into a concrete, time-sorted list.
+
+        ``server_ids`` must be passed in deterministic order (the injector
+        sorts them); ``rng`` is consumed only for :class:`RandomCrashes`
+        entries, so schedules without them expand identically regardless
+        of the stream's state.
+        """
+        concrete: List[ConcreteAction] = []
+        for action in self.actions:
+            if isinstance(action, RandomCrashes):
+                concrete.extend(self._expand_random(action, rng, server_ids))
+            else:
+                concrete.append(action)
+        # Stable sort on time: simultaneous actions keep schedule order.
+        concrete.sort(key=lambda a: a.at)
+        return concrete
+
+    @staticmethod
+    def _expand_random(
+        process: RandomCrashes, rng: random.Random, server_ids: Sequence[str]
+    ) -> List[ConcreteAction]:
+        if process.rate_per_s <= 0.0 or not server_ids:
+            return []
+        out: List[ConcreteAction] = []
+        t = process.start
+        while True:
+            t += rng.expovariate(process.rate_per_s)
+            if t >= process.end:
+                break
+            server = server_ids[rng.randrange(len(server_ids))]
+            out.append(CrashServer(t, server))
+            if process.restart_after_s is not None:
+                out.append(RestartServer(t + process.restart_after_s, server))
+        return out

@@ -16,12 +16,25 @@ model.  Sending a message involves, in order:
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Protocol, Tuple
 
 from repro.net.latency import KingLatencyModel, LanLatency, LatencyModel
 from repro.net.link import EgressPort
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
+
+
+class FaultPlane(Protocol):
+    """Per-message verdict hook for injected network faults.
+
+    :meth:`apply` returns extra one-way delay in seconds (0.0 for a healthy
+    link), or ``None`` when the message is lost (partitioned link, or a
+    sampled loss event).  Implementations must draw randomness only from
+    their own RNG stream so installing a plane with no active faults leaves
+    the simulation byte-identical.
+    """
+
+    def apply(self, src_id: str, dst_id: str) -> Optional[float]: ...
 
 
 class Transport:
@@ -48,6 +61,13 @@ class Transport:
         self._fifo: Dict[str, Dict[str, float]] = {}
         self.messages_sent: int = 0
         self.messages_dropped: int = 0
+        #: optional network fault plane (installed by
+        #: :class:`repro.faults.FaultInjector`).  Consulted per message:
+        #: may drop it (partition, loss) or add delay (jitter).  ``None``
+        #: -- the default -- costs one attribute check per send, and the
+        #: plane draws from its own RNG stream, so fault-free runs are
+        #: byte-identical with or without it installed.
+        self.fault_plane: Optional["FaultPlane"] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -118,6 +138,16 @@ class Transport:
         if min_completion > completion:
             completion = min_completion
 
+        plane = self.fault_plane
+        if plane is not None:
+            extra = plane.apply(src_id, dst_id)
+            if extra is None:
+                # Lost in the network: the bytes still occupied the NIC.
+                self.messages_dropped += 1
+                return completion, completion
+        else:
+            extra = 0.0
+
         dst = self._actors.get(dst_id)
         if dst is None or not dst.alive:
             # Destination already gone: the bytes still occupied the NIC,
@@ -126,7 +156,7 @@ class Transport:
             return completion, completion
 
         latency = self._sample_latency(src, dst)
-        delivery_time = completion + latency
+        delivery_time = completion + latency + extra
         if fifo:
             lane = self._fifo.setdefault(src_id, {})
             earlier = lane.get(dst_id, 0.0)

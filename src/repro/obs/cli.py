@@ -21,15 +21,46 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.export import read_trace
 from repro.obs.trace import (
+    ClientFailoverEvent,
+    ClientReconnectEvent,
     DecommissionEvent,
     DeliveryEvent,
     FanoutEvent,
+    LinkFaultEvent,
+    LlaStallEvent,
     LoadSnapshotEvent,
     MigrationSettledEvent,
     MigrationStartEvent,
+    PartitionEvent,
+    PartitionHealedEvent,
     PlanGeneratedEvent,
+    PlanRepairDoneEvent,
+    PlanRepairStartEvent,
+    ServerCrashEvent,
+    ServerFailureConfirmedEvent,
     ServerReadyEvent,
+    ServerRestartEvent,
+    ServerResurrectedEvent,
+    ServerSuspectEvent,
     TraceEvent,
+)
+
+#: Event classes rendered in the failure & recovery timeline, in the order
+#: they appear during one crash -> detect -> repair -> resubscribe cycle.
+FAULT_EVENT_CLASSES = (
+    ServerCrashEvent,
+    ServerRestartEvent,
+    PartitionEvent,
+    PartitionHealedEvent,
+    LinkFaultEvent,
+    LlaStallEvent,
+    ServerSuspectEvent,
+    ServerFailureConfirmedEvent,
+    ServerResurrectedEvent,
+    PlanRepairStartEvent,
+    PlanRepairDoneEvent,
+    ClientFailoverEvent,
+    ClientReconnectEvent,
 )
 
 SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
@@ -93,6 +124,9 @@ class TraceSummary:
         self.load_snapshots: List[LoadSnapshotEvent] = [
             e for e in events if isinstance(e, LoadSnapshotEvent)
         ]
+        self.fault_events: List[TraceEvent] = [
+            e for e in events if isinstance(e, FAULT_EVENT_CLASSES)
+        ]
 
     @property
     def duration(self) -> float:
@@ -143,12 +177,117 @@ class TraceSummary:
             for channel, count in ranked
         ]
 
+    # ------------------------------------------------------------------
+    # Failure & recovery
+    # ------------------------------------------------------------------
+    def crash_recovery(
+        self, crash: ServerCrashEvent
+    ) -> Tuple[Optional[float], Optional[float], int, Optional[float]]:
+        """Per-crash recovery milestones, all relative to the crash time.
+
+        Returns ``(detection_s, repair_s, failover_count, recovered_s)``
+        where ``recovered_s`` is when the *slowest* affected client
+        received an application publication again (``None`` while any of
+        them never did -- the invariant the chaos smoke test enforces).
+        """
+        detect = next(
+            (
+                e.t
+                for e in self.fault_events
+                if isinstance(e, ServerFailureConfirmedEvent)
+                and e.server == crash.server
+                and e.t >= crash.t
+            ),
+            None,
+        )
+        repair = next(
+            (
+                e.t
+                for e in self.fault_events
+                if isinstance(e, PlanRepairDoneEvent)
+                and e.server == crash.server
+                and e.t >= crash.t
+            ),
+            None,
+        )
+        failovers = [
+            e
+            for e in self.fault_events
+            if isinstance(e, ClientFailoverEvent)
+            and e.server == crash.server
+            and e.t >= crash.t
+        ]
+        recovered: Optional[float] = None
+        for failover in failovers:
+            first = next(
+                (d.t for d in self.deliveries if d.client == failover.client and d.t > failover.t),
+                None,
+            )
+            if first is None:
+                return (
+                    None if detect is None else detect - crash.t,
+                    None if repair is None else repair - crash.t,
+                    len(failovers),
+                    None,
+                )
+            recovered = first if recovered is None else max(recovered, first)
+        return (
+            None if detect is None else detect - crash.t,
+            None if repair is None else repair - crash.t,
+            len(failovers),
+            None if recovered is None else recovered - crash.t,
+        )
+
     def load_series(self) -> Dict[str, List[Tuple[float, float]]]:
         series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
         for snap in self.load_snapshots:
             for server, ratio in snap.ratios.items():
                 series[server].append((snap.t, ratio))
         return dict(series)
+
+
+def _fault_line(event: TraceEvent) -> str:
+    """One human-readable timeline line per fault/recovery event."""
+    if isinstance(event, ServerCrashEvent):
+        return f"crash            {event.server}"
+    if isinstance(event, ServerRestartEvent):
+        return f"restart          {event.server}"
+    if isinstance(event, PartitionEvent):
+        return f"partition        {event.a} <-/-> {event.b}"
+    if isinstance(event, PartitionHealedEvent):
+        return f"partition-healed {event.a} <---> {event.b}"
+    if isinstance(event, LinkFaultEvent):
+        if event.loss <= 0.0 and event.jitter_s <= 0.0:
+            return f"link-restored    {event.a} <-> {event.b}"
+        return (
+            f"link-fault       {event.a} <-> {event.b} "
+            f"(loss {event.loss:.0%}, jitter {event.jitter_s * 1000:.0f}ms)"
+        )
+    if isinstance(event, LlaStallEvent):
+        verb = "lla-stall       " if event.stalled else "lla-resume      "
+        return f"{verb} {event.server}"
+    if isinstance(event, ServerSuspectEvent):
+        return f"suspect          {event.server} (silent {event.silence_s:.1f}s)"
+    if isinstance(event, ServerFailureConfirmedEvent):
+        return f"failure-confirm  {event.server} (silent {event.silence_s:.1f}s)"
+    if isinstance(event, ServerResurrectedEvent):
+        return f"resurrected      {event.server}"
+    if isinstance(event, PlanRepairStartEvent):
+        return f"repair-start     {event.server} ({len(event.channels)} channel(s))"
+    if isinstance(event, PlanRepairDoneEvent):
+        return f"repair-done      {event.server} -> plan v{event.version}"
+    if isinstance(event, ClientFailoverEvent):
+        return (
+            f"client-failover  {event.client} lost {event.server} "
+            f"({len(event.channels)} channel(s))"
+        )
+    if isinstance(event, ClientReconnectEvent):
+        servers = ",".join(event.servers)
+        return (
+            f"client-reconnect {event.client} {event.channel} -> {servers} "
+            f"(attempt {event.attempts})"
+        )
+    return type(event).TYPE  # pragma: no cover - FAULT_EVENT_CLASSES is closed
 
 
 def render_summary(summary: TraceSummary, top: int = 5) -> str:
@@ -224,6 +363,32 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
             )
     else:
         out("reconfiguration timeline: no plan generations recorded")
+
+    # --- failure & recovery timeline ---
+    if summary.fault_events:
+        out("")
+        out(f"failure & recovery timeline ({len(summary.fault_events)} fault events)")
+        for event in summary.fault_events:
+            out(f"  t={event.t:8.2f}s  {_fault_line(event)}")
+        for crash in summary.fault_events:
+            if not isinstance(crash, ServerCrashEvent):
+                continue
+            detect, repair, failovers, recovered = summary.crash_recovery(crash)
+            milestones = [
+                f"detected +{detect:.2f}s" if detect is not None else "never detected",
+                f"repaired +{repair:.2f}s" if repair is not None else "never repaired",
+                f"{failovers} client failover(s)",
+            ]
+            if failovers:
+                milestones.append(
+                    f"slowest client delivering again +{recovered:.2f}s"
+                    if recovered is not None
+                    else "some client NEVER recovered"
+                )
+            out(
+                f"  recovery of {crash.server} (crashed t={crash.t:.2f}s): "
+                + ", ".join(milestones)
+            )
 
     # --- per-server load ratios ---
     out("")

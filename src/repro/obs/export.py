@@ -2,7 +2,7 @@
 
 Schema (one JSON object per line):
 
-* Line 1 is a header: ``{"type": "trace_header", "schema": 1}``.
+* Line 1 is a header: ``{"type": "trace_header", "schema": 2}``.
 * Every following line is one event: ``{"type": "<tag>", "t": <float>, ...}``
   where ``<tag>`` is a key of :data:`repro.obs.trace.EVENT_TYPES` and the
   remaining keys are that event dataclass's fields (tuples serialized as
@@ -23,7 +23,13 @@ from typing import Any, Dict, Iterable, List, Union
 
 from repro.obs.trace import EVENT_TYPES, MetricsEvent, TraceEvent, Tracer
 
-SCHEMA_VERSION = 1
+#: Current writer schema.  v2 added the fault/recovery event types of the
+#: ``repro.faults`` subsystem (server_crash, partition, server_suspect,
+#: plan_repair_*, client_reconnect, ...).
+SCHEMA_VERSION = 2
+#: Schemas this reader accepts.  v1 traces contain a strict subset of the
+#: v2 event types, so they load unchanged.
+SUPPORTED_SCHEMAS = frozenset({1, 2})
 HEADER_TYPE = "trace_header"
 
 
@@ -73,10 +79,10 @@ def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
         header = json.loads(header_line)
         if header.get("type") != HEADER_TYPE:
             raise ValueError(f"{path}: missing trace header")
-        if header.get("schema") != SCHEMA_VERSION:
+        if header.get("schema") not in SUPPORTED_SCHEMAS:
             raise ValueError(
                 f"{path}: unsupported schema {header.get('schema')!r} "
-                f"(reader supports {SCHEMA_VERSION})"
+                f"(reader supports {sorted(SUPPORTED_SCHEMAS)})"
             )
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()

@@ -249,6 +249,139 @@ class SwitchNoticeEvent(TraceEvent):
     version: int
 
 
+# ----------------------------------------------------------------------
+# Fault-injection & recovery events (repro.faults subsystem)
+# ----------------------------------------------------------------------
+@dataclass
+class ServerCrashEvent(TraceEvent):
+    """A pub/sub server (and its co-located LLA/dispatcher) hard-crashed."""
+
+    TYPE = "server_crash"
+
+    server: str
+
+
+@dataclass
+class ServerRestartEvent(TraceEvent):
+    """A crashed server was restarted (fresh state, same node id)."""
+
+    TYPE = "server_restart"
+
+    server: str
+
+
+@dataclass
+class PartitionEvent(TraceEvent):
+    """A network partition was injected between two node groups."""
+
+    TYPE = "partition"
+
+    a: str
+    b: str
+
+
+@dataclass
+class PartitionHealedEvent(TraceEvent):
+    TYPE = "partition_healed"
+
+    a: str
+    b: str
+
+
+@dataclass
+class LinkFaultEvent(TraceEvent):
+    """Loss/jitter injected on (or cleared from, when both are 0) a link."""
+
+    TYPE = "link_fault"
+
+    a: str
+    b: str
+    loss: float
+    jitter_s: float
+
+
+@dataclass
+class LlaStallEvent(TraceEvent):
+    """An LLA's report stream was stalled (or resumed, stalled=False)."""
+
+    TYPE = "lla_stall"
+
+    server: str
+    stalled: bool
+
+
+@dataclass
+class ServerSuspectEvent(TraceEvent):
+    """The balancer's heartbeat monitor suspects a silent server."""
+
+    TYPE = "server_suspect"
+
+    server: str
+    silence_s: float
+
+
+@dataclass
+class ServerFailureConfirmedEvent(TraceEvent):
+    """The suspicion window elapsed: the server is considered dead."""
+
+    TYPE = "server_failure_confirmed"
+
+    server: str
+    silence_s: float
+
+
+@dataclass
+class ServerResurrectedEvent(TraceEvent):
+    """A confirmed-failed server resumed reporting and was re-admitted."""
+
+    TYPE = "server_resurrected"
+
+    server: str
+
+
+@dataclass
+class PlanRepairStartEvent(TraceEvent):
+    """The balancer begins re-homing a dead server's channels."""
+
+    TYPE = "plan_repair_start"
+
+    server: str
+    channels: Tuple[str, ...]
+
+
+@dataclass
+class PlanRepairDoneEvent(TraceEvent):
+    """The repair plan was generated and pushed to all live dispatchers."""
+
+    TYPE = "plan_repair_done"
+
+    server: str
+    version: int
+
+
+@dataclass
+class ClientFailoverEvent(TraceEvent):
+    """A client declared a server dead and began failing over."""
+
+    TYPE = "client_failover"
+
+    client: str
+    server: str
+    channels: Tuple[str, ...]
+
+
+@dataclass
+class ClientReconnectEvent(TraceEvent):
+    """A recovering client re-established a subscription (acked)."""
+
+    TYPE = "client_reconnect"
+
+    client: str
+    channel: str
+    servers: Tuple[str, ...]
+    attempts: int
+
+
 @dataclass
 class MetricsEvent(TraceEvent):
     """A metrics-registry snapshot embedded in the trace (usually last)."""
@@ -279,6 +412,19 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         DecommissionEvent,
         PlanAppliedEvent,
         SwitchNoticeEvent,
+        ServerCrashEvent,
+        ServerRestartEvent,
+        PartitionEvent,
+        PartitionHealedEvent,
+        LinkFaultEvent,
+        LlaStallEvent,
+        ServerSuspectEvent,
+        ServerFailureConfirmedEvent,
+        ServerResurrectedEvent,
+        PlanRepairStartEvent,
+        PlanRepairDoneEvent,
+        ClientFailoverEvent,
+        ClientReconnectEvent,
         MetricsEvent,
     )
 }

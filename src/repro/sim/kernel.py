@@ -21,7 +21,7 @@ class ScheduledEvent:
     heap but is skipped when popped).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
@@ -29,14 +29,23 @@ class ScheduledEvent:
         self.fn: Optional[Callable[..., None]] = fn
         self.args = args
         self.cancelled = False
+        #: back-reference to the owning simulator while the event is in its
+        #: heap, so cancellations can be counted for heap compaction.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events do not pin large objects in
         # memory while they wait to be popped from the heap.
         self.fn = None
         self.args = ()
+        sim = self._sim
+        self._sim = None
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -61,11 +70,17 @@ class Simulator:
     the order they were scheduled.
     """
 
+    #: Compaction floor: heaps smaller than this are never compacted (the
+    #: rebuild would cost more than the memory it frees).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[ScheduledEvent] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled_pending: int = 0
+        self._compactions: int = 0
         self._running = False
         #: Optional observability hook ``(now, events_processed) -> None``,
         #: invoked after each executed event.  ``None`` (the default) costs
@@ -91,6 +106,16 @@ class Simulator:
         """Number of events still in the heap, including cancelled ones."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (diagnostic)."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far (diagnostic)."""
+        return self._compactions
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -109,9 +134,35 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         event = ScheduledEvent(time, self._seq, fn, args)
+        event._sim = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # ------------------------------------------------------------------
+    # Heap compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel` while the event is heaped.
+
+        Long chaos runs cancel timers constantly (heartbeats, retry
+        backoffs); without compaction those tombstones accumulate until
+        they are popped, which for far-future deadlines can take the whole
+        run.  Once cancelled events outnumber live ones (and the heap is
+        big enough to matter), rebuild the heap without them.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -125,11 +176,15 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             fn, args = event.fn, event.args
             # Release the handle's references before running, so an event
-            # rescheduling itself does not grow memory.
+            # rescheduling itself does not grow memory.  The back-reference
+            # is dropped first: this event already left the heap, so its
+            # self-cancel must not count toward the compaction trigger.
+            event._sim = None
             event.cancel()
             self._events_processed += 1
             assert fn is not None
@@ -154,6 +209,7 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_pending -= 1
                     continue
                 if head.time > time:
                     break

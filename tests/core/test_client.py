@@ -218,3 +218,40 @@ class TestReplicationRouting:
         # one delivery per replica (plus any transition-window forwards),
         # all but one suppressed by the message-id dedup
         assert sub.duplicates >= len(servers) - 1
+
+
+class TestChFallbackConvergence:
+    """Regression: unknown channels route via CH and converge on plan pushes."""
+
+    def test_unknown_channel_converges_after_plan_push(self, cluster):
+        got = []
+        sub = cluster.create_client("s")
+        sub.subscribe("ch", lambda ch, body, env: got.append(body))
+        pub = cluster.create_client("c")
+        drain(cluster)
+        home = cluster.plan.ring.lookup("ch")
+        assert pub.known_mapping("ch") is None  # CH fallback, no plan entry
+        pub.publish("ch", "one", 10)
+        drain(cluster)
+        assert got == ["one"]
+
+        # Move the channel.  The publisher still aims at the old home;
+        # the dispatcher there forwards the message and sends a
+        # MappingNotice, after which the client has converged.
+        other = next(s for s in sorted(cluster.servers) if s != home)
+        cluster.set_static_mapping(
+            "ch", ChannelMapping(ReplicationMode.SINGLE, (other,))
+        )
+        drain(cluster)
+        pub.publish("ch", "two", 10)
+        drain(cluster, 3.0)
+        assert got == ["one", "two"]  # forwarded, not lost
+        assert pub.known_mapping("ch").servers == (other,)  # converged
+        assert sub.subscription_servers("ch") == {other}
+
+        # Converged: the old home sees no further traffic for the channel.
+        old_home_before = cluster.servers[home].publish_count
+        pub.publish("ch", "three", 10)
+        drain(cluster)
+        assert got == ["one", "two", "three"]
+        assert cluster.servers[home].publish_count == old_home_before

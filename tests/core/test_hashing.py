@@ -106,3 +106,39 @@ class TestLookup:
         mapping = ring.assignment(channels)
         assert set(mapping) == set(channels)
         assert all(mapping[c] == ring.lookup(c) for c in channels)
+
+
+class TestLookupExclude:
+    """The failure fallback: walk past dead servers on the ring."""
+
+    def test_exclude_skips_to_next_live_server(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        primary = ring.lookup("ch")
+        alternate = ring.lookup("ch", exclude={primary})
+        assert alternate != primary
+        assert alternate in ring.servers
+
+    def test_exclude_is_deterministic(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        for channel in (f"ch{i}" for i in range(50)):
+            dead = ring.lookup(channel)
+            assert ring.lookup(channel, exclude={dead}) == ring.lookup(
+                channel, exclude={dead}
+            )
+
+    def test_exclude_matches_ring_without_the_server(self):
+        # Excluding a server must agree with a ring that never had it --
+        # that is what lets every node fail over independently yet agree.
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for channel in (f"room:{i}" for i in range(50)):
+            dead = ring.lookup(channel)
+            survivors = ConsistentHashRing([s for s in ["a", "b", "c"] if s != dead])
+            assert ring.lookup(channel, exclude={dead}) == survivors.lookup(channel)
+
+    def test_all_excluded_returns_primary(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert ring.lookup("ch", exclude={"a", "b"}) == ring.lookup("ch")
+
+    def test_empty_exclude_same_as_plain_lookup(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.lookup("ch", exclude=()) == ring.lookup("ch")

@@ -1,0 +1,101 @@
+"""Unit tests for chaos schedules and their deterministic expansion."""
+
+import random
+
+from repro.faults import (
+    ChaosSchedule,
+    CrashServer,
+    DegradeLink,
+    PartitionNodes,
+    RandomCrashes,
+    RestartServer,
+    StallLla,
+)
+
+SERVERS = ["pub1", "pub2", "pub3"]
+
+
+class TestSingleCrash:
+    def test_crash_only(self):
+        schedule = ChaosSchedule.single_crash("pub2", at=30.0)
+        assert schedule.actions == (CrashServer(30.0, "pub2"),)
+
+    def test_crash_then_restart(self):
+        schedule = ChaosSchedule.single_crash("pub2", at=30.0, restart_after_s=15.0)
+        assert schedule.actions == (
+            CrashServer(30.0, "pub2"),
+            RestartServer(45.0, "pub2"),
+        )
+
+
+class TestExpand:
+    def test_concrete_actions_pass_through_sorted(self):
+        schedule = ChaosSchedule(
+            (
+                StallLla(20.0, "pub1"),
+                CrashServer(5.0, "pub2"),
+                PartitionNodes(10.0, "pub1", "pub3", until=15.0),
+            )
+        )
+        timeline = schedule.expand(random.Random(0), SERVERS)
+        assert [a.at for a in timeline] == [5.0, 10.0, 20.0]
+
+    def test_simultaneous_actions_keep_schedule_order(self):
+        first = CrashServer(5.0, "pub1")
+        second = DegradeLink(5.0, "pub2", "pub3", loss=0.1)
+        timeline = ChaosSchedule((first, second)).expand(random.Random(0), SERVERS)
+        assert timeline == [first, second]
+
+    def test_expansion_consumes_no_rng_without_random_crashes(self):
+        rng = random.Random(42)
+        state = rng.getstate()
+        ChaosSchedule.single_crash("pub1", at=1.0).expand(rng, SERVERS)
+        assert rng.getstate() == state
+
+
+class TestRandomCrashes:
+    def test_same_seed_same_timeline(self):
+        schedule = ChaosSchedule((RandomCrashes(0.1, start=0.0, end=100.0),))
+        a = schedule.expand(random.Random(7), SERVERS)
+        b = schedule.expand(random.Random(7), SERVERS)
+        assert a == b and a  # identical and non-empty
+
+    def test_different_seed_different_timeline(self):
+        schedule = ChaosSchedule((RandomCrashes(0.1, start=0.0, end=100.0),))
+        a = schedule.expand(random.Random(1), SERVERS)
+        b = schedule.expand(random.Random(2), SERVERS)
+        assert a != b
+
+    def test_crashes_stay_in_window_and_name_known_servers(self):
+        schedule = ChaosSchedule((RandomCrashes(0.5, start=10.0, end=50.0),))
+        timeline = schedule.expand(random.Random(3), SERVERS)
+        crashes = [a for a in timeline if isinstance(a, CrashServer)]
+        assert crashes
+        for crash in crashes:
+            assert 10.0 <= crash.at < 50.0
+            assert crash.server in SERVERS
+
+    def test_restart_follows_each_crash(self):
+        schedule = ChaosSchedule(
+            (RandomCrashes(0.5, start=0.0, end=50.0, restart_after_s=5.0),)
+        )
+        timeline = schedule.expand(random.Random(3), SERVERS)
+        crashes = [a for a in timeline if isinstance(a, CrashServer)]
+        restarts = [a for a in timeline if isinstance(a, RestartServer)]
+        assert len(restarts) == len(crashes)
+        by_time = {(c.server, c.at + 5.0) for c in crashes}
+        assert {(r.server, r.at) for r in restarts} == by_time
+
+    def test_zero_rate_or_no_servers_expands_empty(self):
+        assert (
+            ChaosSchedule((RandomCrashes(0.0, 0.0, 100.0),)).expand(
+                random.Random(0), SERVERS
+            )
+            == []
+        )
+        assert (
+            ChaosSchedule((RandomCrashes(1.0, 0.0, 100.0),)).expand(
+                random.Random(0), []
+            )
+            == []
+        )

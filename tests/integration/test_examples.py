@@ -32,3 +32,9 @@ class TestExamples:
         run_example("game_world.py", ["60"])
         out = capsys.readouterr().out
         assert "players=" in out and "avg response=" in out
+
+    def test_broker_failure(self, capsys):
+        run_example("broker_failure.py")
+        out = capsys.readouterr().out
+        assert "balancer confirmed failed: ['pub3']" in out
+        assert "subscriptions lost: 0" in out

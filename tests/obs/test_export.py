@@ -13,20 +13,33 @@ from repro.obs.export import (
 )
 from repro.obs.trace import (
     EVENT_TYPES,
+    ClientFailoverEvent,
+    ClientReconnectEvent,
     DecommissionEvent,
     DeliveryEvent,
     FanoutEvent,
+    LinkFaultEvent,
+    LlaStallEvent,
     LoadReportEvent,
     LoadSnapshotEvent,
     MetricsEvent,
     MigrationSettledEvent,
     MigrationStartEvent,
+    PartitionEvent,
+    PartitionHealedEvent,
     PlanAppliedEvent,
     PlanGeneratedEvent,
     PlanMissEvent,
     PlanPushedEvent,
+    PlanRepairDoneEvent,
+    PlanRepairStartEvent,
     PublishEvent,
+    ServerCrashEvent,
+    ServerFailureConfirmedEvent,
     ServerReadyEvent,
+    ServerRestartEvent,
+    ServerResurrectedEvent,
+    ServerSuspectEvent,
     SpawnRequestEvent,
     SubscribeEvent,
     SwitchNoticeEvent,
@@ -54,6 +67,20 @@ SAMPLE_EVENTS = [
     DecommissionEvent(12.0, "pub3"),
     PlanAppliedEvent(4.1, "dispatcher@pub1", 4),
     SwitchNoticeEvent(4.2, "pub1", "tile:1:1", 4),
+    # --- fault/recovery events (schema 2) ---
+    ServerCrashEvent(30.0, "pub2"),
+    ServerRestartEvent(60.0, "pub2"),
+    PartitionEvent(31.0, "pub1", "pub2"),
+    PartitionHealedEvent(41.0, "pub1", "pub2"),
+    LinkFaultEvent(32.0, "pub1", "bob", 0.05, 0.02),
+    LlaStallEvent(33.0, "pub1", True),
+    ServerSuspectEvent(33.5, "pub2", 3.2),
+    ServerFailureConfirmedEvent(35.0, "pub2", 5.1),
+    ServerResurrectedEvent(61.0, "pub2"),
+    PlanRepairStartEvent(35.0, "pub2", ("tile:1:1", "room:7")),
+    PlanRepairDoneEvent(35.0, "pub2", 5),
+    ClientFailoverEvent(36.0, "bob", "pub2", ("tile:1:1",)),
+    ClientReconnectEvent(36.5, "bob", "tile:1:1", ("pub1",), 1),
     MetricsEvent(13.0, {"counters": {"x": 1.0}, "gauges": {}, "histograms": {}}),
 ]
 

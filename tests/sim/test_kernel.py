@@ -140,3 +140,48 @@ class TestRunControl:
         sim.schedule(1.0, lambda: sim.schedule(0.0, seen.append, "nested"))
         sim.run_until(1.0)
         assert seen == ["nested"]
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_triggers_compaction(self, sim):
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(100)]
+        sim.schedule(1.0, lambda: None)  # one live event keeps the heap warm
+        assert sim.compactions == 0
+        for event in events:
+            event.cancel()
+        # >50% of the heap became cancelled tombstones -> compacted away.
+        # (Cancels after the compaction stay below the re-trigger floor.)
+        assert sim.compactions >= 1
+        assert sim.pending_count < 101  # memory actually freed
+        assert sim.pending_count - sim.cancelled_pending == 1  # one live event
+
+    def test_small_heaps_are_never_compacted(self, sim):
+        events = [sim.schedule(10.0 + i, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.cancelled_pending == 10
+
+    def test_compaction_does_not_change_results(self, sim):
+        seen = []
+        doomed = [sim.schedule(500.0 + i, seen.append, "never") for i in range(200)]
+        for i in range(5):
+            sim.schedule(float(i + 1), seen.append, i)
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        late = sim.schedule(6.0, seen.append, "late")
+        sim.run_until(10.0)
+        assert seen == [0, 1, 2, 3, 4, "late"]
+        assert late.cancelled  # executed events release their slot
+        assert sim.pending_count == 0
+
+    def test_pop_path_keeps_tombstone_count_consistent(self, sim):
+        # Cancelled events that are popped (not compacted) must decrement
+        # the pending-cancelled counter.
+        events = [sim.schedule(1.0, lambda: None) for i in range(20)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run_until(2.0)
+        assert sim.cancelled_pending == 0
+        assert sim.pending_count == 0
