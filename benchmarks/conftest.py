@@ -12,15 +12,14 @@ Run with::
 
 import pytest
 
+from tests.helpers import run_once
 
-def run_once(benchmark, fn):
-    """Benchmark ``fn`` with a single round/iteration and return its result."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+__all__ = ["run_once"]
 
 
 @pytest.fixture
 def once(benchmark):
-    """Fixture form of :func:`run_once`."""
+    """Fixture form of :func:`tests.helpers.run_once`."""
 
     def runner(fn):
         return run_once(benchmark, fn)

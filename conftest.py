@@ -1,0 +1,24 @@
+"""Repo-root pytest configuration.
+
+``pytest_addoption`` must live in the rootdir conftest so the option is
+registered no matter which sub-suite is collected (``tests/``,
+``tests/check/`` or ``benchmarks/``).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-iterations",
+        type=int,
+        default=20,
+        help="number of generated scenarios the repro.check property sweep "
+        "runs (default: 20; the nightly soak uses 200)",
+    )
+
+
+@pytest.fixture(scope="session")
+def check_iterations(request) -> int:
+    """How many seeds ``tests/check`` sweeps (``--check-iterations``)."""
+    return int(request.config.getoption("--check-iterations"))

@@ -1,0 +1,120 @@
+"""``python -m repro.check``: run, replay, and shrink property scenarios.
+
+Modes:
+
+* default -- run ``--iterations`` generated scenarios (seeds 0..N-1),
+  stop at the first violation, shrink it and print the minimal
+  reproducer (exit 1), or report all-clear (exit 0);
+* ``--seed S`` -- run exactly one generated scenario, shrinking on
+  violation; this is the replay command printed with every failure;
+* ``--scenario FILE`` -- run a scenario from its JSON (e.g. a minimized
+  reproducer artifact) without regenerating from the seed.
+
+``--break-repair-replay`` flips the dispatcher's test-only kill switch so
+the suite's own detection power can be demonstrated end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.check.generate import generate_scenario
+from repro.check.oracles import Violation, check_result
+from repro.check.scenario import Scenario, run_scenario, with_break
+from repro.check.shrink import shrink
+
+
+def _report_violations(scenario: Scenario, violations: Sequence[Violation]) -> None:
+    print(f"FAIL seed={scenario.seed} label={scenario.label}: "
+          f"{len(violations)} violation(s)")
+    for violation in violations:
+        print(f"  {violation}")
+
+
+def _write_artifact(directory: Path, scenario: Scenario) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"seed{scenario.seed}-minimized.json"
+    path.write_text(scenario.to_json() + "\n", encoding="utf-8")
+    return path
+
+
+def _handle_failure(
+    scenario: Scenario,
+    violations: Sequence[Violation],
+    args: argparse.Namespace,
+) -> int:
+    _report_violations(scenario, violations)
+    minimal = scenario
+    if not args.no_shrink:
+        minimal, violations, runs = shrink(
+            scenario, violations, max_runs=args.shrink_budget
+        )
+        print(f"\nshrunk in {runs} candidate run(s):")
+        _report_violations(minimal, violations)
+    print("\nminimal scenario JSON:")
+    print(minimal.to_json())
+    if args.artifacts is not None:
+        path = _write_artifact(args.artifacts, minimal)
+        print(f"\nreproducer written to {path}")
+        print(f"replay file : python -m repro.check --scenario {path}")
+    extra = " --break-repair-replay" if scenario.break_repair_replay else ""
+    print(f"replay seed : python -m repro.check --seed {scenario.seed}{extra}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Property-test the Dynamoth reproduction with "
+        "randomized fault scenarios and invariant oracles.",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly this generated scenario seed")
+    parser.add_argument("--iterations", type=int, default=20,
+                        help="number of seeds to sweep when no --seed/"
+                             "--scenario is given (default: 20)")
+    parser.add_argument("--scenario", type=Path, default=None,
+                        help="run a scenario from its JSON file")
+    parser.add_argument("--break-repair-replay", action="store_true",
+                        help="disable the dispatcher's repair-buffer replay "
+                             "(test-only fault to demo oracle detection)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report the first violation without shrinking")
+    parser.add_argument("--shrink-budget", type=int, default=32,
+                        help="max candidate runs during shrinking (default: 32)")
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="directory to write minimized reproducer JSON to")
+    args = parser.parse_args(argv)
+
+    if args.scenario is not None:
+        scenario = Scenario.from_json(args.scenario.read_text(encoding="utf-8"))
+        if args.break_repair_replay:
+            scenario = with_break(scenario)
+        scenarios = [scenario]
+    elif args.seed is not None:
+        scenarios = [
+            generate_scenario(args.seed, break_repair_replay=args.break_repair_replay)
+        ]
+    else:
+        scenarios = [
+            generate_scenario(seed, break_repair_replay=args.break_repair_replay)
+            for seed in range(args.iterations)
+        ]
+
+    for scenario in scenarios:
+        result = run_scenario(scenario)
+        violations = check_result(result)
+        if violations:
+            return _handle_failure(scenario, violations, args)
+        print(f"ok   seed={scenario.seed} label={scenario.label} "
+              f"({len(result.tracer.events)} events, "
+              f"{len(result.ledger.deliveries)} deliveries)")
+    print(f"\nall {len(scenarios)} scenario(s) passed every oracle")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Randomized scenario generation for the property suite.
+
+One seed maps deterministically to one :class:`Scenario`: a workload
+shape (steady, hot-channel skew, flash crowd, churny subscribers) crossed
+with a fault profile (none, single crash, crash+restart, double crash,
+partition, degraded link, LLA stall).  All fault activity lands well
+before the settle window so every run ends with a fault-free convergence
+phase for the consistency oracles to assert over.
+
+The generator RNG is local to this module and keyed off the seed alone --
+the run itself draws every decision from the cluster's seeded registry,
+so ``generate_scenario(s)`` plus ``run_scenario`` is fully reproducible
+from ``s``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.check.scenario import Scenario
+from repro.faults.schedule import (
+    CrashServer,
+    DegradeLink,
+    FaultAction,
+    PartitionNodes,
+    RestartServer,
+    StallLla,
+)
+
+WORKLOAD_SHAPES = ("steady", "hot-skew", "flash-crowd", "churny")
+FAULT_PROFILES = (
+    "none",
+    "crash",
+    "crash-restart",
+    "double-crash",
+    "partition",
+    "degrade",
+    "stall",
+)
+
+HORIZON_S = 30.0
+SETTLE_S = 12.0
+#: injected faults fire inside this window, clear of the settle phase
+FAULT_WINDOW = (6.0, HORIZON_S - SETTLE_S - 4.0)
+
+
+def _round(value: float) -> float:
+    """Keep generated times human-readable in scenario JSON."""
+    return round(value, 1)
+
+
+def _fault_schedule(
+    rng: random.Random, profile: str, server_ids: List[str]
+) -> Tuple[FaultAction, ...]:
+    lo, hi = FAULT_WINDOW
+    at = _round(rng.uniform(lo, hi))
+    if profile == "none":
+        return ()
+    if profile == "crash":
+        return (CrashServer(at, rng.choice(server_ids)),)
+    if profile == "crash-restart":
+        victim = rng.choice(server_ids)
+        restart_at = _round(min(at + rng.uniform(4.0, 7.0), hi + 3.0))
+        return (CrashServer(at, victim), RestartServer(restart_at, victim))
+    if profile == "double-crash":
+        first, second = rng.sample(server_ids, 2)
+        gap = _round(rng.uniform(1.0, 3.0))
+        return (CrashServer(at, first), CrashServer(_round(at + gap), second))
+    if profile == "partition":
+        a = rng.choice(server_ids)
+        b = rng.choice([s for s in server_ids if s != a] + ["load-balancer"])
+        until = _round(min(at + rng.uniform(2.0, 4.0), hi + 2.0))
+        return (PartitionNodes(at, a, b, until=until),)
+    if profile == "degrade":
+        a, b = rng.sample(server_ids, 2)
+        until = _round(min(at + rng.uniform(2.0, 4.0), hi + 2.0))
+        return (
+            DegradeLink(
+                at,
+                a,
+                b,
+                loss=round(rng.uniform(0.2, 0.6), 2),
+                jitter_s=0.05,
+                until=until,
+            ),
+        )
+    if profile == "stall":
+        return (
+            StallLla(at, rng.choice(server_ids), duration_s=_round(rng.uniform(3.0, 6.0))),
+        )
+    raise ValueError(f"unknown fault profile: {profile!r}")
+
+
+def generate_scenario(seed: int, *, break_repair_replay: bool = False) -> Scenario:
+    """Deterministically derive one scenario from ``seed``."""
+    rng = random.Random(f"repro-check:{seed}")
+    shape = WORKLOAD_SHAPES[rng.randrange(len(WORKLOAD_SHAPES))]
+    profile = FAULT_PROFILES[rng.randrange(len(FAULT_PROFILES))]
+
+    initial_servers = rng.randint(2, 4)
+    if profile == "double-crash":
+        initial_servers = max(initial_servers, 3)  # keep a survivor
+    server_ids = [f"pub{i + 1}" for i in range(initial_servers)]
+
+    hot_channel_bias = 0.0
+    flash_crowd_at_s = 0.0
+    churn_interval_s = 0.0
+    if shape == "hot-skew":
+        hot_channel_bias = round(rng.uniform(0.5, 0.8), 2)
+    elif shape == "flash-crowd":
+        flash_crowd_at_s = _round(rng.uniform(8.0, 12.0))
+    elif shape == "churny":
+        churn_interval_s = _round(rng.uniform(1.0, 2.0))
+
+    return Scenario(
+        seed=seed,
+        label=f"{shape}+{profile}",
+        horizon_s=HORIZON_S,
+        settle_s=SETTLE_S,
+        initial_servers=initial_servers,
+        channels=rng.randint(2, 6),
+        subscribers=rng.randint(3, 8),
+        publishers=rng.randint(2, 4),
+        publish_interval_s=rng.choice([0.4, 0.6, 0.8]),
+        payload_size=rng.choice([48, 64, 128]),
+        hot_channel_bias=hot_channel_bias,
+        flash_crowd_at_s=flash_crowd_at_s,
+        churn_interval_s=churn_interval_s,
+        faults=_fault_schedule(rng, profile, server_ids),
+        break_repair_replay=break_repair_replay,
+    )

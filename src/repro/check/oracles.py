@@ -1,0 +1,508 @@
+"""Invariant oracles over one finished scenario run.
+
+Each oracle consumes the schema-2 trace plus the harness ledgers of a
+:class:`~repro.check.scenario.RunResult` and returns zero or more
+:class:`Violation` records.  The oracles deliberately carve out the
+windows where the documented semantics are weaker:
+
+* **loss-free** holds outside fault *turbulence windows* (the interval
+  around each injected fault plus a recovery margin) -- during those
+  windows delivery is at-most-once by design (DESIGN.md section 6d);
+* **repair bridging** is the precise check *inside* a crash window: what
+  the repaired channel's new home accepted before the recovering
+  subscriber re-attached must still reach it, via the dispatcher's
+  repair buffer, as long as the buffer's documented time/size bounds and
+  a clean single-crash context hold;
+* **at-most-once** has no carve-out: the application never sees one
+  message id twice, ever.
+
+All margins here are deliberately conservative: a property suite that
+cries wolf on scheduling jitter is worse than one that checks less.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.scenario import RunResult
+from repro.core.dispatcher import dispatcher_id
+from repro.core.plan import ReplicationMode
+from repro.faults.schedule import (
+    CrashServer,
+    DegradeLink,
+    HealPartition,
+    PartitionNodes,
+    RestartServer,
+    StallLla,
+)
+from repro.obs.trace import (
+    FanoutEvent,
+    PlanAppliedEvent,
+    PlanRepairDoneEvent,
+    PlanRepairStartEvent,
+    PublishEvent,
+    ServerCrashEvent,
+)
+
+#: how long after a fault's effect ends the system may still be settling
+RECOVERY_MARGIN_S = 25.0
+#: publications get this long to reach every stable subscriber
+DELIVERY_GRACE_S = 5.0
+#: a subscriber counts as "stable" for a publication only if it was
+#: already subscribed this long before the publication left the client
+PRE_SUB_MARGIN_S = 1.5
+#: slack subtracted from the repair-buffer window before the bridging
+#: oracle considers a publication guaranteed
+REPAIR_WINDOW_SLACK_S = 0.5
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, with enough context to debug from the trace."""
+
+    oracle: str
+    detail: str
+    t: Optional[float] = None
+
+    def __str__(self) -> str:
+        stamp = f" @t={self.t:.3f}" if self.t is not None else ""
+        return f"[{self.oracle}]{stamp} {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Turbulence windows
+# ----------------------------------------------------------------------
+def _merge_windows(windows: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    if not windows:
+        return []
+    windows = sorted(windows)
+    merged = [list(windows[0])]
+    for lo, hi in windows[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def turbulence_windows(result: RunResult) -> List[Tuple[float, float]]:
+    """Intervals during which loss-free delivery is *not* asserted.
+
+    Each injected fault contributes a window from just before it fires to
+    the end of its effect plus a recovery margin (failure detection, plan
+    repair, client backoff and resubscription all take time).
+    """
+    scenario = result.scenario
+    settle_start = scenario.settle_start_s
+    windows: List[Tuple[float, float]] = []
+    for action in result.fault_timeline:
+        if isinstance(action, CrashServer):
+            windows.append((action.at - 1.0, action.at + RECOVERY_MARGIN_S))
+        elif isinstance(action, RestartServer):
+            # A comeback re-pushes plans and rebalances onto the server.
+            windows.append((action.at - 1.0, action.at + 15.0))
+        elif isinstance(action, PartitionNodes):
+            end = action.until if action.until is not None else settle_start
+            windows.append((action.at - 1.0, end + 15.0))
+        elif isinstance(action, HealPartition):
+            windows.append((action.at - 1.0, action.at + 15.0))
+        elif isinstance(action, DegradeLink):
+            end = action.until if action.until is not None else settle_start
+            windows.append((action.at - 1.0, end + 10.0))
+        elif isinstance(action, StallLla):
+            duration = (
+                action.duration_s
+                if action.duration_s is not None
+                else scenario.horizon_s
+            )
+            # A stall can trigger false failure detection, plan repair and
+            # a resurrection re-push once reports resume.
+            windows.append((action.at - 1.0, action.at + duration + RECOVERY_MARGIN_S))
+    return _merge_windows(windows)
+
+
+def _intersects(
+    windows: List[Tuple[float, float]], start: float, end: float
+) -> bool:
+    for lo, hi in windows:
+        if lo < end and start < hi:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# O1: loss-free delivery outside turbulence
+# ----------------------------------------------------------------------
+def oracle_loss_free(result: RunResult) -> List[Violation]:
+    """Every calm-window publication reaches every stable subscriber.
+
+    This is the paper's core claim -- lazy reconfiguration is loss-free --
+    so the check intentionally spans plan migrations; only fault windows
+    (where semantics are documented at-most-once) are exempt.
+    """
+    violations: List[Violation] = []
+    windows = turbulence_windows(result)
+    ledger = result.ledger
+    delivered = ledger.delivered_pairs
+    horizon = result.scenario.horizon_s
+    subscribers_by_channel: Dict[str, List[str]] = {}
+    for client, channel in ledger.sub_intervals:
+        subscribers_by_channel.setdefault(channel, []).append(client)
+
+    for event in result.tracer.events_of(PublishEvent):
+        tp = event.t
+        if tp + DELIVERY_GRACE_S > horizon:
+            continue  # too close to the end to assert delivery
+        if _intersects(windows, tp - PRE_SUB_MARGIN_S, tp + DELIVERY_GRACE_S):
+            continue
+        for client in subscribers_by_channel.get(event.channel, ()):
+            if not ledger.covers(
+                client, event.channel, tp - PRE_SUB_MARGIN_S, tp + DELIVERY_GRACE_S
+            ):
+                continue  # not a stable subscriber for this publication
+            if (client, event.msg_id) not in delivered:
+                violations.append(
+                    Violation(
+                        "loss-free",
+                        f"publication {event.msg_id} on {event.channel} "
+                        f"(sender {event.sender}, targets {list(event.targets)}) "
+                        f"never reached stable subscriber {client}",
+                        t=tp,
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O2: repair-window bridging (the repair buffer works)
+# ----------------------------------------------------------------------
+def oracle_repair_bridging(result: RunResult) -> List[Violation]:
+    """Publications accepted by a repaired channel's new home before the
+    first recovering subscriber re-attached must be replayed to it.
+
+    Only asserted in a clean context: a crash-induced repair, no other
+    fault overlapping the window, the attach inside the repair buffer's
+    time bound, and no more candidate publications than the buffer holds.
+    """
+    violations: List[Violation] = []
+    ledger = result.ledger
+    cluster = result.cluster
+    config = cluster.config
+    if config.repair_buffer_s <= 0.0 or config.repair_buffer_max_msgs <= 0:
+        return violations
+
+    crash_times = {
+        e.server: e.t for e in result.tracer.events_of(ServerCrashEvent)
+    }
+    repairs = result.tracer.events_of(PlanRepairStartEvent)
+    repair_done = {
+        (e.server, e.t): e.version
+        for e in result.tracer.events_of(PlanRepairDoneEvent)
+    }
+    plan_applied = result.tracer.events_of(PlanAppliedEvent)
+    fanouts = result.tracer.events_of(FanoutEvent)
+    #: client-originated message ids (excludes dispatcher switch notices)
+    app_msg_ids = {e.msg_id for e in result.tracer.events_of(PublishEvent)}
+    delivered = ledger.delivered_pairs
+    fault_times = sorted(a.at for a in result.fault_timeline)
+
+    for repair in repairs:
+        dead = repair.server
+        crash_t = crash_times.get(dead)
+        if crash_t is None or not (crash_t <= repair.t <= crash_t + 15.0):
+            continue  # stall-induced or unmatched repair: skip
+        version = repair_done.get((dead, repair.t))
+        if version is None:
+            continue
+        plan = next(
+            (p for t, p in result.plan_history if p.version == version), None
+        )
+        if plan is None:
+            continue
+        for channel in repair.channels:
+            mapping = plan.mapping(channel)
+            for home in mapping.servers:
+                if home == dead:
+                    continue
+                applied_t = next(
+                    (
+                        e.t
+                        for e in plan_applied
+                        if e.node == dispatcher_id(home)
+                        and e.version == version
+                        and e.t >= repair.t
+                    ),
+                    None,
+                )
+                if applied_t is None:
+                    continue  # the push never landed (home died too)
+                attach = next(
+                    (
+                        (t, client)
+                        for t, server, ch, client in ledger.server_subs
+                        if server == home and ch == channel and t > applied_t
+                    ),
+                    None,
+                )
+                if attach is None:
+                    continue  # no recovering subscriber showed up
+                attach_t, client = attach
+                window_end = attach_t
+                if attach_t - applied_t > config.repair_buffer_s - REPAIR_WINDOW_SLACK_S:
+                    continue  # buffer legitimately expired first
+                # Any other fault firing inside the window muddies causality.
+                if any(
+                    crash_t < ft <= window_end + 2.0 and ft != crash_t
+                    for ft in fault_times
+                ):
+                    continue
+                # The subscriber must stay attached long enough to receive.
+                if not ledger.covers(
+                    client, channel, attach_t, attach_t + DELIVERY_GRACE_S
+                ):
+                    continue
+                parked = [
+                    e
+                    for e in fanouts
+                    if e.server == home
+                    and e.channel == channel
+                    and e.msg_id in app_msg_ids
+                    and applied_t < e.t <= attach_t - 0.01
+                ]
+                if len(parked) > config.repair_buffer_max_msgs:
+                    continue  # overflow drops oldest: not guaranteed
+                for event in parked:
+                    if (client, event.msg_id) not in delivered:
+                        violations.append(
+                            Violation(
+                                "repair-bridging",
+                                f"{event.msg_id} on {channel} reached repaired "
+                                f"home {home} at t={event.t:.3f} (window "
+                                f"[{applied_t:.3f}, {attach_t:.3f}]) but was "
+                                f"never replayed to recovering subscriber "
+                                f"{client}",
+                                t=event.t,
+                            )
+                        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O3: at-most-once delivery (no carve-out)
+# ----------------------------------------------------------------------
+def oracle_at_most_once(result: RunResult) -> List[Violation]:
+    violations: List[Violation] = []
+    for (client, msg_id), count in result.ledger.delivery_counts.items():
+        if count > 1:
+            violations.append(
+                Violation(
+                    "at-most-once",
+                    f"client {client} saw {msg_id} {count} times",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O4: plan consistency after the settle window
+# ----------------------------------------------------------------------
+def oracle_plan_consistency(result: RunResult) -> List[Violation]:
+    """After settling, client partial plans agree with the balancer.
+
+    Checks, for every still-subscribed (client, channel) pair: the held
+    subscription servers are live, they form a valid subscription set for
+    the balancer's mapping, and any explicit client plan entry matches
+    the balancer's assignment.  Consistent-hashing fallback (a version-0
+    or absent entry) is legal only for channels the balancer never mapped
+    explicitly.
+    """
+    violations: List[Violation] = []
+    cluster = result.cluster
+    plan = result.final_plan
+    live = set(cluster.servers)
+
+    for (client_id, channel), intervals in sorted(result.ledger.sub_intervals.items()):
+        if not intervals or intervals[-1][1] != result.scenario.horizon_s:
+            continue  # not subscribed when the run ended
+        client = cluster.clients.get(client_id)
+        if client is None or not client.is_subscribed(channel):
+            continue
+        held = client.subscription_servers(channel)
+        mapping = plan.mapping(channel)
+        if not held:
+            violations.append(
+                Violation(
+                    "plan-consistency",
+                    f"{client_id} subscribed to {channel} but holds no server",
+                )
+            )
+            continue
+        dead_held = held - live
+        if dead_held:
+            violations.append(
+                Violation(
+                    "plan-consistency",
+                    f"{client_id} still holds {channel} on dead/removed "
+                    f"server(s) {sorted(dead_held)}",
+                )
+            )
+            continue
+        known = client.known_mapping(channel)
+        if known is not None and known.version > 0:
+            if not known.same_assignment(mapping):
+                violations.append(
+                    Violation(
+                        "plan-consistency",
+                        f"{client_id}'s entry for {channel} "
+                        f"({known.mode.value} v{known.version} on "
+                        f"{sorted(known.servers)}) diverges from the "
+                        f"balancer's ({mapping.mode.value} v{mapping.version} "
+                        f"on {sorted(mapping.servers)})",
+                    )
+                )
+                continue
+        if plan.explicit_mapping(channel) is not None:
+            if not mapping.is_valid_subscription_set(held):
+                violations.append(
+                    Violation(
+                        "plan-consistency",
+                        f"{client_id} holds {channel} on {sorted(held)}, not a "
+                        f"valid {mapping.mode.value} subscription set of "
+                        f"{sorted(mapping.servers)}",
+                    )
+                )
+        else:
+            # CH fallback: exactly one live server; without any crash the
+            # ring determines it exactly.
+            if len(held) != 1:
+                violations.append(
+                    Violation(
+                        "plan-consistency",
+                        f"{client_id} holds CH-fallback channel {channel} on "
+                        f"{len(held)} servers {sorted(held)}",
+                    )
+                )
+            elif not result.fault_timeline and held != {plan.ring.lookup(channel)}:
+                violations.append(
+                    Violation(
+                        "plan-consistency",
+                        f"{client_id} holds CH-fallback channel {channel} on "
+                        f"{sorted(held)} instead of ring home "
+                        f"{plan.ring.lookup(channel)}",
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O5: replication-scheme soundness (Algorithm 1)
+# ----------------------------------------------------------------------
+def oracle_replication_soundness(result: RunResult) -> List[Violation]:
+    """Replication never activates below Algorithm 1's thresholds and
+    never exceeds the configured server cap, across every pushed plan."""
+    violations: List[Violation] = []
+    scenario = result.scenario
+    config = result.cluster.config
+    # Conservative upper bound on the scenario's aggregate publication
+    # rate (flash crowds quarter the interval; jitter floor is 0.8x).
+    max_pub_rate = scenario.publishers / (scenario.publish_interval_s * 0.8)
+    if scenario.flash_crowd_at_s > 0.0:
+        max_pub_rate *= 4.0
+    below_thresholds = (
+        max_pub_rate < config.publication_threshold
+        and scenario.subscribers < config.subscriber_threshold
+    )
+    for t, plan in result.plan_history:
+        for channel in plan.explicit_channels():
+            mapping = plan.explicit_mapping(channel)
+            if len(mapping.servers) > config.max_replication_servers:
+                violations.append(
+                    Violation(
+                        "replication-soundness",
+                        f"plan v{plan.version} replicates {channel} on "
+                        f"{len(mapping.servers)} servers "
+                        f"(cap {config.max_replication_servers})",
+                        t=t,
+                    )
+                )
+            if below_thresholds and mapping.mode is not ReplicationMode.SINGLE:
+                violations.append(
+                    Violation(
+                        "replication-soundness",
+                        f"plan v{plan.version} put {channel} in "
+                        f"{mapping.mode.value} although the workload is below "
+                        f"Algorithm 1's activation thresholds "
+                        f"(max pub rate {max_pub_rate:.0f}/s < "
+                        f"{config.publication_threshold:.0f}, "
+                        f"{scenario.subscribers} subs < "
+                        f"{config.subscriber_threshold:.0f})",
+                        t=t,
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O6: consistent-hashing ring load bounds and exclusion determinism
+# ----------------------------------------------------------------------
+def oracle_ring_bounds(result: RunResult) -> List[Violation]:
+    violations: List[Violation] = []
+    ring = result.cluster.plan.ring
+    servers = list(ring.servers)
+    if len(servers) < 2:
+        return violations
+    probe_count = 64 * len(servers)
+    counts = Counter(
+        ring.lookup(f"check-ring:{i}") for i in range(probe_count)
+    )
+    average = probe_count / len(servers)
+    heaviest, load = counts.most_common(1)[0]
+    if load > 2.5 * average + 4:
+        violations.append(
+            Violation(
+                "ring-bounds",
+                f"CH fallback ring is skewed: {heaviest} got {load} of "
+                f"{probe_count} channels (average {average:.1f})",
+            )
+        )
+    for i in range(16):
+        channel = f"check-ring:{i}"
+        home = ring.lookup(channel)
+        alt = ring.lookup(channel, exclude=(home,))
+        if alt == home or alt not in servers:
+            violations.append(
+                Violation(
+                    "ring-bounds",
+                    f"exclusion walk for {channel} returned {alt} "
+                    f"(home {home})",
+                )
+            )
+        elif ring.lookup(channel, exclude=(home,)) != alt:
+            violations.append(
+                Violation(
+                    "ring-bounds",
+                    f"exclusion walk for {channel} is nondeterministic",
+                )
+            )
+    return violations
+
+
+#: every oracle, in report order
+ORACLES = (
+    oracle_loss_free,
+    oracle_repair_bridging,
+    oracle_at_most_once,
+    oracle_plan_consistency,
+    oracle_replication_soundness,
+    oracle_ring_bounds,
+)
+
+
+def check_result(result: RunResult) -> List[Violation]:
+    """Run every oracle over one finished scenario run."""
+    violations: List[Violation] = []
+    for oracle in ORACLES:
+        violations.extend(oracle(result))
+    return violations

@@ -1,0 +1,93 @@
+"""Greedy scenario shrinking: bisect a violation to a minimal reproducer.
+
+Given a violating scenario, try progressively smaller variants -- fewer
+faults, fewer channels/subscribers/publishers, no workload spice, a
+shorter horizon -- and keep any variant that still trips the *same*
+oracle(s).  Every candidate run is a full deterministic replay, so the
+shrunk scenario is guaranteed to reproduce from its own JSON alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Sequence, Set, Tuple
+
+from repro.check.oracles import Violation, check_result
+from repro.check.scenario import RunResult, Scenario, run_scenario
+from repro.faults.schedule import CrashServer, RestartServer
+
+#: hard cap on candidate runs per shrink (each is a full simulation)
+DEFAULT_MAX_RUNS = 32
+
+
+def _drop_fault(scenario: Scenario, index: int) -> Scenario:
+    """Remove one fault action (plus restarts orphaned by a crash drop)."""
+    dropped = scenario.faults[index]
+    remaining = [a for i, a in enumerate(scenario.faults) if i != index]
+    if isinstance(dropped, CrashServer):
+        remaining = [
+            a
+            for a in remaining
+            if not (isinstance(a, RestartServer) and a.server == dropped.server)
+        ]
+    return replace(scenario, faults=tuple(remaining))
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Smaller variants, most aggressive first."""
+    for index in range(len(scenario.faults)):
+        yield _drop_fault(scenario, index)
+    if scenario.channels > 1:
+        yield replace(scenario, channels=max(1, scenario.channels // 2))
+        yield replace(scenario, channels=scenario.channels - 1)
+    if scenario.subscribers > 1:
+        yield replace(scenario, subscribers=max(1, scenario.subscribers // 2))
+        yield replace(scenario, subscribers=scenario.subscribers - 1)
+    if scenario.publishers > 1:
+        yield replace(scenario, publishers=max(1, scenario.publishers // 2))
+    if scenario.hot_channel_bias > 0.0:
+        yield replace(scenario, hot_channel_bias=0.0)
+    if scenario.flash_crowd_at_s > 0.0:
+        yield replace(scenario, flash_crowd_at_s=0.0)
+    if scenario.churn_interval_s > 0.0:
+        yield replace(scenario, churn_interval_s=0.0)
+    last_fault = max((a.at for a in scenario.faults), default=0.0)
+    shorter = scenario.horizon_s - 5.0
+    if shorter >= scenario.settle_s + 6.0 and shorter >= last_fault + scenario.settle_s + 4.0:
+        yield replace(scenario, horizon_s=shorter)
+
+
+def shrink(
+    scenario: Scenario,
+    violations: Sequence[Violation],
+    *,
+    max_runs: int = DEFAULT_MAX_RUNS,
+    runner: Callable[[Scenario], RunResult] = run_scenario,
+) -> Tuple[Scenario, List[Violation], int]:
+    """Shrink ``scenario`` while it still trips one of ``violations``'s oracles.
+
+    Returns ``(minimal_scenario, its_violations, runs_used)``.  The input
+    scenario is returned unchanged when no smaller variant reproduces.
+    """
+    target_oracles: Set[str] = {v.oracle for v in violations}
+    current = scenario
+    current_violations = list(violations)
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for candidate in _candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            try:
+                result = runner(candidate)
+            except Exception:
+                continue  # an invalid shrink (e.g. empty fault schedule edge)
+            found = [v for v in check_result(result) if v.oracle in target_oracles]
+            if found:
+                current = candidate
+                current_violations = found
+                progress = True
+                break
+    return current, current_violations, runs

@@ -109,6 +109,11 @@ class LoadBalancer(Actor):
         self.events: List[BalancerEvent] = []
         #: (time, {server: LR}) samples, one per evaluation tick (Figure 6)
         self.load_history: List[Tuple[float, Dict[str, float]]] = []
+        #: ground-truth plan ledger: every plan this balancer pushed, with
+        #: its push time.  Plans are immutable so entries are just shared
+        #: references; ``repro.check`` oracles replay convergence against
+        #: this history.
+        self.plan_history: List[Tuple[float, Plan]] = [(sim.now, initial_plan)]
         #: MappingNotice broadcasts sent under the eager-push strawman
         self.eager_notices_sent = 0
         #: recently displaced servers per channel, shipped with each push
@@ -384,9 +389,13 @@ class LoadBalancer(Actor):
             self._maybe_spawn()
             return
 
+        # Seed the estimator with the dead server too: its last load
+        # reports carry the per-channel egress weights that decide where
+        # each re-homed channel lands.  Without it every repaired channel
+        # would look weightless and pile onto one "least loaded" target.
         estimator = LoadEstimator(
             self.view,
-            live,
+            live + [dead_id],
             self._default_nominal_bps,
             cpu_aware=self.config.cpu_aware_balancing,
         )
@@ -464,6 +473,8 @@ class LoadBalancer(Actor):
         self._cloud.request_spawn()
 
     def _push_plan(self, extra_recipients: List[str] = ()) -> None:
+        if self.plan_history[-1][1] is not self.plan:
+            self.plan_history.append((self.sim.now, self.plan))
         push = PlanPush(
             self.plan, self._stragglers.snapshot(), tuple(sorted(self.failed_servers))
         )

@@ -164,6 +164,11 @@ class DynamothClient(Actor):
         #: optional hook fired when the client receives its own publication
         #: back (the paper's response-time metric).
         self.on_response_time: Optional[ResponseTimeHook] = None
+        #: optional ground-truth delivery ledger hook: called once per
+        #: *non-duplicate* application delivery as ``(channel, envelope)``,
+        #: before the subscription callback.  The ``repro.check`` property
+        #: harness uses it to record exactly what the application saw.
+        self.on_delivery: Optional[Callable[[str, AppEnvelope], None]] = None
 
         # --- counters (metrics / tests) ---
         self.published = 0
@@ -504,6 +509,8 @@ class DynamothClient(Actor):
                 "delivery_latency_s", channel_class=channel_class(channel)
             ).observe(latency)
 
+        if self.on_delivery is not None:
+            self.on_delivery(channel, envelope)
         if envelope.sender == self.node_id and self.on_response_time is not None:
             self.on_response_time(channel, self.sim.now - envelope.sent_at, self.sim.now)
 
@@ -675,7 +682,11 @@ class DynamothClient(Actor):
             return
         acked = self._acked.get(channel, set())
         missing = {s for s in sub.servers if s not in acked}
-        if not missing:
+        # An empty server set is NOT a recovered subscription: a concurrent
+        # failover for another channel may have discarded our only target
+        # between _try_recover and this check, making "nothing missing"
+        # vacuously true.  Keep retrying until a live server actually acks.
+        if not missing and sub.servers:
             self._recovery_pending.discard(channel)
             self._recovery_attempt.pop(channel, None)
             self.reconnects += 1

@@ -177,6 +177,7 @@ class DynamothCluster:
             plan_entry_timeout_s=self.config.plan_entry_timeout_s,
             repair_buffer_s=self.config.repair_buffer_s,
             repair_buffer_max_msgs=self.config.repair_buffer_max_msgs,
+            repair_replay_enabled=self.config.repair_replay_enabled,
             tracer=self.tracer,
         )
         self.transport.register(dispatcher)

@@ -144,6 +144,10 @@ class DynamothConfig:
     #: subscriber resubscribes.
     repair_buffer_s: float = 5.0
     repair_buffer_max_msgs: int = 64
+    #: test-only kill switch for the dispatcher's repair-buffer replay.
+    #: Exists so the ``repro.check`` property suite can verify its own
+    #: oracles catch a real loss bug; production code never disables it.
+    repair_replay_enabled: bool = True
 
     # --- consistent hashing ---
     vnodes_per_server: int = 64

@@ -88,6 +88,24 @@ class ChannelMapping:
         """Equality ignoring the version stamp."""
         return self.mode is other.mode and set(self.servers) == set(other.servers)
 
+    # ------------------------------------------------------------------
+    # Wire format (JSON-safe dicts; used by trace tooling and repro.check)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode.value,
+            "servers": list(self.servers),
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ChannelMapping":
+        return cls(
+            ReplicationMode(data["mode"]),
+            tuple(data["servers"]),
+            int(data.get("version", 0)),
+        )
+
 
 class Plan:
     """An immutable global channel assignment.
@@ -175,6 +193,38 @@ class Plan:
     def channels_on(self, server_id: str) -> List[str]:
         """Explicitly mapped channels that involve ``server_id``."""
         return [c for c, m in self._mappings.items() if server_id in m.servers]
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot; :meth:`from_dict` round-trips it losslessly.
+
+        The ring is stored as its member servers plus the vnode count --
+        placement is derived from stable md5 hashing, so rebuilding the
+        ring from membership reproduces the identical point set.
+        """
+        return {
+            "version": self.version,
+            "active_servers": list(self.active_servers),
+            "ring": {"servers": self.ring.servers, "vnodes": self.ring.vnodes},
+            "mappings": {
+                channel: self._mappings[channel].to_dict()
+                for channel in sorted(self._mappings)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Plan":
+        ring_spec = data["ring"]
+        ring = ConsistentHashRing(ring_spec["servers"], vnodes=ring_spec["vnodes"])
+        mappings = {
+            channel: ChannelMapping.from_dict(raw)
+            for channel, raw in data["mappings"].items()
+        }
+        return cls(
+            int(data["version"]), mappings, ring, tuple(data["active_servers"])
+        )
 
     def diff(self, newer: "Plan") -> Dict[str, Tuple[ChannelMapping, ChannelMapping]]:
         """Channels whose assignment differs between ``self`` and ``newer``.

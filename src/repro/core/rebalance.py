@@ -152,7 +152,8 @@ class LoadEstimator:
     def migrate(self, channel: str, src: str, dst: str) -> float:
         """Move ``channel``'s contribution ``src`` -> ``dst``; returns it."""
         amount = self._contrib.get(src, {}).pop(channel, 0.0)
-        self._egress[src] -= amount
+        if src in self._egress:
+            self._egress[src] -= amount
         self._egress[dst] += amount
         dst_contrib = self._contrib.setdefault(dst, {})
         dst_contrib[channel] = dst_contrib.get(channel, 0.0) + amount

@@ -23,6 +23,8 @@ from repro.faults.schedule import (
     RandomCrashes,
     RestartServer,
     StallLla,
+    action_from_dict,
+    action_to_dict,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "RandomCrashes",
     "RestartServer",
     "StallLla",
+    "action_from_dict",
+    "action_to_dict",
 ]

@@ -12,8 +12,8 @@ touch that stream at all.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -121,9 +121,28 @@ ConcreteAction = Union[
 
 @dataclass(frozen=True)
 class ChaosSchedule:
-    """An immutable fault timeline; see the module docstring."""
+    """An immutable fault timeline; see the module docstring.
+
+    Construction validates the *declarative* actions: per-action parameter
+    ranges, restarts that reference a server never crashed (or not yet
+    crashed at restart time), and overlapping partition windows on the
+    same node pair.  :class:`RandomCrashes` expansions are exempt -- the
+    injector already tolerates crash/restart races in sampled timelines.
+    """
 
     actions: Tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an ill-formed schedule."""
+        for action in self.actions:
+            _validate_params(action)
+        concrete = [a for a in self.actions if not isinstance(a, RandomCrashes)]
+        concrete.sort(key=lambda a: a.at)
+        _validate_crash_restart_order(concrete)
+        _validate_partition_windows(concrete)
 
     @classmethod
     def single_crash(
@@ -175,3 +194,114 @@ class ChaosSchedule:
             if process.restart_after_s is not None:
                 out.append(RestartServer(t + process.restart_after_s, server))
         return out
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _validate_params(action: FaultAction) -> None:
+    if isinstance(action, RandomCrashes):
+        if action.rate_per_s < 0.0:
+            raise ValueError(f"RandomCrashes rate must be >= 0, got {action.rate_per_s}")
+        if action.end < action.start:
+            raise ValueError(
+                f"RandomCrashes window ends ({action.end}) before it starts ({action.start})"
+            )
+        if action.restart_after_s is not None and action.restart_after_s <= 0.0:
+            raise ValueError("RandomCrashes restart_after_s must be positive")
+        return
+    if action.at < 0.0:
+        raise ValueError(f"action time must be >= 0, got {action.at} for {action}")
+    if isinstance(action, (PartitionNodes, HealPartition, DegradeLink)):
+        if action.a == action.b:
+            raise ValueError(f"link endpoints must differ, got {action.a!r} twice")
+    if isinstance(action, (PartitionNodes, DegradeLink)):
+        if action.until is not None and action.until <= action.at:
+            raise ValueError(
+                f"window must end after it starts: at={action.at}, until={action.until}"
+            )
+    if isinstance(action, DegradeLink):
+        if not 0.0 <= action.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {action.loss}")
+        if action.jitter_s < 0.0:
+            raise ValueError(f"jitter_s must be >= 0, got {action.jitter_s}")
+    if isinstance(action, StallLla):
+        if action.duration_s is not None and action.duration_s <= 0.0:
+            raise ValueError(f"stall duration must be positive, got {action.duration_s}")
+
+
+def _validate_crash_restart_order(concrete: Sequence[ConcreteAction]) -> None:
+    """Every declarative restart must follow a crash of the same server."""
+    down: set = set()
+    for action in concrete:
+        if isinstance(action, CrashServer):
+            # crashing an already-dead server is tolerated (the injector
+            # skips it), so only the restart side is strict here
+            down.add(action.server)
+        elif isinstance(action, RestartServer):
+            if action.server not in down:
+                raise ValueError(
+                    f"restart of {action.server!r} at t={action.at} precedes any crash"
+                )
+            down.discard(action.server)
+
+
+def _validate_partition_windows(concrete: Sequence[ConcreteAction]) -> None:
+    """No two partition windows on the same node pair may overlap."""
+    events: Dict[Tuple[str, str], List[Tuple[float, int]]] = {}
+    for action in concrete:
+        if isinstance(action, PartitionNodes):
+            pair = (min(action.a, action.b), max(action.a, action.b))
+            events.setdefault(pair, []).append((action.at, 1))
+            if action.until is not None:
+                events[pair].append((action.until, 0))
+        elif isinstance(action, HealPartition):
+            pair = (min(action.a, action.b), max(action.a, action.b))
+            events.setdefault(pair, []).append((action.at, 0))
+    for pair, timeline in events.items():
+        # closes sort before opens at the same instant, so back-to-back
+        # windows (one ending exactly when the next begins) are legal.
+        timeline.sort()
+        open_ = False
+        for _t, kind in timeline:
+            if kind == 1:
+                if open_:
+                    raise ValueError(
+                        f"overlapping partition windows on pair {pair}"
+                    )
+                open_ = True
+            else:
+                open_ = False  # healing an intact pair is a harmless no-op
+
+
+# ----------------------------------------------------------------------
+# Wire format (JSON-safe dicts; used by repro.check scenario files)
+# ----------------------------------------------------------------------
+_ACTION_CLASSES = {
+    "crash": CrashServer,
+    "restart": RestartServer,
+    "partition": PartitionNodes,
+    "heal": HealPartition,
+    "degrade_link": DegradeLink,
+    "stall_lla": StallLla,
+    "random_crashes": RandomCrashes,
+}
+_ACTION_KINDS = {cls: kind for kind, cls in _ACTION_CLASSES.items()}
+
+
+def action_to_dict(action: FaultAction) -> Dict[str, Any]:
+    """Serialize one fault action to a JSON-safe dict with a ``kind`` tag."""
+    out: Dict[str, Any] = {"kind": _ACTION_KINDS[type(action)]}
+    for field in fields(action):
+        out[field.name] = getattr(action, field.name)
+    return out
+
+
+def action_from_dict(data: Mapping[str, Any]) -> FaultAction:
+    """Inverse of :func:`action_to_dict`."""
+    kind = data.get("kind")
+    cls = _ACTION_CLASSES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault action kind: {kind!r}")
+    kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+    return cls(**kwargs)

@@ -1,0 +1,87 @@
+"""End-to-end detection power: a seeded real loss bug is caught, shrunk
+to a minimal reproducer, and replayed from the printed seed alone.
+
+The seeded bug is the dispatcher's test-only ``repair_replay_enabled``
+kill switch: with replay off, publications a repaired channel's new home
+accepts before the recovering subscriber re-attaches are silently lost --
+exactly what the repair-bridging oracle asserts against.
+"""
+
+from __future__ import annotations
+
+from repro.check import check_result, generate_scenario, run_scenario, shrink
+from repro.check.cli import main
+from repro.check.scenario import Scenario
+
+#: a generated scenario (churny + double-crash) whose timing lands a
+#: publication in the repair window; found by the 200-seed sweep and
+#: locked in as the acceptance case.  It sits inside the default
+#: 20-iteration PR sweep on purpose.
+BROKEN_SEED = 15
+
+
+def _scenario_size(scenario: Scenario) -> tuple:
+    return (
+        len(scenario.faults),
+        scenario.channels,
+        scenario.subscribers,
+        scenario.publishers,
+    )
+
+
+def test_broken_replay_is_caught():
+    scenario = generate_scenario(BROKEN_SEED, break_repair_replay=True)
+    violations = check_result(run_scenario(scenario))
+    assert violations, "kill switch went undetected"
+    assert {v.oracle for v in violations} == {"repair-bridging"}
+
+
+def test_same_seed_passes_with_replay_enabled():
+    """The oracle fires on the bug, not on the scenario."""
+    scenario = generate_scenario(BROKEN_SEED)
+    assert not scenario.break_repair_replay
+    assert check_result(run_scenario(scenario)) == []
+
+
+def test_violation_shrinks_to_smaller_reproducer_and_replays():
+    scenario = generate_scenario(BROKEN_SEED, break_repair_replay=True)
+    violations = check_result(run_scenario(scenario))
+    minimal, min_violations, runs = shrink(scenario, violations)
+    assert runs > 0
+    assert min_violations and all(
+        v.oracle == "repair-bridging" for v in min_violations
+    )
+    assert _scenario_size(minimal) < _scenario_size(scenario)
+    # The minimal scenario must reproduce from its own JSON alone.
+    replayed = Scenario.from_json(minimal.to_json())
+    assert replayed == minimal
+    again = check_result(run_scenario(replayed))
+    assert any(v.oracle == "repair-bridging" for v in again)
+
+
+def test_cli_sweep_catches_the_kill_switch_and_prints_replay(capsys, tmp_path):
+    exit_code = main(
+        [
+            "--seed",
+            str(BROKEN_SEED),
+            "--break-repair-replay",
+            "--shrink-budget",
+            "4",
+            "--artifacts",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "repair-bridging" in out
+    assert f"--seed {BROKEN_SEED} --break-repair-replay" in out
+    artifact = tmp_path / f"seed{BROKEN_SEED}-minimized.json"
+    assert artifact.exists()
+    # Replaying the written artifact reproduces the same violation.
+    assert main(["--scenario", str(artifact), "--no-shrink"]) == 1
+
+
+def test_cli_clean_sweep_exits_zero(capsys):
+    assert main(["--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "all 3 scenario(s) passed every oracle" in out

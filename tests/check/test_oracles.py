@@ -1,0 +1,114 @@
+"""Oracle unit tests: each oracle fires on tampered ground truth and
+stays silent on an honest run."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.oracles import (
+    _merge_windows,
+    check_result,
+    oracle_at_most_once,
+    oracle_loss_free,
+    oracle_replication_soundness,
+    oracle_ring_bounds,
+    turbulence_windows,
+)
+from repro.check.scenario import Scenario, run_scenario
+from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.faults.schedule import CrashServer, PartitionNodes
+
+#: a small, calm, steady scenario: no faults, no turbulence windows
+CALM = Scenario(seed=5, channels=2, subscribers=3, publishers=2)
+
+
+@pytest.fixture(scope="module")
+def calm_result():
+    return run_scenario(CALM)
+
+
+def test_calm_run_passes_every_oracle(calm_result):
+    assert check_result(calm_result) == []
+
+
+def test_at_most_once_fires_on_duplicate_delivery(calm_result):
+    t, client, channel, msg_id = calm_result.ledger.deliveries[0]
+    calm_result.ledger.delivery_counts[(client, msg_id)] += 1
+    try:
+        violations = oracle_at_most_once(calm_result)
+        assert len(violations) == 1
+        assert violations[0].oracle == "at-most-once"
+        assert client in violations[0].detail and msg_id in violations[0].detail
+    finally:
+        calm_result.ledger.delivery_counts[(client, msg_id)] -= 1
+
+
+def test_loss_free_fires_on_suppressed_delivery(calm_result):
+    # Erase one subscriber's entire delivery record: some mid-run
+    # publication on a channel it stably covered must now be "lost".
+    ledger = calm_result.ledger
+    victim = CALM.subscriber_ids()[0]
+    saved = dict(ledger.delivery_counts)
+    for client, msg_id in list(ledger.delivery_counts):
+        if client == victim:
+            del ledger.delivery_counts[(client, msg_id)]
+    try:
+        violations = oracle_loss_free(calm_result)
+        assert violations, "suppressing all deliveries went unnoticed"
+        assert all(v.oracle == "loss-free" for v in violations)
+        assert any(victim in v.detail for v in violations)
+    finally:
+        ledger.delivery_counts.clear()
+        ledger.delivery_counts.update(saved)
+
+
+def test_replication_soundness_fires_below_thresholds(calm_result):
+    # Graft a plan that replicates a channel although the calm workload
+    # is far below Algorithm 1's activation thresholds.
+    servers = sorted(calm_result.cluster.servers)[:2]
+    bad_plan = calm_result.final_plan.evolve(
+        mappings={
+            "room:0": ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, tuple(servers))
+        }
+    )
+    tampered = SimpleNamespace(
+        scenario=calm_result.scenario,
+        cluster=calm_result.cluster,
+        plan_history=calm_result.plan_history + [(99.0, bad_plan)],
+    )
+    violations = oracle_replication_soundness(tampered)
+    assert any(
+        v.oracle == "replication-soundness" and "thresholds" in v.detail
+        for v in violations
+    )
+
+
+def test_ring_bounds_pass_on_real_ring(calm_result):
+    assert oracle_ring_bounds(calm_result) == []
+
+
+def test_merge_windows_coalesces_overlaps():
+    assert _merge_windows([(5.0, 9.0), (1.0, 3.0), (2.0, 6.0)]) == [(1.0, 9.0)]
+    assert _merge_windows([]) == []
+    assert _merge_windows([(1.0, 2.0), (3.0, 4.0)]) == [(1.0, 2.0), (3.0, 4.0)]
+
+
+def test_turbulence_windows_cover_faults_with_margin():
+    scenario = Scenario(seed=0)
+    fake = SimpleNamespace(
+        scenario=scenario,
+        fault_timeline=(
+            CrashServer(8.0, "pub1"),
+            PartitionNodes(10.0, "pub2", "pub3", until=12.0),
+        ),
+    )
+    windows = turbulence_windows(fake)
+    assert len(windows) == 1  # crash and partition windows overlap-merge
+    lo, hi = windows[0]
+    assert lo <= 7.0 and hi >= 27.0  # covers both margins
+
+
+def test_no_faults_means_no_turbulence(calm_result):
+    assert turbulence_windows(calm_result) == []

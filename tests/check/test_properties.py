@@ -1,0 +1,49 @@
+"""The property sweep: N generated scenarios, every oracle must pass.
+
+This is the PR gate.  ``--check-iterations`` (rootdir conftest) controls
+N; CI runs the default 20 on every PR and 200 in the nightly soak.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import check_result, generate_scenario, run_scenario
+from repro.check.generate import FAULT_PROFILES, WORKLOAD_SHAPES
+
+
+def test_generated_scenarios_pass_all_oracles(check_iterations):
+    failures = []
+    for seed in range(check_iterations):
+        scenario = generate_scenario(seed)
+        result = run_scenario(scenario)
+        violations = check_result(result)
+        if violations:
+            failures.append(
+                f"seed={seed} label={scenario.label}: "
+                + "; ".join(str(v) for v in violations)
+            )
+    assert not failures, "\n".join(failures)
+
+
+def test_generator_covers_the_scenario_space():
+    """A modest sweep exercises every workload shape and fault profile."""
+    labels = {generate_scenario(seed).label for seed in range(60)}
+    shapes = {label.split("+")[0] for label in labels}
+    profiles = {label.split("+")[1] for label in labels}
+    assert shapes == set(WORKLOAD_SHAPES)
+    assert profiles == set(FAULT_PROFILES)
+
+
+def test_generated_scenarios_are_seed_deterministic():
+    for seed in (0, 7, 42):
+        assert generate_scenario(seed) == generate_scenario(seed)
+    assert generate_scenario(1) != generate_scenario(2)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_runs_produce_traffic_and_deliveries(seed):
+    result = run_scenario(generate_scenario(seed))
+    assert result.tracer.events, "run produced no trace events"
+    assert result.ledger.deliveries, "run produced no deliveries"
+    assert result.final_plan.version >= 0

@@ -1,0 +1,56 @@
+"""Scenario wire format: JSON round-trips, validation, kill switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.generate import generate_scenario
+from repro.check.scenario import Scenario, with_break
+from repro.faults.schedule import CrashServer, PartitionNodes, RestartServer
+
+
+def test_json_round_trip_preserves_everything():
+    scenario = Scenario(
+        seed=42,
+        label="roundtrip",
+        channels=3,
+        subscribers=4,
+        publishers=2,
+        hot_channel_bias=0.4,
+        churn_interval_s=1.5,
+        faults=(
+            CrashServer(8.0, "pub2"),
+            RestartServer(14.0, "pub2"),
+            PartitionNodes(6.0, "pub1", "pub3", until=9.0),
+        ),
+        break_repair_replay=True,
+    )
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_scenarios_round_trip(seed):
+    scenario = generate_scenario(seed)
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_with_break_only_toggles_the_kill_switch():
+    scenario = generate_scenario(3)
+    broken = with_break(scenario)
+    assert broken.break_repair_replay
+    assert with_break(broken, broken=False) == scenario
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"horizon_s": 10.0, "settle_s": 12.0},
+        {"channels": 0},
+        {"subscribers": 0},
+        {"publishers": 0},
+        {"publish_interval_s": 0.0},
+    ],
+)
+def test_invalid_scenarios_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Scenario(seed=0, **kwargs)

@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The actual builders live in :mod:`tests.helpers` so that ``benchmarks/``
+and ``tests/check/`` can use them too; this conftest only wraps them as
+fixtures.  ``make_static_cluster`` is re-exported because many suites
+import it from here.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,12 @@ import random
 
 import pytest
 
-from repro.broker.config import BrokerConfig
-from repro.core.cluster import BALANCER_NONE, DynamothCluster
-from repro.core.config import DynamothConfig
-from repro.net.latency import FixedLatency
+from repro.core.cluster import DynamothCluster
 from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
+from tests.helpers import make_fixed_transport, make_static_cluster
+
+__all__ = ["make_static_cluster"]
 
 
 @pytest.fixture
@@ -27,26 +33,7 @@ def rng() -> random.Random:
 @pytest.fixture
 def transport(sim, rng) -> Transport:
     """A transport with deterministic small latencies (tests only)."""
-    return Transport(
-        sim, rng, lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.02)
-    )
-
-
-def make_static_cluster(
-    *,
-    seed: int = 0,
-    initial_servers: int = 3,
-    broker_config: BrokerConfig = None,
-    config: DynamothConfig = None,
-) -> DynamothCluster:
-    """A cluster without a balancer, for protocol-level tests."""
-    return DynamothCluster(
-        seed=seed,
-        initial_servers=initial_servers,
-        balancer=BALANCER_NONE,
-        broker_config=broker_config,
-        config=config,
-    )
+    return make_fixed_transport(sim, rng)
 
 
 @pytest.fixture

@@ -1,0 +1,101 @@
+"""Plan wire format and PlanPush compatibility.
+
+Minimized repro.check scenarios and trace tooling persist plans as JSON,
+so ``Plan``/``ChannelMapping`` round-trips must be lossless -- including
+the consistent-hashing ring, which is rebuilt from membership and must
+reproduce the identical point set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.messages import PlanPush
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+
+SERVERS = ("pub1", "pub2", "pub3", "pub4")
+
+
+def _sample_plan() -> Plan:
+    plan = Plan.bootstrap(SERVERS)
+    plan = plan.evolve(
+        mappings={
+            "room:0": ChannelMapping(ReplicationMode.SINGLE, ("pub2",)),
+            "room:1": ChannelMapping(
+                ReplicationMode.ALL_SUBSCRIBERS, ("pub1", "pub3")
+            ),
+        }
+    )
+    return plan.evolve(
+        mappings={
+            "room:2": ChannelMapping(
+                ReplicationMode.ALL_PUBLISHERS, ("pub2", "pub4")
+            )
+        }
+    )
+
+
+class TestChannelMappingWire:
+    @pytest.mark.parametrize(
+        "mapping",
+        [
+            ChannelMapping(ReplicationMode.SINGLE, ("pub1",), 3),
+            ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, ("pub1", "pub2"), 7),
+            ChannelMapping(ReplicationMode.ALL_PUBLISHERS, ("pub3", "pub1"), 0),
+        ],
+    )
+    def test_round_trip(self, mapping):
+        assert ChannelMapping.from_dict(mapping.to_dict()) == mapping
+
+    def test_dict_is_json_safe(self):
+        mapping = ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, ("a", "b"), 2)
+        assert json.loads(json.dumps(mapping.to_dict())) == mapping.to_dict()
+
+
+class TestPlanWire:
+    def test_round_trip_preserves_versions_and_mappings(self):
+        plan = _sample_plan()
+        loaded = Plan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert loaded.version == plan.version
+        assert loaded.active_servers == plan.active_servers
+        assert sorted(loaded.explicit_channels()) == sorted(plan.explicit_channels())
+        for channel in plan.explicit_channels():
+            assert loaded.explicit_mapping(channel) == plan.explicit_mapping(channel)
+
+    def test_rebuilt_ring_reproduces_the_point_set(self):
+        plan = _sample_plan()
+        loaded = Plan.from_dict(plan.to_dict())
+        probes = [f"wire-probe:{i}" for i in range(256)]
+        assert [loaded.ring.lookup(c) for c in probes] == [
+            plan.ring.lookup(c) for c in probes
+        ]
+
+    def test_round_trip_resolves_fallback_identically(self):
+        plan = _sample_plan()
+        loaded = Plan.from_dict(plan.to_dict())
+        for channel in ("room:0", "room:1", "room:2", "unmapped:9"):
+            assert loaded.mapping(channel) == plan.mapping(channel)
+
+
+class TestPlanPushCompat:
+    def test_failed_servers_defaults_empty_for_old_senders(self):
+        """A PlanPush built the pre-failure-recovery way still works:
+        dispatchers read ``failed_servers`` and must see an empty tuple."""
+        push = PlanPush(_sample_plan())
+        assert push.failed_servers == ()
+        assert push.stragglers is None
+
+    def test_failed_servers_carried_through(self):
+        push = PlanPush(_sample_plan(), failed_servers=("pub9",))
+        assert push.failed_servers == ("pub9",)
+
+    def test_plan_push_is_frozen(self):
+        push = PlanPush(_sample_plan())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            push.failed_servers = ("x",)
+
+    def test_wire_size_budget_unchanged(self):
+        assert PlanPush.WIRE_SIZE == 512

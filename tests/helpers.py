@@ -1,0 +1,62 @@
+"""Shared test utilities, hoisted out of the per-suite conftests.
+
+Used by ``tests/`` (protocol and unit suites), ``tests/check/`` (the
+property-testing harness) and ``benchmarks/`` alike, so the one
+definition of "a deterministic cluster for tests" lives here instead of
+being copy-pasted per suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.broker.config import BrokerConfig
+from repro.core.cluster import BALANCER_NONE, DynamothCluster
+from repro.core.config import DynamothConfig
+from repro.net.latency import FixedLatency
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+
+
+def make_static_cluster(
+    *,
+    seed: int = 0,
+    initial_servers: int = 3,
+    broker_config: Optional[BrokerConfig] = None,
+    config: Optional[DynamothConfig] = None,
+) -> DynamothCluster:
+    """A cluster without a balancer, for protocol-level tests."""
+    return DynamothCluster(
+        seed=seed,
+        initial_servers=initial_servers,
+        balancer=BALANCER_NONE,
+        broker_config=broker_config,
+        config=config,
+    )
+
+
+def make_fixed_transport(
+    sim: Simulator,
+    rng: Optional[random.Random] = None,
+    *,
+    lan_s: float = 0.001,
+    wan_s: float = 0.02,
+) -> Transport:
+    """A transport with deterministic fixed latencies (tests only)."""
+    return Transport(
+        sim,
+        rng if rng is not None else random.Random(1234),
+        lan_model=FixedLatency(lan_s),
+        wan_model=FixedLatency(wan_s),
+    )
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round/iteration and return its result.
+
+    Every benchmark regenerates one table/figure of the paper; a "round"
+    is a full experiment, so the value is the printed figure data and the
+    recorded extra_info, not sub-millisecond timing statistics.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
