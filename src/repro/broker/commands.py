@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubscribeCmd:
     """Client asks the server to add it to a channel's subscriber set.
 
@@ -31,7 +31,7 @@ class SubscribeCmd:
     WIRE_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnsubscribeCmd:
     """Client asks the server to drop its subscription to a channel."""
 
@@ -40,7 +40,7 @@ class UnsubscribeCmd:
     WIRE_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PublishCmd:
     """Client publishes ``payload`` on ``channel``.
 
@@ -53,7 +53,7 @@ class PublishCmd:
     payload_size: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubscribeAck:
     """Server confirms a subscription is established (Redis sends a
     ``subscribe`` confirmation message for exactly this purpose).
@@ -71,7 +71,7 @@ class SubscribeAck:
     WIRE_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingCmd:
     """Client-side liveness probe (Redis ``PING``).
 
@@ -84,7 +84,7 @@ class PingCmd:
     WIRE_SIZE = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PongReply:
     """Server's answer to :class:`PingCmd` (Redis ``+PONG``)."""
 
@@ -93,7 +93,7 @@ class PongReply:
     WIRE_SIZE = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delivery:
     """Server forwards a publication to one subscriber."""
 
@@ -106,7 +106,7 @@ class Delivery:
     server_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionClosed:
     """Server notifies a client that it was forcibly disconnected.
 

@@ -75,12 +75,17 @@ class Connection:
         Returns the buffer occupancy *after* the enqueue, which the server
         compares against the hard limit.
         """
-        self._expire(now)
-        self._pending.append((completion_time, size_bytes))
-        self._pending_bytes += size_bytes
+        # Hot path: ``_expire`` is inlined (one call per delivery).
+        pending = self._pending
+        pending_bytes = self._pending_bytes
+        while pending and pending[0][0] <= now:
+            pending_bytes -= pending.popleft()[1]
+        pending.append((completion_time, size_bytes))
+        pending_bytes += size_bytes
+        self._pending_bytes = pending_bytes
         self.deliveries += 1
         self.bytes_delivered += size_bytes
-        return self._pending_bytes
+        return pending_bytes
 
     def kill(self) -> None:
         """Mark the connection dead and drop its buffered state."""

@@ -201,24 +201,53 @@ class PubSubServer(Actor):
         now = self.sim.now
         channel = cmd.channel
         wire_size = cmd.payload_size + self.config.per_message_overhead_bytes
+        # One immutable payload envelope shared by every subscriber's
+        # delivery -- the whole fan-out references the same object.
         delivery = Delivery(channel, cmd.payload, cmd.payload_size, self.node_id)
 
-        # Snapshot: killing a connection mid-loop mutates the channel set.
-        remote = list(self._channels.get(channel, ()))
         delivered = 0
-        for client_id in remote:
-            conn = self._connections.get(client_id)
-            if conn is None or not conn.alive:
-                self.dropped_deliveries += 1
-                continue
-            conn_completion = conn.connection_drain_completion(now, wire_size)
-            completion, __ = self.transport.send(
-                self.node_id, client_id, delivery, wire_size, min_completion=conn_completion
-            )
-            occupancy = conn.enqueue(now, completion, wire_size)
-            delivered += 1
-            if occupancy > self.config.output_buffer_limit_bytes:
-                self._kill_connection(client_id, conn)
+        subs = self._channels.get(channel)
+        if subs:
+            connections = self._connections
+            dst_ids: List[str] = []
+            conns: List[Connection] = []
+            dropped = 0
+            # Iterate the live subscriber dict directly -- kills are
+            # deferred past the loop, so nothing mutates it mid-walk and
+            # no O(n) snapshot copy is needed.
+            for client_id in subs:
+                conn = connections.get(client_id)
+                if conn is None or not conn.alive:
+                    dropped += 1
+                    continue
+                dst_ids.append(client_id)
+                conns.append(conn)
+            if dropped:
+                self.dropped_deliveries += dropped
+            if dst_ids:
+                if self.config.per_connection_bps is not None:
+                    min_completions = [
+                        conn.connection_drain_completion(now, wire_size)
+                        for conn in conns
+                    ]
+                else:
+                    min_completions = None
+                completions = self.transport.send_many(
+                    self.node_id,
+                    dst_ids,
+                    delivery,
+                    wire_size,
+                    min_completions=min_completions,
+                )
+                delivered = len(dst_ids)
+                limit = self.config.output_buffer_limit_bytes
+                kills: List[tuple] = []
+                for index, conn in enumerate(conns):
+                    occupancy = conn.enqueue(now, completions[index], wire_size)
+                    if occupancy > limit:
+                        kills.append((dst_ids[index], conn))
+                for client_id, conn in kills:
+                    self._kill_connection(client_id, conn)
         self.delivery_count += delivered
         # Observers need the fan-out of *this* publication to attribute
         # egress bytes; expose it before invoking them.

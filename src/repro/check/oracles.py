@@ -273,19 +273,19 @@ def oracle_repair_bridging(result: RunResult) -> List[Violation]:
                 ]
                 if len(parked) > config.repair_buffer_max_msgs:
                     continue  # overflow drops oldest: not guaranteed
-                for event in parked:
-                    if (client, event.msg_id) not in delivered:
-                        violations.append(
-                            Violation(
-                                "repair-bridging",
-                                f"{event.msg_id} on {channel} reached repaired "
-                                f"home {home} at t={event.t:.3f} (window "
-                                f"[{applied_t:.3f}, {attach_t:.3f}]) but was "
-                                f"never replayed to recovering subscriber "
-                                f"{client}",
-                                t=event.t,
-                            )
-                        )
+                violations.extend(
+                    Violation(
+                        "repair-bridging",
+                        f"{event.msg_id} on {channel} reached repaired "
+                        f"home {home} at t={event.t:.3f} (window "
+                        f"[{applied_t:.3f}, {attach_t:.3f}]) but was "
+                        f"never replayed to recovering subscriber "
+                        f"{client}",
+                        t=event.t,
+                    )
+                    for event in parked
+                    if (client, event.msg_id) not in delivered
+                )
     return violations
 
 
@@ -293,16 +293,14 @@ def oracle_repair_bridging(result: RunResult) -> List[Violation]:
 # O3: at-most-once delivery (no carve-out)
 # ----------------------------------------------------------------------
 def oracle_at_most_once(result: RunResult) -> List[Violation]:
-    violations: List[Violation] = []
-    for (client, msg_id), count in result.ledger.delivery_counts.items():
-        if count > 1:
-            violations.append(
-                Violation(
-                    "at-most-once",
-                    f"client {client} saw {msg_id} {count} times",
-                )
-            )
-    return violations
+    return [
+        Violation(
+            "at-most-once",
+            f"client {client} saw {msg_id} {count} times",
+        )
+        for (client, msg_id), count in result.ledger.delivery_counts.items()
+        if count > 1
+    ]
 
 
 # ----------------------------------------------------------------------

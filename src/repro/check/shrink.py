@@ -82,7 +82,7 @@ def shrink(
             runs += 1
             try:
                 result = runner(candidate)
-            except Exception:
+            except Exception:  # noqa: PERF203 - per-candidate isolation is the point
                 continue  # an invalid shrink (e.g. empty fault schedule edge)
             found = [v for v in check_result(result) if v.oracle in target_oracles]
             if found:

@@ -474,11 +474,16 @@ class DynamothClient(Actor):
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
     def _handle_delivery(self, delivery: Delivery) -> None:
+        # Hot path: one call per application delivery.  ``_touch`` and
+        # ``_is_duplicate`` are inlined here (they remain as methods for
+        # the other call sites).
         envelope = delivery.payload
         if not isinstance(envelope, AppEnvelope):
             return
         channel = delivery.channel
-        self._touch(channel)
+        entry = self._entries.get(channel)
+        if entry is not None:
+            entry.last_activity = self.sim.now
 
         if isinstance(envelope.body, SwitchNotice):
             self.switches += 1
@@ -486,11 +491,18 @@ class DynamothClient(Actor):
             return
 
         tracer = self._tracer
-        if self._is_duplicate(envelope.msg_id):
+        msg_id = envelope.msg_id
+        seen = self._seen_ids
+        if msg_id in seen:
             self.duplicates += 1
             if tracer.enabled:
                 tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
             return
+        seen.add(msg_id)
+        order = self._seen_order
+        order.append(msg_id)
+        if len(order) > self.DEDUP_WINDOW:
+            seen.discard(order.popleft())
         self.delivered += 1
         if tracer.enabled:
             latency = self.sim.now - envelope.sent_at

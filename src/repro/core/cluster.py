@@ -69,12 +69,14 @@ class DynamothCluster:
         wan_model: Optional[LatencyModel] = None,
         lan_model: Optional[LatencyModel] = None,
         tracer: Optional[Tracer] = None,
+        scheduler: str = "heap",
+        gc_managed: bool = False,
     ):
         if initial_servers < 1:
             raise ValueError("initial_servers must be >= 1")
         self.config = config if config is not None else DynamothConfig()
         self.broker_config = broker_config if broker_config is not None else BrokerConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=scheduler, gc_managed=gc_managed)
         self.rng = RngRegistry(seed)
         #: shared flight recorder; the no-op NULL_TRACER unless one is
         #: passed in, so untraced runs pay only guard checks.

@@ -21,7 +21,7 @@ from typing import Any, Tuple
 from repro.core.plan import ChannelMapping, Plan
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppEnvelope:
     """Wrapper around every application publication.
 
@@ -46,7 +46,7 @@ class AppEnvelope:
     WIRE_OVERHEAD = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwitchNotice:
     """Published *on the channel itself* to migrate its subscribers.
 
@@ -62,7 +62,7 @@ class SwitchNotice:
     WIRE_SIZE = 96
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MappingNotice:
     """Direct server-to-client redirect: "you used the wrong server(s)".
 
@@ -76,7 +76,7 @@ class MappingNotice:
     WIRE_SIZE = 96
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlanPush:
     """Load balancer reliably distributing a new global plan to dispatchers.
 
@@ -98,7 +98,7 @@ class PlanPush:
     WIRE_SIZE = 512
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoMoreSubscribers:
     """Dispatcher-to-dispatcher: the old server has no subscribers left for
     ``channel``, so forwarding toward it can stop (section IV-A.5)."""
@@ -109,7 +109,7 @@ class NoMoreSubscribers:
     WIRE_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChannelMetricsSnapshot:
     """Per-channel aggregate over one LLA report interval."""
 
@@ -126,7 +126,7 @@ class ChannelMetricsSnapshot:
     bytes_out_per_s: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadReport:
     """One LLA's aggregate update message to the load balancer.
 
@@ -157,7 +157,7 @@ class LoadReport:
         return self.measured_egress_bps / self.nominal_egress_bps
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServerSpawned:
     """Cloud notification: a rented server finished booting."""
 
@@ -166,7 +166,7 @@ class ServerSpawned:
     WIRE_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServerDecommissioned:
     """Cloud notification: a drained server was shut down."""
 

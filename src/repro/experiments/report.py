@@ -122,11 +122,12 @@ def render_figure5(
 
 def render_figure6(result: ScalabilityResult) -> str:
     """Figure 6: average and busiest load ratio over time."""
-    rows = []
     series = result.load_ratio_series()
     step = max(1, len(series) // 25)
-    for t, avg, busiest in series[::step]:
-        rows.append([f"{t:.0f}", f"{avg:.2f}", f"{busiest:.2f}"])
+    rows = [
+        [f"{t:.0f}", f"{avg:.2f}", f"{busiest:.2f}"]
+        for t, avg, busiest in series[::step]
+    ]
     out = [
         "Figure 6 -- pub/sub server load ratios (Dynamoth)",
         table(["t(s)", "avg LR", "max LR"], rows),
@@ -164,17 +165,16 @@ def render_figure7(result: ElasticityResult) -> str:
     rt = dict(result.response_series())
     horizon = int(result.config.duration_s)
     step = max(10, horizon // 25)
-    rows = []
-    for t in range(0, horizon + 1, step):
-        rows.append(
-            [
-                t,
-                int(pop.get(t, 0)),
-                int(srv.get(t, 0)),
-                int(msg.get(t, 0)),
-                _fmt_ms(rt.get(t)),
-            ]
-        )
+    rows = [
+        [
+            t,
+            int(pop.get(t, 0)),
+            int(srv.get(t, 0)),
+            int(msg.get(t, 0)),
+            _fmt_ms(rt.get(t)),
+        ]
+        for t in range(0, horizon + 1, step)
+    ]
     out = [
         "Figure 7 -- elasticity under a varying number of players",
         table(["t(s)", "players", "servers", "msgs/s", "rt(ms)"], rows),

@@ -18,7 +18,13 @@ from typing import Protocol
 
 
 class LatencyModel(Protocol):
-    """Anything that can sample a one-way delay in seconds."""
+    """Anything that can sample a one-way delay in seconds.
+
+    A model whose samples are constant may additionally expose a
+    ``fixed_delay`` attribute holding that constant; the transport then
+    skips per-message sampling (and the RNG) for pairs using it.  Leave it
+    unset -- or set it to ``None`` -- for stochastic models.
+    """
 
     def sample(self, rng: random.Random) -> float:
         """Return a one-way propagation delay in seconds."""
@@ -32,6 +38,7 @@ class FixedLatency:
         if delay < 0:
             raise ValueError(f"negative latency: {delay!r}")
         self.delay = delay
+        self.fixed_delay = delay
 
     def sample(self, rng: random.Random) -> float:
         return self.delay
@@ -45,6 +52,7 @@ class UniformLatency:
             raise ValueError(f"invalid latency range: [{low!r}, {high!r}]")
         self.low = low
         self.high = high
+        self.fixed_delay = low if low == high else None
 
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
@@ -62,6 +70,7 @@ class LanLatency:
             raise ValueError("LAN latency parameters must be non-negative")
         self.base = base
         self.jitter = jitter
+        self.fixed_delay = base if jitter == 0 else None
 
     def sample(self, rng: random.Random) -> float:
         return self.base + rng.random() * self.jitter

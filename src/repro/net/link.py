@@ -99,3 +99,49 @@ class EgressPort:
         self.total_bytes += size_bytes
         self.total_messages += 1
         return completion
+
+    def transmit_many(self, now: float, size_bytes: int, count: int) -> List[float]:
+        """Enqueue ``count`` equal-size transmissions back to back.
+
+        Equivalent to calling :meth:`transmit` ``count`` times (same float
+        accumulation, same per-second byte attribution), but with one call,
+        one backlog lookup, and bucket updates aggregated per touched
+        second -- the dominant cost of a large fan-out burst otherwise.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes!r}")
+        if count < 0:
+            raise ValueError(f"negative message count: {count!r}")
+        if count == 0:
+            return []
+        if self.capacity_bps is None:
+            self.buckets.add(now, size_bytes * count)
+            self.total_bytes += size_bytes * count
+            self.total_messages += count
+            return [now] * count
+        per = size_bytes / self.capacity_bps
+        c = now if now > self._busy_until else self._busy_until
+        completions: List[float] = []
+        append = completions.append
+        for _ in range(count):
+            c += per  # iterative, matching sequential transmit() floats
+            append(c)
+        self._busy_until = c
+        # Attribute bytes per completion second, aggregating consecutive
+        # runs that land in the same second into one bucket update.
+        buckets = self.buckets
+        run_second = int(completions[0])
+        run_bytes = 0
+        for completion in completions:
+            second = int(completion)
+            if second != run_second:
+                buckets._buckets[run_second] = (
+                    buckets._buckets.get(run_second, 0) + run_bytes
+                )
+                run_second = second
+                run_bytes = 0
+            run_bytes += size_bytes
+        buckets._buckets[run_second] = buckets._buckets.get(run_second, 0) + run_bytes
+        self.total_bytes += size_bytes * count
+        self.total_messages += count
+        return completions

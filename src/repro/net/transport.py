@@ -11,17 +11,34 @@ model.  Sending a message involves, in order:
 3. delivery via ``dst.receive(message, src_id)`` -- unless the destination
    has shut down in the meantime, in which case the message is dropped and
    counted.
+
+Hot-path notes: all per-connection state lives in one flat table keyed by
+``(src, dst)`` tuples -- the resolved destination actor, which latency
+model the pair uses (it never changes while both endpoints stay
+registered), the model's constant sample when it declares a
+``fixed_delay`` (constant models never touch the RNG), and the FIFO clamp.
+One dict lookup per message covers all four.  :meth:`send_many` is the
+bulk fan-out API: it computes the NIC drain incrementally, samples
+propagation once per *leg* (latency model) per batch, and schedules all
+deliveries through the kernel's pooled batch interface.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional, Protocol, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.net.latency import KingLatencyModel, LanLatency, LatencyModel
 from repro.net.link import EgressPort
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
+
+# Indices into a per-pair state list (a mutable list rather than a small
+# object: one allocation per pair for the lifetime of the pair).
+_P_DST = 0  # resolved destination Actor
+_P_MODEL = 1  # LatencyModel, or None for loopback
+_P_FIXED = 2  # constant sample when the model declares one, else None
+_P_FIFO = 3  # last scheduled delivery time on this connection
 
 
 class FaultPlane(Protocol):
@@ -53,12 +70,16 @@ class Transport:
         self.wan_model: LatencyModel = wan_model if wan_model is not None else KingLatencyModel()
         self._actors: Dict[str, Actor] = {}
         self._ports: Dict[str, EgressPort] = {}
-        #: per (src -> dst) last scheduled delivery time, enforcing the
-        #: FIFO ordering a TCP connection provides.  Without it, two
-        #: messages on the same logical connection could reorder (each
-        #: samples its own propagation delay), which breaks protocols
-        #: that rely on in-order SUBSCRIBE/UNSUBSCRIBE processing.
-        self._fifo: Dict[str, Dict[str, float]] = {}
+        #: per (src, dst) connection state: ``[dst_actor, model,
+        #: fixed_delay, fifo_time]``.  The FIFO clamp enforces the ordering
+        #: a TCP connection provides -- without it, two messages on the
+        #: same logical connection could reorder (each samples its own
+        #: propagation delay), breaking protocols that rely on in-order
+        #: SUBSCRIBE/UNSUBSCRIBE processing.  Model choice and actor
+        #: resolution depend only on registration-time facts, so entries
+        #: stay valid until either endpoint unregisters (which prunes
+        #: them).
+        self._pairs: Dict[Tuple[str, str], list] = {}
         self.messages_sent: int = 0
         self.messages_dropped: int = 0
         #: optional network fault plane (installed by
@@ -87,12 +108,18 @@ class Transport:
         return port
 
     def unregister(self, node_id: str) -> None:
-        """Detach a node; in-flight messages to it are dropped on arrival."""
+        """Detach a node; in-flight messages to it are dropped on arrival.
+
+        All per-pair connection state touching the node is pruned so long
+        churny runs do not leak an entry per (departed node, peer) pair --
+        and so a later re-registration under the same id starts from a
+        clean slate instead of inheriting cached routing state.
+        """
         actor = self._actors.pop(node_id, None)
         self._ports.pop(node_id, None)
-        self._fifo.pop(node_id, None)
-        for lane in self._fifo.values():
-            lane.pop(node_id, None)
+        stale = [key for key in self._pairs if key[0] == node_id or key[1] == node_id]
+        for key in stale:
+            del self._pairs[key]
         if actor is not None:
             actor.transport = None
 
@@ -101,6 +128,10 @@ class Transport:
 
     def port(self, node_id: str) -> Optional[EgressPort]:
         return self._ports.get(node_id)
+
+    def pair_state_count(self) -> int:
+        """Entries in the per-pair connection table (leak diagnostics)."""
+        return len(self._pairs)
 
     # ------------------------------------------------------------------
     # Sending
@@ -129,8 +160,7 @@ class Transport:
         model higher-level buffers (the pub/sub server's per-connection
         output buffers) can account for queued bytes.
         """
-        src = self._actors.get(src_id)
-        if src is None:
+        if src_id not in self._actors:
             raise KeyError(f"unknown sender: {src_id}")
         port = self._ports[src_id]
         now = self.sim.now
@@ -148,34 +178,138 @@ class Transport:
         else:
             extra = 0.0
 
-        dst = self._actors.get(dst_id)
-        if dst is None or not dst.alive:
+        key = (src_id, dst_id)
+        state = self._pairs.get(key)
+        if state is None:
+            state = self._classify_pair(key)
+        if state is None or not state[_P_DST].alive:
             # Destination already gone: the bytes still occupied the NIC,
             # but nothing arrives.
             self.messages_dropped += 1
             return completion, completion
 
-        latency = self._sample_latency(src, dst)
+        fixed = state[_P_FIXED]
+        if fixed is not None:
+            latency = fixed
+        else:
+            latency = state[_P_MODEL].sample(self._rng)
         delivery_time = completion + latency + extra
         if fifo:
-            lane = self._fifo.setdefault(src_id, {})
-            earlier = lane.get(dst_id, 0.0)
-            if delivery_time < earlier:
-                delivery_time = earlier  # FIFO: never overtake the connection
-            lane[dst_id] = delivery_time
+            if delivery_time < state[_P_FIFO]:
+                delivery_time = state[_P_FIFO]  # FIFO: never overtake
+            state[_P_FIFO] = delivery_time
         self.sim.schedule_at(delivery_time, self._deliver, dst_id, message, src_id)
         self.messages_sent += 1
         return completion, delivery_time
 
-    def _sample_latency(self, src: Actor, dst: Actor) -> float:
-        if src.node_id == dst.node_id:
-            return 0.0
-        if src.is_infra and dst.is_infra:
-            return self.lan_model.sample(self._rng)
-        # Client <-> infrastructure: one WAN sample per direction, exactly
-        # as the paper injects King samples.  (Client <-> client direct
-        # messages do not occur in Dynamoth's two-hop architecture.)
-        return self.wan_model.sample(self._rng)
+    def send_many(
+        self,
+        src_id: str,
+        dst_ids: Sequence[str],
+        message: Any,
+        size_bytes: int,
+        *,
+        min_completions: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Fan one ``message`` out to many destinations in a single batch.
+
+        The shared NIC is charged incrementally -- equivalent to sending
+        the messages back to back -- and propagation is sampled **once per
+        leg** (latency model) for the whole batch: the deliveries of one
+        fan-out instant share the network-weather sample instead of paying
+        one RNG draw each.  Per-connection FIFO order against earlier and
+        later sends is preserved through the same ``(src, dst)`` clamp as
+        :meth:`send`.
+
+        ``min_completions``, when given, is a parallel sequence of
+        per-destination completion floors (the pub/sub server's
+        per-connection drain ceilings).
+
+        Returns the transmit-completion time per destination, in order.
+        Destinations that are dead or lose the message to the fault plane
+        are skipped and counted in :attr:`messages_dropped`; their bytes
+        still occupied the NIC.
+        """
+        if src_id not in self._actors:
+            raise KeyError(f"unknown sender: {src_id}")
+        port = self._ports[src_id]
+        sim = self.sim
+        completions = port.transmit_many(sim.now, size_bytes, len(dst_ids))
+        if min_completions is not None:
+            for index, floor in enumerate(min_completions):
+                if floor > completions[index]:
+                    completions[index] = floor
+        plane = self.fault_plane
+        pairs = self._pairs
+        rng = self._rng
+        #: one propagation sample per latency model ("leg") per batch
+        leg_samples: Dict[int, float] = {}
+        times: List[float] = []
+        args_seq: List[tuple] = []
+        add_time = times.append
+        add_args = args_seq.append
+        dropped = 0
+        for index, dst_id in enumerate(dst_ids):
+            if plane is not None:
+                extra = plane.apply(src_id, dst_id)
+                if extra is None:
+                    dropped += 1
+                    continue
+            else:
+                extra = 0.0
+            state = pairs.get((src_id, dst_id))
+            if state is None:
+                state = self._classify_pair((src_id, dst_id))
+            if state is None or not state[_P_DST].alive:
+                dropped += 1
+                continue
+            fixed = state[_P_FIXED]
+            if fixed is not None:
+                latency = fixed
+            else:
+                model = state[_P_MODEL]
+                leg = id(model)
+                latency = leg_samples.get(leg)
+                if latency is None:
+                    latency = model.sample(rng)
+                    leg_samples[leg] = latency
+            delivery_time = completions[index] + latency + extra
+            if delivery_time < state[_P_FIFO]:
+                delivery_time = state[_P_FIFO]
+            state[_P_FIFO] = delivery_time
+            add_time(delivery_time)
+            add_args((dst_id, message, src_id))
+        if times:
+            sim.schedule_batch(self._deliver, times, args_seq)
+            self.messages_sent += len(times)
+        if dropped:
+            self.messages_dropped += dropped
+        return completions
+
+    def _classify_pair(self, key: Tuple[str, str]) -> Optional[list]:
+        """Resolve and cache an endpoint pair's connection state.
+
+        Returns ``None`` -- without caching -- when the destination is not
+        currently registered, so a later registration is picked up.
+        """
+        src_id, dst_id = key
+        dst = self._actors.get(dst_id)
+        if dst is None:
+            return None
+        if src_id == dst_id:
+            state = [dst, None, 0.0, 0.0]
+        else:
+            if self._actors[src_id].is_infra and dst.is_infra:
+                model: LatencyModel = self.lan_model
+            else:
+                # Client <-> infrastructure: one WAN sample per direction,
+                # exactly as the paper injects King samples.  (Client <->
+                # client direct messages do not occur in Dynamoth's two-hop
+                # architecture.)
+                model = self.wan_model
+            state = [dst, model, getattr(model, "fixed_delay", None), 0.0]
+        self._pairs[key] = state
+        return state
 
     def _deliver(self, dst_id: str, message: Any, src_id: str) -> None:
         dst = self._actors.get(dst_id)

@@ -332,12 +332,11 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
         for plan in summary.plans:
             settle = summary.settle_time(plan)
             settle_text = f"settled +{settle:.2f}s" if settle is not None else "no settle signal"
-            details = []
-            for migration in moved_by_version.get(plan.version, [])[:3]:
-                details.append(
-                    f"{migration.channel}: {','.join(migration.from_servers)}"
-                    f" -> {','.join(migration.to_servers)} ({migration.mode})"
-                )
+            details = [
+                f"{migration.channel}: {','.join(migration.from_servers)}"
+                f" -> {','.join(migration.to_servers)} ({migration.mode})"
+                for migration in moved_by_version.get(plan.version, [])[:3]
+            ]
             moved = len(plan.channels_changed)
             extra = f" +{moved - 3} more" if moved > 3 else ""
             flags = []

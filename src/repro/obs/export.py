@@ -94,6 +94,6 @@ def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
                 continue  # forward compatibility: newer writers add types
             try:
                 events.append(cls.from_dict(data))
-            except (KeyError, TypeError) as exc:
+            except (KeyError, TypeError) as exc:  # noqa: PERF203 - per-line diagnostics
                 raise ValueError(f"{path}:{line_no}: malformed event: {exc}") from exc
     return events

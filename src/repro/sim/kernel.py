@@ -1,16 +1,39 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns a virtual clock (a float, in seconds) and a binary
-heap of pending events.  Components schedule callbacks at future points in
-time; :meth:`Simulator.run_until` pops events in timestamp order and invokes
+A :class:`Simulator` owns a virtual clock (a float, in seconds) and a queue
+of pending events.  Components schedule callbacks at future points in time;
+:meth:`Simulator.run_until` pops events in timestamp order and invokes
 them.  Ties are broken by insertion order, which makes runs fully
 deterministic for a fixed seed.
+
+Two interchangeable event-queue implementations are provided:
+
+* ``scheduler="heap"`` (the default): a binary heap of ``(time, seq,
+  event)`` tuples.  Tuple entries keep every comparison inside C -- the
+  ``(time, seq)`` prefix is unique, so the event object itself is never
+  compared.
+* ``scheduler="calendar"``: a calendar queue -- events are appended O(1)
+  into fixed-width time buckets and each bucket is sorted once when the
+  clock enters it.  Profitable for workloads that schedule dense bursts of
+  near-simultaneous events (large fan-out batches); ordering semantics are
+  byte-identical to the heap.
+
+Both queues share the free-list *event pool* used by
+:meth:`Simulator.schedule_batch`: bulk callers that never need a cancel
+handle (the transport's fan-out path) recycle ``ScheduledEvent`` objects
+instead of allocating one per message.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, List, Optional
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Queue entry: ``(time, seq, event)``.  The (time, seq) prefix is unique,
+#: so tuple comparison never falls through to the event object.
+_Entry = Tuple[float, int, "ScheduledEvent"]
 
 
 class ScheduledEvent:
@@ -18,10 +41,13 @@ class ScheduledEvent:
 
     Returned by :meth:`Simulator.schedule`; calling :meth:`cancel` prevents
     the callback from firing (cancellation is O(1) -- the event stays in the
-    heap but is skipped when popped).
+    queue but is skipped when popped).
+
+    Events created through :meth:`Simulator.schedule_batch` are *pooled*:
+    no handle escapes, and the object is recycled once it leaves the queue.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_pooled")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
@@ -30,8 +56,11 @@ class ScheduledEvent:
         self.args = args
         self.cancelled = False
         #: back-reference to the owning simulator while the event is in its
-        #: heap, so cancellations can be counted for heap compaction.
+        #: queue, so cancellations can be counted for compaction.
         self._sim: Optional["Simulator"] = None
+        #: pooled events are recycled when they leave the queue; they must
+        #: never hand a handle to external code.
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -39,7 +68,7 @@ class ScheduledEvent:
             return
         self.cancelled = True
         # Drop references so cancelled events do not pin large objects in
-        # memory while they wait to be popped from the heap.
+        # memory while they wait to be popped from the queue.
         self.fn = None
         self.args = ()
         sim = self._sim
@@ -67,21 +96,67 @@ class Simulator:
         sim.run_until(10.0)
 
     The clock unit is seconds.  Events scheduled for the same instant fire in
-    the order they were scheduled.
+    the order they were scheduled, regardless of the queue implementation.
     """
 
-    #: Compaction floor: heaps smaller than this are never compacted (the
+    #: Compaction floor: queues smaller than this are never compacted (the
     #: rebuild would cost more than the memory it frees).
     COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self) -> None:
+    #: Maximum recycled events kept in the free list.
+    POOL_MAX = 8192
+
+    #: Executed events between explicit young-generation collections while
+    #: the managed GC policy is active.
+    GC_MAINTENANCE_EVENTS = 1_000_000
+
+    def __init__(
+        self,
+        *,
+        scheduler: str = "heap",
+        calendar_bucket_s: float = 0.01,
+        gc_managed: bool = False,
+    ) -> None:
+        if scheduler not in ("heap", "calendar"):
+            raise ValueError(f"unknown scheduler: {scheduler!r}")
+        if calendar_bucket_s <= 0:
+            raise ValueError(f"calendar_bucket_s must be positive: {calendar_bucket_s!r}")
+        self.scheduler = scheduler
+        #: Managed GC policy (opt-in): on first entry into a run loop the
+        #: long-lived object graph built so far (topology: actors, clients,
+        #: connections) is collected once and frozen into the permanent
+        #: generation, and automatic collection is suspended while events
+        #: execute -- CPython's default full-heap collections otherwise
+        #: re-scan the entire static topology every ~70k allocations, which
+        #: dominates large fan-out runs.  Explicit young-generation
+        #: collections every :data:`GC_MAINTENANCE_EVENTS` events keep
+        #: cyclic garbage bounded.  Automatic GC is re-enabled whenever the
+        #: run loop returns.  The policy never affects simulation results,
+        #: only wall-clock time.
+        self.gc_managed = gc_managed
+        self._gc_frozen = False
         self._now: float = 0.0
-        self._heap: List[ScheduledEvent] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._cancelled_pending: int = 0
         self._compactions: int = 0
         self._running = False
+        self._pool: List[ScheduledEvent] = []
+        # --- heap scheduler state ---
+        self._heap: List[_Entry] = []
+        # --- calendar scheduler state ---
+        self._use_calendar = scheduler == "calendar"
+        self._bucket_s = calendar_bucket_s
+        #: bucket index -> unsorted list of entries (sorted lazily when the
+        #: clock enters the bucket)
+        self._buckets: Dict[int, List[_Entry]] = {}
+        #: min-heap of bucket indices with (possibly stale) pending entries
+        self._bucket_heap: List[int] = []
+        #: bucket currently being drained: sorted entries + read cursor
+        self._current: List[_Entry] = []
+        self._current_idx: int = 0
+        self._current_key: Optional[int] = None
+        self._cal_count: int = 0
         #: Optional observability hook ``(now, events_processed) -> None``,
         #: invoked after each executed event.  ``None`` (the default) costs
         #: one attribute check per event; the hook must not schedule events
@@ -103,18 +178,30 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of events still in the heap, including cancelled ones."""
+        """Number of events still queued, including cancelled ones."""
+        if self._use_calendar:
+            return self._cal_count
         return len(self._heap)
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled events still occupying heap slots (diagnostic)."""
+        """Cancelled events still occupying queue slots (diagnostic)."""
         return self._cancelled_pending
 
     @property
     def compactions(self) -> int:
-        """Number of heap compactions performed so far (diagnostic)."""
+        """Number of queue compactions performed so far (diagnostic)."""
         return self._compactions
+
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` / :meth:`run_until` is executing events."""
+        return self._running
+
+    @property
+    def pooled_free(self) -> int:
+        """Recycled events currently in the free list (diagnostic)."""
+        return len(self._pool)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -133,98 +220,433 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
-        event = ScheduledEvent(time, self._seq, fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, fn, args)
         event._sim = self
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        if self._use_calendar:
+            self._cal_insert((time, seq, event))
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
         return event
 
+    def schedule_batch(
+        self,
+        fn: Callable[..., None],
+        times: Sequence[float],
+        args_seq: Sequence[tuple],
+    ) -> int:
+        """Bulk-schedule ``fn(*args)`` at many absolute times.
+
+        ``times`` and ``args_seq`` are parallel sequences (kept separate so
+        bulk callers need not build a pair tuple per event).  Events are
+        drawn from the free-list pool and recycled when they leave the
+        queue, so no handle is returned -- batch events cannot be cancelled
+        by callers.  Returns the number of events scheduled.
+        """
+        now = self._now
+        seq = self._seq
+        pool = self._pool
+        use_calendar = self._use_calendar
+        heap = self._heap
+        push = heapq.heappush
+        count = 0
+        for time, args in zip(times, args_seq):
+            if time < now:
+                raise ValueError(f"cannot schedule in the past: {time} < {now}")
+            if pool:
+                event = pool.pop()
+                event.time = time
+                event.seq = seq
+                event.fn = fn
+                event.args = args
+            else:
+                event = ScheduledEvent(time, seq, fn, args)
+                event._pooled = True
+            event._sim = self
+            if use_calendar:
+                self._cal_insert((time, seq, event))
+            else:
+                push(heap, (time, seq, event))
+            seq += 1
+            count += 1
+        self._seq = seq
+        return count
+
+    def _recycle(self, event: ScheduledEvent) -> None:
+        """Return a pooled event that left the queue to the free list."""
+        event.fn = None
+        event.args = ()
+        event._sim = None
+        event.cancelled = False
+        if len(self._pool) < self.POOL_MAX:
+            self._pool.append(event)
+
     # ------------------------------------------------------------------
-    # Heap compaction
+    # Calendar queue internals
+    # ------------------------------------------------------------------
+    def _cal_insert(self, entry: _Entry) -> None:
+        key = int(entry[0] / self._bucket_s)
+        current_key = self._current_key
+        if current_key is not None and key == current_key:
+            # The bucket being drained: keep the not-yet-consumed tail
+            # sorted.  ``lo`` bounds the bisect to the unread portion.
+            insort(self._current, entry, lo=self._current_idx)
+        else:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [entry]
+                heapq.heappush(self._bucket_heap, key)
+            else:
+                bucket.append(entry)
+        self._cal_count += 1
+
+    def _cal_stash_current(self) -> None:
+        """Push the unread remainder of the current bucket back."""
+        remainder = self._current[self._current_idx:]
+        key = self._current_key
+        self._current = []
+        self._current_idx = 0
+        self._current_key = None
+        if remainder and key is not None:
+            existing = self._buckets.get(key)
+            if existing is None:
+                self._buckets[key] = remainder
+                heapq.heappush(self._bucket_heap, key)
+            else:
+                existing.extend(remainder)
+
+    def _cal_head(self) -> Optional[_Entry]:
+        """The next entry in (time, seq) order, without consuming it."""
+        while True:
+            if self._current_idx < len(self._current):
+                # A schedule_at into an *earlier* bucket (possible when the
+                # clock idles behind the drained bucket) must win over the
+                # current bucket's remainder.
+                bucket_heap = self._bucket_heap
+                current_key = self._current_key
+                if (
+                    bucket_heap
+                    and current_key is not None
+                    and bucket_heap[0] < current_key
+                    and self._buckets.get(bucket_heap[0])
+                ):
+                    self._cal_stash_current()
+                    continue
+                return self._current[self._current_idx]
+            # Current bucket exhausted: load the next non-empty one.
+            self._current = []
+            self._current_idx = 0
+            self._current_key = None
+            while self._bucket_heap:
+                key = self._bucket_heap[0]
+                bucket = self._buckets.get(key)
+                if not bucket:
+                    heapq.heappop(self._bucket_heap)  # stale index
+                    self._buckets.pop(key, None)
+                    continue
+                heapq.heappop(self._bucket_heap)
+                del self._buckets[key]
+                bucket.sort()
+                self._current = bucket
+                self._current_key = key
+                break
+            else:
+                return None
+
+    def _cal_pop(self) -> _Entry:
+        entry = self._current[self._current_idx]
+        self._current_idx += 1
+        self._cal_count -= 1
+        if self._current_idx >= len(self._current):
+            self._current = []
+            self._current_idx = 0
+            self._current_key = None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queue compaction
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """Called by :meth:`ScheduledEvent.cancel` while the event is heaped.
+        """Called by :meth:`ScheduledEvent.cancel` while the event is queued.
 
         Long chaos runs cancel timers constantly (heartbeats, retry
         backoffs); without compaction those tombstones accumulate until
         they are popped, which for far-future deadlines can take the whole
-        run.  Once cancelled events outnumber live ones (and the heap is
-        big enough to matter), rebuild the heap without them.
+        run.  Once cancelled events outnumber live ones (and the queue is
+        big enough to matter), rebuild the queue without them.
         """
         self._cancelled_pending += 1
         if (
             self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled_pending * 2 > len(self._heap)
+            and self._cancelled_pending * 2 > self.pending_count
         ):
             self._compact()
 
     def _compact(self) -> None:
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
+        if self._use_calendar:
+            self._cal_stash_current()
+            compacted: Dict[int, List[_Entry]] = {}
+            count = 0
+            for key, bucket in self._buckets.items():
+                live = []
+                for entry in bucket:
+                    event = entry[2]
+                    if event.cancelled:
+                        if event._pooled:
+                            self._recycle(event)
+                    else:
+                        live.append(entry)
+                if live:
+                    compacted[key] = live
+                    count += len(live)
+            self._buckets = compacted
+            self._bucket_heap = list(compacted)
+            heapq.heapify(self._bucket_heap)
+            self._cal_count = count
+        else:
+            live_entries = []
+            for entry in self._heap:
+                event = entry[2]
+                if event.cancelled:
+                    if event._pooled:
+                        self._recycle(event)
+                else:
+                    live_entries.append(entry)
+            self._heap = live_entries
+            heapq.heapify(self._heap)
         self._cancelled_pending = 0
         self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _execute(self, event: ScheduledEvent) -> None:
+        """Release ``event``'s handle state, run its callback, fire the hook.
+
+        The handle is released *before* running so an event rescheduling
+        itself does not grow memory; pooled events go straight back to the
+        free list (their args are captured in locals first).
+        """
+        fn = event.fn
+        args = event.args
+        if event._pooled:
+            self._recycle(event)
+        else:
+            # This event already left the queue, so its self-cancel must
+            # not count toward the compaction trigger.
+            event._sim = None
+            event.cancelled = True
+            event.fn = None
+            event.args = ()
+        self._events_processed += 1
+        fn(*args)
+        hook = self.event_hook
+        if hook is not None:
+            hook(self._now, self._events_processed)
+
+    def _gc_suspend(self) -> bool:
+        """Apply the managed GC policy on run-loop entry.
+
+        Returns ``True`` when automatic collection was disabled here and
+        must be re-enabled when the loop exits.  Re-entrant runs are safe:
+        the nested call sees collection already disabled and does nothing.
+        """
+        if not self.gc_managed or not gc.isenabled():
+            return False
+        if not self._gc_frozen:
+            # One full collection, then freeze the surviving long-lived
+            # graph so later collections never re-scan it.
+            gc.collect()
+            gc.freeze()
+            self._gc_frozen = True
+        gc.disable()
+        return True
+
     def step(self) -> bool:
         """Execute the single next pending event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
         Cancelled events are discarded silently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        if self._use_calendar:
+            while True:
+                entry = self._cal_head()
+                if entry is None:
+                    return False
+                self._cal_pop()
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    if event._pooled:
+                        self._recycle(event)
+                    continue
+                self._now = entry[0]
+                self._execute(event)
+                return True
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[2]
             if event.cancelled:
                 self._cancelled_pending -= 1
+                if event._pooled:
+                    self._recycle(event)
                 continue
-            self._now = event.time
-            fn, args = event.fn, event.args
-            # Release the handle's references before running, so an event
-            # rescheduling itself does not grow memory.  The back-reference
-            # is dropped first: this event already left the heap, so its
-            # self-cancel must not count toward the compaction trigger.
-            event._sim = None
-            event.cancel()
-            self._events_processed += 1
-            assert fn is not None
-            fn(*args)
-            hook = self.event_hook
-            if hook is not None:
-                hook(self._now, self._events_processed)
+            self._now = entry[0]
+            self._execute(event)
             return True
         return False
 
     def run_until(self, time: float) -> None:
         """Run all events with timestamp <= ``time``; advance clock to ``time``.
 
-        The clock always ends exactly at ``time`` even if the heap drains
+        The clock always ends exactly at ``time`` even if the queue drains
         early, so periodic processes can be resumed from a known instant.
         """
         if time < self._now:
             raise ValueError(f"cannot run backwards: {time} < {self._now}")
+        gc_restore = self._gc_suspend()
+        gc_next = (
+            self._events_processed + self.GC_MAINTENANCE_EVENTS
+            if gc_restore
+            else float("inf")
+        )
         self._running = True
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    self._cancelled_pending -= 1
-                    continue
-                if head.time > time:
-                    break
-                self.step()
+            if self._use_calendar:
+                # Like the heap loop below, the calendar loop inlines
+                # _cal_head()/_cal_pop()/_execute() for the common case
+                # (next entry comes from the already-sorted current
+                # bucket); bucket transitions fall back to _cal_head().
+                pool = self._pool
+                pool_max = self.POOL_MAX
+                while True:
+                    current = self._current
+                    idx = self._current_idx
+                    if idx < len(current):
+                        bucket_heap = self._bucket_heap
+                        current_key = self._current_key
+                        if (
+                            bucket_heap
+                            and current_key is not None
+                            and bucket_heap[0] < current_key
+                            and self._buckets.get(bucket_heap[0])
+                        ):
+                            # An insert landed in an earlier bucket.
+                            self._cal_stash_current()
+                            continue
+                        entry = current[idx]
+                    else:
+                        entry = self._cal_head()
+                        if entry is None:
+                            break
+                        current = self._current
+                        idx = self._current_idx
+                    if entry[0] > time:
+                        break
+                    # -- inline _cal_pop --
+                    idx += 1
+                    self._cal_count -= 1
+                    if idx >= len(current):
+                        self._current = []
+                        self._current_idx = 0
+                        self._current_key = None
+                    else:
+                        self._current_idx = idx
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        if event._pooled:
+                            self._recycle(event)
+                        continue
+                    self._now = entry[0]
+                    fn = event.fn
+                    args = event.args
+                    if event._pooled:
+                        event.fn = None
+                        event.args = ()
+                        event._sim = None
+                        if len(pool) < pool_max:
+                            pool.append(event)
+                    else:
+                        # Already out of the queue: the self-cancel marker
+                        # must not count toward the compaction trigger.
+                        event._sim = None
+                        event.cancelled = True
+                        event.fn = None
+                        event.args = ()
+                    self._events_processed += 1
+                    fn(*args)
+                    hook = self.event_hook
+                    if hook is not None:
+                        hook(self._now, self._events_processed)
+                    if self._events_processed >= gc_next:
+                        gc.collect(1)
+                        gc_next = self._events_processed + self.GC_MAINTENANCE_EVENTS
+            else:
+                # The heap loop is the simulator's hottest code: _execute()
+                # and _recycle() are inlined to shave per-event call
+                # overhead (identical observable behaviour).
+                heap = self._heap
+                pop = heapq.heappop
+                pool = self._pool
+                pool_max = self.POOL_MAX
+                while heap:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        pop(heap)
+                        self._cancelled_pending -= 1
+                        if event._pooled:
+                            self._recycle(event)
+                        continue
+                    if entry[0] > time:
+                        break
+                    pop(heap)
+                    self._now = entry[0]
+                    fn = event.fn
+                    args = event.args
+                    if event._pooled:
+                        event.fn = None
+                        event.args = ()
+                        event._sim = None
+                        if len(pool) < pool_max:
+                            pool.append(event)
+                    else:
+                        # Already out of the queue: the self-cancel marker
+                        # must not count toward the compaction trigger.
+                        event._sim = None
+                        event.cancelled = True
+                        event.fn = None
+                        event.args = ()
+                    self._events_processed += 1
+                    fn(*args)
+                    hook = self.event_hook
+                    if hook is not None:
+                        hook(self._now, self._events_processed)
+                    if heap is not self._heap:
+                        heap = self._heap  # compaction rebuilt it
+                    if self._events_processed >= gc_next:
+                        gc.collect(1)
+                        gc_next = self._events_processed + self.GC_MAINTENANCE_EVENTS
         finally:
             self._running = False
+            if gc_restore:
+                gc.enable()
         self._now = time
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the event heap is exhausted.
+        """Run until the event queue is exhausted.
 
         ``max_events`` bounds the number of events executed -- a safety net
-        against accidental infinite self-rescheduling loops.
+        against accidental infinite self-rescheduling loops.  When the bound
+        trips, a ``RuntimeError`` is raised with the simulator left in a
+        clean, resumable state: :attr:`running` is ``False``, the clock
+        stays at the last executed event, and the remaining queue is intact.
         """
         executed = 0
+        gc_restore = self._gc_suspend()
         self._running = True
         try:
             while self.step():
@@ -236,3 +658,5 @@ class Simulator:
                     )
         finally:
             self._running = False
+            if gc_restore:
+                gc.enable()

@@ -1,0 +1,206 @@
+"""Tests for the transport fast path (PR 4).
+
+Covers the bulk :meth:`Transport.send_many` API (ordering, leg sampling,
+completion floors, drop accounting) and the pruning of per-pair
+connection state on unregister.
+"""
+
+import random
+
+import pytest
+
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+
+
+class Recorder(Actor):
+    def __init__(self, sim, node_id, *, is_infra=True):
+        super().__init__(sim, node_id, is_infra=is_infra)
+        self.inbox = []
+
+    def receive(self, message, src_id):
+        self.inbox.append((message, src_id))
+
+
+def _jittery_net(sim):
+    return Transport(
+        sim,
+        random.Random(11),
+        lan_model=UniformLatency(0.001, 0.2),
+        wan_model=UniformLatency(0.001, 0.2),
+    )
+
+
+def _fixed_net(sim):
+    return Transport(
+        sim,
+        random.Random(11),
+        lan_model=FixedLatency(0.001),
+        wan_model=FixedLatency(0.05),
+    )
+
+
+class TestSendMany:
+    def test_delivers_to_every_destination(self, sim):
+        net = _fixed_net(sim)
+        src = Recorder(sim, "src")
+        net.register(src)
+        dsts = [Recorder(sim, f"d{i}") for i in range(20)]
+        for dst in dsts:
+            net.register(dst)
+        completions = net.send_many("src", [d.node_id for d in dsts], "hello", 100)
+        assert len(completions) == 20
+        sim.run_until(1.0)
+        for dst in dsts:
+            assert dst.inbox == [("hello", "src")]
+        assert net.messages_sent == 20
+
+    def test_unknown_sender_rejected(self, sim):
+        net = _fixed_net(sim)
+        with pytest.raises(KeyError):
+            net.send_many("ghost", ["a"], "x", 10)
+
+    def test_fifo_order_preserved_under_jitter(self, sim):
+        # Interleave single sends and batch sends on the same connections:
+        # per-destination arrival order must match send order even though
+        # every message samples a highly variable latency.
+        net = _jittery_net(sim)
+        src = Recorder(sim, "src")
+        net.register(src)
+        b, c = Recorder(sim, "b"), Recorder(sim, "c")
+        net.register(b)
+        net.register(c)
+        net.send("src", "b", 0, 10)
+        net.send_many("src", ["b", "c"], 1, 10)
+        net.send("src", "c", 2, 10)
+        net.send_many("src", ["c", "b"], 3, 10)
+        net.send_many("src", ["b", "c"], 4, 10)
+        sim.run_until(5.0)
+        assert [m for m, __ in b.inbox] == [0, 1, 3, 4]
+        assert [m for m, __ in c.inbox] == [1, 2, 3, 4]
+
+    def test_one_latency_sample_per_leg(self, sim):
+        # All destinations share one latency model, so a batch draws a
+        # single sample: every delivery lands at completion + that sample.
+        net = _jittery_net(sim)
+        src = Recorder(sim, "src")
+        net.register(src)
+        arrival_times = {}
+
+        class Stamper(Recorder):
+            def receive(self, message, src_id):
+                arrival_times[self.node_id] = self.sim.now
+
+        for i in range(10):
+            net.register(Stamper(sim, f"d{i}"))
+        net.send_many("src", [f"d{i}" for i in range(10)], "x", 10)
+        sim.run_until(5.0)
+        # Unlimited NIC: all completions equal, so all arrivals coincide.
+        assert len(set(arrival_times.values())) == 1
+
+    def test_min_completions_floor_applied(self, sim):
+        net = _fixed_net(sim)
+        src = Recorder(sim, "src")
+        net.register(src)
+        d0, d1 = Recorder(sim, "d0"), Recorder(sim, "d1")
+        net.register(d0)
+        net.register(d1)
+        completions = net.send_many(
+            "src", ["d0", "d1"], "x", 10, min_completions=[0.5, 0.0]
+        )
+        assert completions[0] == 0.5
+        assert completions[1] < 0.5
+        sim.run_until(2.0)
+        assert d0.inbox and d1.inbox
+
+    def test_dead_destination_dropped_and_counted(self, sim):
+        net = _fixed_net(sim)
+        src = Recorder(sim, "src")
+        net.register(src)
+        alive_dst = Recorder(sim, "alive")
+        dead_dst = Recorder(sim, "dead")
+        net.register(alive_dst)
+        net.register(dead_dst)
+        dead_dst.shutdown()
+        net.send_many("src", ["alive", "dead", "ghost"], "x", 10)
+        sim.run_until(1.0)
+        assert alive_dst.inbox == [("x", "src")]
+        assert dead_dst.inbox == []
+        assert net.messages_sent == 1
+        assert net.messages_dropped == 2
+
+    def test_matches_sequential_sends_with_fixed_latency(self):
+        # With a constant-latency model, a batch must land at exactly the
+        # times a back-to-back sequence of send() calls would produce.
+        def deliveries(use_batch: bool):
+            sim = Simulator()
+            net = _fixed_net(sim)
+            src = Recorder(sim, "src")
+            net.register(src, egress_capacity_bps=8_000.0)  # 10ms per 10B
+            stamps = []
+
+            class Stamper(Recorder):
+                def receive(self, message, src_id):
+                    stamps.append((self.node_id, round(self.sim.now, 9)))
+
+            ids = [f"d{i}" for i in range(5)]
+            for node_id in ids:
+                net.register(Stamper(sim, node_id))
+            if use_batch:
+                net.send_many("src", ids, "x", 10)
+            else:
+                for node_id in ids:
+                    net.send("src", node_id, "x", 10)
+            sim.run_until(5.0)
+            return stamps
+
+        assert deliveries(True) == deliveries(False)
+
+
+class TestPairStatePruning:
+    def test_unregister_prunes_both_directions(self, sim):
+        net = _fixed_net(sim)
+        a, b, c = Recorder(sim, "a"), Recorder(sim, "b"), Recorder(sim, "c")
+        for actor in (a, b, c):
+            net.register(actor)
+        net.send("a", "b", "x", 10)
+        net.send("b", "a", "y", 10)
+        net.send_many("c", ["a", "b"], "z", 10)
+        assert net.pair_state_count() == 4
+        net.unregister("a")
+        assert net.pair_state_count() == 1  # only (c, b) survives
+        assert all("a" not in key for key in net._pairs)
+
+    def test_churn_does_not_leak_pair_state(self, sim):
+        # Regression: before PR 4 the per-pair tables kept one entry per
+        # (departed node, peer) pair forever.
+        net = _fixed_net(sim)
+        hub = Recorder(sim, "hub")
+        net.register(hub)
+        for i in range(50):
+            node_id = f"ephemeral{i}"
+            node = Recorder(sim, node_id, is_infra=False)
+            net.register(node)
+            net.send("hub", node_id, "ping", 10)
+            net.send(node_id, "hub", "pong", 10)
+            sim.run_until(sim.now + 1.0)
+            net.unregister(node_id)
+        assert net.pair_state_count() == 0
+
+    def test_reregistration_starts_from_clean_state(self, sim):
+        net = _fixed_net(sim)
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        net.register(a)
+        net.register(b)
+        net.send("a", "b", "first", 10)
+        sim.run_until(1.0)
+        net.unregister("b")
+        replacement = Recorder(sim, "b")
+        net.register(replacement)
+        net.send("a", "b", "second", 10)
+        sim.run_until(2.0)
+        # The message reached the *new* actor, not the cached old one.
+        assert replacement.inbox == [("second", "a")]
+        assert b.inbox == [("first", "a")]

@@ -100,8 +100,8 @@ class TestTransportFifo:
         net.register(a)
         net.register(b)
         a.send("b", "x", 10)
+        assert net.pair_state_count() == 1
         net.unregister("a")
-        assert "a" not in net._fifo
+        assert all("a" not in key for key in net._pairs)
         net.unregister("b")
-        for lane in net._fifo.values():
-            assert "b" not in lane
+        assert net.pair_state_count() == 0

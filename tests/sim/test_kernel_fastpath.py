@@ -1,0 +1,267 @@
+"""Tests for the kernel's hot-path machinery (PR 4).
+
+Covers the calendar-queue scheduler, the pooled ``schedule_batch`` path,
+the pool/compaction interaction, the managed GC policy, and the clean
+failure state of ``run(max_events=...)``.
+"""
+
+import gc
+import random
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+def _mixed_workload(sim: Simulator, log: list) -> None:
+    """A deterministic workload mixing ties, nesting, and cancellations."""
+    rng = random.Random(7)
+    for i in range(200):
+        sim.schedule_at(round(rng.uniform(0.0, 3.0), 3), log.append, ("a", i))
+    # Exact ties: insertion order must win.
+    for i in range(20):
+        sim.schedule_at(1.5, log.append, ("tie", i))
+    # Nested scheduling, including zero-delay and into earlier buckets.
+    def nest(depth: int) -> None:
+        log.append(("nest", depth, sim.now))
+        if depth:
+            sim.schedule(0.0, nest, depth - 1)
+            sim.schedule(0.004, nest, 0)  # lands inside the current bucket
+    sim.schedule_at(2.0, nest, 3)
+    # Cancellations interleaved with live events.
+    doomed = [sim.schedule_at(2.5, log.append, ("never", i)) for i in range(50)]
+    for handle in doomed[::2]:
+        handle.cancel()
+    sim.schedule_at(2.5, lambda: [h.cancel() for h in doomed[1::2]])
+    # A batch of pooled events.
+    times = [0.25 * k for k in range(1, 9)]
+    sim.schedule_batch(log.append, times, [(("batch", k),) for k in range(8)])
+
+
+class TestCalendarScheduler:
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="wheel")
+
+    def test_rejects_non_positive_bucket(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="calendar", calendar_bucket_s=0.0)
+
+    def test_matches_heap_order_exactly(self):
+        logs = []
+        for scheduler in ("heap", "calendar"):
+            sim = Simulator(scheduler=scheduler)
+            log: list = []
+            _mixed_workload(sim, log)
+            sim.run_until(5.0)
+            assert sim.pending_count == 0
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_step_and_run_agree(self):
+        sim_a = Simulator(scheduler="calendar")
+        sim_b = Simulator(scheduler="calendar")
+        log_a: list = []
+        log_b: list = []
+        _mixed_workload(sim_a, log_a)
+        _mixed_workload(sim_b, log_b)
+        sim_a.run_until(5.0)
+        while sim_b.step():
+            pass
+        assert log_a == log_b
+
+    def test_schedule_into_earlier_bucket_while_draining(self):
+        # With a large bucket the current bucket spans [0, 10): an event
+        # executed at t=1 schedules one at t=0.5 -- the queue must not run
+        # it (the past is rejected) but an earlier *bucket* insert from a
+        # later bucket must still win over the current remainder.
+        sim = Simulator(scheduler="calendar", calendar_bucket_s=1.0)
+        order = []
+        sim.schedule_at(5.5, order.append, "far")
+        sim.schedule_at(5.2, lambda: sim.schedule_at(5.3, order.append, "mid"))
+        sim.schedule_at(0.1, lambda: sim.schedule_at(0.9, order.append, "near"))
+        sim.run_until(10.0)
+        assert order == ["near", "mid", "far"]
+
+    def test_compaction_on_calendar(self):
+        sim = Simulator(scheduler="calendar")
+        live = []
+        doomed = [sim.schedule_at(100.0 + i, live.append, "no") for i in range(200)]
+        sim.schedule_at(1.0, live.append, "yes")
+        for handle in doomed:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending_count < 201  # tombstones actually freed
+        sim.run_until(300.0)  # past every tombstone's timestamp
+        assert live == ["yes"]
+        assert sim.pending_count == 0
+
+
+class TestScheduleBatch:
+    def test_parallel_sequences(self, sim):
+        seen = []
+        count = sim.schedule_batch(
+            lambda tag, n: seen.append((tag, n)),
+            [0.3, 0.1, 0.2],
+            [("a", 0), ("b", 1), ("c", 2)],
+        )
+        assert count == 3
+        sim.run_until(1.0)
+        assert seen == [("b", 1), ("c", 2), ("a", 0)]
+
+    def test_past_time_rejected(self, sim):
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_batch(lambda: None, [4.0], [()])
+
+    def test_ties_with_schedule_interleave_by_insertion(self, sim):
+        order = []
+        sim.schedule_at(1.0, order.append, "plain-1")
+        sim.schedule_batch(order.append, [1.0, 1.0], [("batch-1",), ("batch-2",)])
+        sim.schedule_at(1.0, order.append, "plain-2")
+        sim.run_until(1.0)
+        assert order == ["plain-1", "batch-1", "batch-2", "plain-2"]
+
+    def test_events_are_pooled_and_recycled(self, sim):
+        sim.schedule_batch(lambda: None, [0.1] * 16, [()] * 16)
+        assert sim.pooled_free == 0  # still queued
+        sim.run_until(1.0)
+        assert sim.pooled_free == 16
+        # The next batch reuses the free list instead of allocating.
+        sim.schedule_batch(lambda: None, [2.0] * 10, [()] * 10)
+        assert sim.pooled_free == 6
+        sim.run_until(3.0)
+        assert sim.pooled_free == 16
+
+    def test_pool_reuse_preserves_args(self, sim):
+        seen = []
+        for round_no in range(3):
+            base = sim.now
+            sim.schedule_batch(
+                lambda r, k: seen.append((r, k)),
+                [base + 0.1 * (k + 1) for k in range(5)],
+                [(round_no, k) for k in range(5)],
+            )
+            sim.run_until(base + 1.0)
+        assert seen == [(r, k) for r in range(3) for k in range(5)]
+
+
+class TestPoolCompactionInteraction:
+    """Cancelled pooled events must not re-enter the pool while heaped."""
+
+    def _heaped_events(self, sim):
+        return [entry[2] for entry in sim._heap]
+
+    def test_cancelled_pooled_event_not_recycled_until_popped(self, sim):
+        sim.schedule_batch(lambda: None, [10.0] * 8, [()] * 8)
+        events = self._heaped_events(sim)
+        # Cancel via the internal handle (no public handle exists for
+        # batch events): the event is a tombstone but still *in the heap*.
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pooled_free == 0, "recycled while still heaped"
+        sim.run_until(11.0)
+        # Popping recycles both the cancelled and the executed ones.
+        assert sim.pooled_free == 8
+        assert len({id(e) for e in events}) == 8
+
+    def test_compaction_recycles_cancelled_pooled_events_once(self, sim):
+        sim.schedule_batch(lambda: None, [100.0] * 100, [()] * 100)
+        events = self._heaped_events(sim)
+        for event in events:
+            event.cancel()
+        assert sim.compactions >= 1
+        # Compaction recycled the tombstones it removed -- each exactly
+        # once -- and every event is either pooled or still queued, never
+        # both.
+        assert sim.pooled_free + sim.pending_count == 100
+        assert len({id(e) for e in sim._pool}) == len(sim._pool)
+        pooled_ids = {id(e) for e in sim._pool}
+        assert all(id(entry[2]) not in pooled_ids for entry in sim._heap)
+        # Draining the queue recycles the tombstones compaction left.
+        sim.run_until(200.0)
+        assert sim.pooled_free == 100
+        # Reuse after compaction stays correct.
+        seen = []
+        sim.schedule_batch(seen.append, [sim.now + 1.0, sim.now + 2.0], [("x",), ("y",)])
+        sim.run_until(sim.now + 3.0)
+        assert seen == ["x", "y"]
+
+
+class TestRunCleanState:
+    def test_max_events_leaves_clean_resumable_state(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 500:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        with pytest.raises(RuntimeError, match="max_events=100"):
+            sim.run(max_events=100)
+        # Clean state: not running, clock at the last executed event, the
+        # remaining queue intact -- and the run is resumable.
+        assert sim.running is False
+        assert sim.now == 100.0
+        assert sim.pending_count == 1
+        sim.run()
+        assert len(ticks) == 500
+        assert sim.running is False
+
+    def test_run_until_not_marked_running_after_return(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.running is False
+
+    def test_running_is_true_inside_callback(self, sim):
+        observed = []
+        sim.schedule(1.0, lambda: observed.append(sim.running))
+        sim.run_until(2.0)
+        assert observed == [True]
+
+
+class TestManagedGc:
+    def test_results_identical_with_gc_managed(self):
+        logs = []
+        for managed in (False, True):
+            sim = Simulator(gc_managed=managed)
+            log: list = []
+            _mixed_workload(sim, log)
+            sim.run_until(5.0)
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_gc_reenabled_after_run(self):
+        assert gc.isenabled()
+        sim = Simulator(gc_managed=True)
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert gc.isenabled()
+
+    def test_gc_reenabled_after_runtime_error(self):
+        sim = Simulator(gc_managed=True)
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=10)
+        assert gc.isenabled()
+
+    def test_nested_run_does_not_reenable_early(self):
+        # A callback that itself drives the simulator (run_until on a
+        # sub-interval is not allowed, but run() on a drained queue is a
+        # no-op) must not re-enable GC for the outer loop.
+        sim = Simulator(gc_managed=True)
+        states = []
+
+        def probe():
+            states.append(gc.isenabled())
+
+        sim.schedule(1.0, probe)
+        sim.schedule(2.0, probe)
+        sim.run_until(3.0)
+        assert states == [False, False]
+        assert gc.isenabled()
