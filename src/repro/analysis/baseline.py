@@ -1,0 +1,92 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the analyzer be adopted (or a new rule be enabled) without
+fixing every historical finding in the same change: ``python -m
+repro.analysis baseline`` records the current findings' fingerprints, and
+``check`` subtracts them.  Fingerprints hash ``path::rule::source-line``
+-- no line numbers -- so edits elsewhere in a file do not un-grandfather a
+finding; each fingerprint carries an occurrence count so duplicating a
+baselined bad line still fails.
+
+The file is plain text, one finding per line, sorted -- designed to be
+committed and reviewed like a lockfile.  An empty (or absent) baseline
+means the tree is fully clean; that is the committed state of this
+repository, and the self-host test keeps it that way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, sort_key
+
+_HEADER = (
+    "# repro.analysis baseline -- grandfathered findings.\n"
+    "# One line per finding: <fingerprint> <count> <path>:<rule> <source>\n"
+    "# Regenerate with: python -m repro.analysis baseline <paths>\n"
+)
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> allowed occurrence count.  Absent file = empty."""
+    counts: Dict[str, int] = {}
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return counts
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) < 2:
+            continue
+        fingerprint = parts[0]
+        try:
+            count = int(parts[1])
+        except ValueError:
+            continue
+        counts[fingerprint] = counts.get(fingerprint, 0) + max(count, 0)
+    return counts
+
+
+def write_baseline(path: Path, diagnostics: List[Diagnostic]) -> int:
+    """Record ``diagnostics`` as the new baseline; returns entry count."""
+    grouped: Counter = Counter()
+    detail: Dict[str, Diagnostic] = {}
+    for diagnostic in diagnostics:
+        fingerprint = diagnostic.fingerprint()
+        grouped[fingerprint] += 1
+        detail.setdefault(fingerprint, diagnostic)
+    lines = [_HEADER]
+    for fingerprint in sorted(grouped):
+        diagnostic = detail[fingerprint]
+        lines.append(
+            f"{fingerprint} {grouped[fingerprint]} "
+            f"{diagnostic.path}:{diagnostic.rule} {diagnostic.source}\n"
+        )
+    path.write_text("".join(lines), encoding="utf-8")
+    return len(grouped)
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic], baseline: Dict[str, int]
+) -> Tuple[List[Diagnostic], int]:
+    """Subtract baselined findings; returns (kept, suppressed_count).
+
+    Occurrences beyond a fingerprint's recorded count are *kept* -- a
+    baseline forgives history, not copies of it.
+    """
+    remaining = dict(baseline)
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in sorted(diagnostics, key=sort_key):
+        fingerprint = diagnostic.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed

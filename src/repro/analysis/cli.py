@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro.analysis ...``.
+
+Subcommands
+-----------
+``check [paths...]``
+    Analyze files/directories (default: ``src``).  Exit 0 when clean,
+    1 when findings remain after suppressions and baseline, 2 on usage
+    or internal errors.  ``--format=json`` emits a machine-readable
+    report (the CI artifact); text output is ruff-shaped
+    ``path:line:col: RULE message`` lines.
+
+``explain [RULE]``
+    Print the full rationale for one rule, or the catalogue when no rule
+    is given.
+
+``baseline [paths...]``
+    Record the current findings as grandfathered.  The committed
+    baseline of this repository is empty -- the tree lint-clean -- and
+    the self-host test keeps it that way; the subcommand exists for
+    adopting new rules on older trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.config import find_project_root, load_config
+from repro.analysis.engine import AnalysisEngine, CheckReport
+from repro.analysis.rules import ALL_RULES, get_rule
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism sanitizer for the repro codebase.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    check = sub.add_parser("check", help="analyze paths and report findings")
+    check.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the per-file result cache",
+    )
+    check.add_argument("--root", default=None, help="project root (default: auto)")
+
+    explain = sub.add_parser("explain", help="explain a rule (or list all)")
+    explain.add_argument("rule", nargs="?", default=None, help="rule ID, e.g. DET003")
+
+    baseline = sub.add_parser(
+        "baseline", help="record current findings as grandfathered"
+    )
+    baseline.add_argument("paths", nargs="*", default=["src"])
+    baseline.add_argument("--root", default=None)
+    return parser
+
+
+def _make_engine(root_arg: Optional[str]) -> AnalysisEngine:
+    root = Path(root_arg).resolve() if root_arg else find_project_root()
+    return AnalysisEngine(root, load_config(root))
+
+
+def _emit_text(report: CheckReport, stream) -> None:
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format(), file=stream)
+    summary = (
+        f"{len(report.diagnostics)} finding(s) in "
+        f"{report.files_analyzed} file(s)"
+    )
+    if report.baselined:
+        summary += f"; {report.baselined} baselined"
+    if report.cache_hits or report.cache_misses:
+        summary += f" [cache {report.cache_hits} hit / {report.cache_misses} miss]"
+    print(summary, file=stream)
+
+
+def _emit_json(report: CheckReport, stream) -> None:
+    payload = {
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "summary": {
+            "files_analyzed": report.files_analyzed,
+            "findings": len(report.diagnostics),
+            "baselined": report.baselined,
+            "cache": {
+                "hits": report.cache_hits,
+                "misses": report.cache_misses,
+            },
+        },
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    engine = _make_engine(args.root)
+    report = engine.check(
+        [Path(p) for p in args.paths], use_cache=not args.no_cache
+    )
+    if args.fmt == "json":
+        _emit_json(report, sys.stdout)
+    else:
+        _emit_text(report, sys.stdout)
+    return EXIT_FINDINGS if report.diagnostics else EXIT_CLEAN
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.rule is None:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.ID:8s} {rule_cls.SUMMARY}")
+        return EXIT_CLEAN
+    try:
+        rule_cls = get_rule(args.rule.upper())
+    except KeyError:
+        known = ", ".join(rule.ID for rule in ALL_RULES)
+        print(f"unknown rule {args.rule!r}; known rules: {known}", file=sys.stderr)
+        return EXIT_ERROR
+    print(rule_cls.explain())
+    return EXIT_CLEAN
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    engine = _make_engine(args.root)
+    report = engine.check([Path(p) for p in args.paths], use_cache=False)
+    path = engine.root / engine.config.baseline
+    entries = write_baseline(path, report.raw)
+    print(
+        f"baseline: {entries} fingerprint(s) covering "
+        f"{len(report.raw)} finding(s) -> {path}"
+    )
+    return EXIT_CLEAN
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command is None:
+        parser.print_help()
+        return EXIT_ERROR
+    handlers = {
+        "check": _cmd_check,
+        "explain": _cmd_explain,
+        "baseline": _cmd_baseline,
+    }
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return EXIT_ERROR
+    except BrokenPipeError:  # e.g. `... | head` closing stdout early
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_ERROR
+
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Analyzer configuration, loaded from ``[tool.repro.analysis]``.
+
+The analyzer's settings live in ``pyproject.toml`` next to the ruff/PERF
+configuration so all lint tooling is declared in one place.  The code
+defaults below are *identical* to the committed pyproject table: on
+interpreters without a TOML parser (Python 3.10 lacks :mod:`tomllib` and
+this repository takes no third-party dependencies) the analyzer silently
+falls back to them, so results only diverge if the table is edited without
+updating the defaults -- the self-host test pins both.
+
+Scope semantics
+---------------
+Rules that only make sense for particular modules are *scoped*:
+
+* ``wallclock-allowed`` -- globs where DET001 (wall-clock reads) is off:
+  experiment harnesses and trace export genuinely need host time.
+* ``hot-paths`` -- globs where DET003 (unordered set iteration) is on.
+* ``no-io`` -- globs where DET004 (blocking I/O) is on.
+* ``wire-messages`` -- files whose dataclasses SLOT001 holds to the
+  ``frozen=True, slots=True`` convention.
+
+A file can also opt *itself* into a scope with a pragma comment near the
+top (first :data:`PRAGMA_SCAN_LINES` lines)::
+
+    # repro: scope[hot-path]
+
+which is how test fixtures and new modules outside the globs participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: How many leading lines are searched for ``# repro: scope[...]`` pragmas.
+PRAGMA_SCAN_LINES = 15
+
+#: Every rule the engine knows, in catalogue order.
+DEFAULT_RULES: Tuple[str, ...] = (
+    "DET001",
+    "DET002",
+    "DET003",
+    "DET004",
+    "SLOT001",
+    "TRC001",
+    "RNG001",
+    "CFG001",
+)
+
+
+@dataclass
+class AnalysisConfig:
+    """Parsed ``[tool.repro.analysis]`` settings (or the identical defaults)."""
+
+    enable: Tuple[str, ...] = DEFAULT_RULES
+    disable: Tuple[str, ...] = ()
+    #: committed file of grandfathered finding fingerprints
+    baseline: str = "analysis-baseline.txt"
+    #: per-file result cache keyed on content hash (never committed)
+    cache: str = ".repro-analysis-cache.json"
+    #: directories skipped during discovery (explicit file arguments are
+    #: always analyzed, so fixture violations stay directly checkable)
+    exclude: Tuple[str, ...] = ("tests/analysis/fixtures",)
+    #: DET001 is *off* under these globs
+    wallclock_allowed: Tuple[str, ...] = (
+        "src/repro/experiments/*",
+        "src/repro/obs/*",
+    )
+    #: DET003 is *on* under these globs
+    hot_paths: Tuple[str, ...] = (
+        "src/repro/broker/*",
+        "src/repro/net/*",
+        "src/repro/sim/*",
+        "src/repro/core/*",
+        "src/repro/baselines/*",
+    )
+    #: DET004 is *on* under these globs
+    no_io: Tuple[str, ...] = (
+        "src/repro/sim/*",
+        "src/repro/broker/*",
+        "src/repro/core/*",
+        "src/repro/net/*",
+    )
+    #: SLOT001 applies to these files
+    wire_messages: Tuple[str, ...] = (
+        "src/repro/core/messages.py",
+        "src/repro/broker/commands.py",
+    )
+    #: file parsed for the TRC001 event registry
+    trace_schema: str = "src/repro/obs/trace.py"
+    #: CFG001 classes: class name -> defining file
+    config_classes: Dict[str, str] = field(
+        default_factory=lambda: {
+            "DynamothConfig": "src/repro/core/config.py",
+            "ChaosScenarioConfig": "src/repro/experiments/chaos.py",
+        }
+    )
+
+    def active_rules(self) -> Tuple[str, ...]:
+        disabled = set(self.disable)
+        return tuple(r for r in self.enable if r not in disabled)
+
+    def content_hash_parts(self) -> str:
+        """Settings that change analysis *results* (cache key component)."""
+        return repr(
+            (
+                tuple(sorted(self.active_rules())),
+                self.wallclock_allowed,
+                self.hot_paths,
+                self.no_io,
+                self.wire_messages,
+                self.trace_schema,
+                tuple(sorted(self.config_classes.items())),
+            )
+        )
+
+
+def _load_toml(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse ``path`` with whichever TOML parser exists, else ``None``."""
+    try:
+        import tomllib as toml_parser  # Python >= 3.11
+    except ImportError:  # pragma: no cover - exercised only on 3.10
+        try:
+            import tomli as toml_parser  # type: ignore[import-not-found,no-redef]
+        except ImportError:
+            return None
+    try:
+        with open(path, "rb") as handle:
+            return toml_parser.load(handle)
+    except OSError:
+        return None
+
+
+def _str_tuple(value: Any, fallback: Tuple[str, ...]) -> Tuple[str, ...]:
+    if isinstance(value, list) and all(isinstance(v, str) for v in value):
+        return tuple(value)
+    return fallback
+
+
+def load_config(root: Path) -> AnalysisConfig:
+    """Read ``[tool.repro.analysis]`` from ``root/pyproject.toml``.
+
+    Missing file, missing table, or missing TOML parser all yield the
+    (identical) built-in defaults; individual keys override individually.
+    """
+    config = AnalysisConfig()
+    data = _load_toml(root / "pyproject.toml")
+    if data is None:
+        return config
+    table = data.get("tool", {}).get("repro", {}).get("analysis", {})
+    if not isinstance(table, dict):
+        return config
+    config.enable = _str_tuple(table.get("enable"), config.enable)
+    config.disable = _str_tuple(table.get("disable"), config.disable)
+    if isinstance(table.get("baseline"), str):
+        config.baseline = table["baseline"]
+    if isinstance(table.get("cache"), str):
+        config.cache = table["cache"]
+    config.exclude = _str_tuple(table.get("exclude"), config.exclude)
+    config.wallclock_allowed = _str_tuple(
+        table.get("wallclock-allowed"), config.wallclock_allowed
+    )
+    config.hot_paths = _str_tuple(table.get("hot-paths"), config.hot_paths)
+    config.no_io = _str_tuple(table.get("no-io"), config.no_io)
+    config.wire_messages = _str_tuple(table.get("wire-messages"), config.wire_messages)
+    if isinstance(table.get("trace-schema"), str):
+        config.trace_schema = table["trace-schema"]
+    raw_classes = table.get("config-classes")
+    if isinstance(raw_classes, dict) and all(
+        isinstance(k, str) and isinstance(v, str) for k, v in raw_classes.items()
+    ):
+        config.config_classes = dict(raw_classes)
+    return config
+
+
+def find_project_root(start: Optional[Path] = None) -> Path:
+    """Walk up from ``start`` (default: cwd) to the nearest pyproject.toml."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current

@@ -1,0 +1,145 @@
+"""Cross-file project facts for the cross-consistency rules.
+
+Two rules need knowledge that lives in *other* files than the one being
+analyzed:
+
+* **TRC001** checks every ``tracer.emit(SomeEvent(...))`` call site against
+  the event classes actually registered in ``repro.obs.trace``'s
+  ``EVENT_TYPES`` table -- the registry whose omission otherwise only
+  fails at runtime, when a trace export meets an unregistered type tag.
+* **CFG001** checks field names used with ``DynamothConfig`` /
+  ``ChaosScenarioConfig`` (constructor keywords and attribute reads)
+  against the dataclass definitions, catching renamed-field drift in
+  experiments/check code.
+
+Facts are collected once per run by parsing the configured source files --
+never by importing them, so the analyzer works on broken trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.config import AnalysisConfig
+
+
+@dataclass(frozen=True)
+class ClassFacts:
+    """Field and method names of one tracked config dataclass."""
+
+    fields: FrozenSet[str]
+    methods: FrozenSet[str]
+
+    @property
+    def members(self) -> FrozenSet[str]:
+        return self.fields | self.methods
+
+
+@dataclass(frozen=True)
+class ProjectFacts:
+    """Everything the cross-file rules know about the project.
+
+    ``trace_events`` is ``None`` when the schema file could not be read --
+    TRC001 then silently skips (the analyzer may legitimately run on a
+    subtree that does not contain the repository).  The same applies to
+    absent entries of ``config_classes``.
+    """
+
+    trace_events: Optional[FrozenSet[str]]
+    config_classes: Dict[str, ClassFacts]
+
+    def cache_key(self) -> str:
+        events = sorted(self.trace_events) if self.trace_events is not None else None
+        classes = {
+            name: (sorted(facts.fields), sorted(facts.methods))
+            for name, facts in sorted(self.config_classes.items())
+        }
+        return repr((events, classes))
+
+
+def _parse(path: Path) -> Optional[ast.Module]:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _registered_event_names(tree: ast.Module) -> Optional[FrozenSet[str]]:
+    """Class names listed in the ``EVENT_TYPES`` registry literal.
+
+    The registry is a dict comprehension over a tuple of classes::
+
+        EVENT_TYPES = {cls.TYPE: cls for cls in (PublishEvent, ...)}
+
+    Reading the *registry* rather than the class definitions is the point:
+    an event class that exists but was never registered is exactly the
+    schema drift TRC001 must catch.
+    """
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id == "EVENT_TYPES" for t in targets
+        )
+        if not named:
+            continue
+        if isinstance(value, ast.DictComp):
+            iterable = value.generators[0].iter
+            if isinstance(iterable, (ast.Tuple, ast.List)):
+                names = [
+                    e.id for e in iterable.elts if isinstance(e, ast.Name)
+                ]
+                return frozenset(names)
+        if isinstance(value, ast.Dict):
+            names = [v.id for v in value.values if isinstance(v, ast.Name)]
+            return frozenset(names)
+    return None
+
+
+def _class_facts(tree: ast.Module, class_name: str) -> Optional[ClassFacts]:
+    """Field/method names of dataclass ``class_name`` in ``tree``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or node.name != class_name:
+            continue
+        fields = set()
+        methods = set()
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                fields.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        # class-level constant (e.g. WIRE_SIZE); readable
+                        fields.add(target.id)
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(item.name)
+        return ClassFacts(frozenset(fields), frozenset(methods))
+    return None
+
+
+def collect_facts(root: Path, config: AnalysisConfig) -> ProjectFacts:
+    """Parse the configured schema/config files under ``root``."""
+    trace_events: Optional[FrozenSet[str]] = None
+    schema_tree = _parse(root / config.trace_schema)
+    if schema_tree is not None:
+        trace_events = _registered_event_names(schema_tree)
+
+    config_classes: Dict[str, ClassFacts] = {}
+    for class_name, rel_path in sorted(config.config_classes.items()):
+        tree = _parse(root / rel_path)
+        if tree is None:
+            continue
+        facts = _class_facts(tree, class_name)
+        if facts is not None:
+            config_classes[class_name] = facts
+    return ProjectFacts(trace_events=trace_events, config_classes=config_classes)

@@ -1,0 +1,96 @@
+"""DET002: no module-level ``random.*`` calls."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+#: Module-level functions of :mod:`random` that draw from (or mutate) the
+#: interpreter-global Mersenne Twister.  ``random.Random`` -- the class --
+#: is the sanctioned alternative and is deliberately absent.
+GLOBAL_RNG_FUNCTIONS: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Other stdlib entry points backed by process-global or OS entropy.
+OTHER_GLOBAL_SOURCES: FrozenSet[str] = frozenset(
+    {
+        "random.SystemRandom",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+        "secrets.choice",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+class GlobalRngRule(Rule):
+    """All randomness must flow through seeded ``random.Random`` instances
+    derived from :mod:`repro.sim.rng` stream derivation.  The module-level
+    ``random.*`` functions share one hidden global generator: any call
+    perturbs every other consumer's draws, so adding one innocent
+    ``random.choice`` re-times an entire run and silently invalidates
+    recorded baselines and shrunk reproducers.
+
+    Also banned: ``random.SystemRandom``, ``os.urandom``, ``secrets.*``
+    and ``uuid.uuid1/uuid4`` -- OS entropy can never replay.
+
+    The fix is always the same: accept a ``random.Random`` (threaded from
+    an ``RngRegistry`` stream) and call its bound methods.
+    """
+
+    ID = "DET002"
+    SUMMARY = "module-level RNG call (unseeded global generator)"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve_call(node.func)
+            if name is None:
+                continue
+            if name.startswith("random.") and name[len("random."):] in GLOBAL_RNG_FUNCTIONS:
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    f"global-RNG call `{name}()`; thread a seeded "
+                    "`random.Random` stream (repro.sim.rng) instead",
+                )
+            elif name in OTHER_GLOBAL_SOURCES:
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    f"non-reproducible entropy source `{name}()`; derive "
+                    "randomness from a seeded stream (repro.sim.rng)",
+                )

@@ -1,0 +1,225 @@
+"""DET003: no unordered set iteration on hot paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = {
+    "union",
+    "difference",
+    "intersection",
+    "symmetric_difference",
+    "copy",
+}
+
+
+def _is_set_expr(node: ast.expr, set_vars: Dict[str, int]) -> bool:
+    """Whether ``node`` syntactically evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_expr(func.value, set_vars)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(node.right, set_vars)
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    return False
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return f"set variable `{node.id}`"
+    return "a set expression"
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return text.split("[", 1)[0].rsplit(".", 1)[-1] in (
+        "Set",
+        "set",
+        "FrozenSet",
+        "frozenset",
+    )
+
+
+class SetIterationRule(Rule):
+    """Sets hash their elements; with string keys the iteration order
+    depends on ``PYTHONHASHSEED``, so two processes walking the same set
+    visit its members in different orders.  On a broker/transport/kernel
+    hot path that ordering leaks straight into event timestamps, plan
+    contents and trace bytes -- replay divergence with no error anywhere.
+
+    The rule flags, inside ``hot-paths`` modules (or files tagged
+    ``# repro: scope[hot-path]``):
+
+    * ``for``-loop and comprehension iteration over a set literal, a
+      ``set()``/``frozenset()`` call, a set operator expression
+      (``a | b`` where either side is a set), or a local variable
+      assigned from one of those;
+    * ``list(...)`` / ``tuple(...)`` materialization of the same -- that
+      just freezes the arbitrary order into a sequence.
+
+    Wrap the iterable in ``sorted(...)`` (the codebase convention), or
+    keep an explicitly ordered structure (dict keys preserve insertion
+    order).  Tracking is scope-local and syntactic: set-typed attributes
+    (``self.channels``) are out of reach -- sort at the use site.
+    """
+
+    ID = "DET003"
+    SUMMARY = "iteration over an unordered set on a hot path"
+    SCOPE = "hot-path"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        self._process_body(ctx.tree.body, {}, findings)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # parameters annotated as sets seed the tracked variables
+                args = node.args
+                initial: Dict[str, int] = {}
+                for arg in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    if arg.annotation is not None and _is_set_annotation(
+                        arg.annotation
+                    ):
+                        initial[arg.arg] = arg.lineno
+                self._process_body(node.body, initial, findings)
+        yield from findings
+
+    # ------------------------------------------------------------------
+    # Ordered, scope-local statement processing
+    # ------------------------------------------------------------------
+    def _process_body(
+        self,
+        body: List[ast.stmt],
+        set_vars: Dict[str, int],
+        findings: List[Finding],
+    ) -> None:
+        for stmt in body:
+            self._process_stmt(stmt, set_vars, findings)
+
+    def _process_stmt(
+        self,
+        stmt: ast.stmt,
+        set_vars: Dict[str, int],
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate scope; functions are processed from check()
+        for expr in self._header_exprs(stmt):
+            self._check_expr(expr, set_vars, findings)
+        # --- track set-typed locals, in statement order ---
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._note_binding(target.id, stmt.value, stmt.lineno, set_vars)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _is_set_annotation(stmt.annotation) or (
+                stmt.value is not None and _is_set_expr(stmt.value, set_vars)
+            ):
+                set_vars[stmt.target.id] = stmt.lineno
+            else:
+                set_vars.pop(stmt.target.id, None)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            if isinstance(stmt.op, _SET_OPS) and (
+                stmt.target.id in set_vars or _is_set_expr(stmt.value, set_vars)
+            ):
+                set_vars[stmt.target.id] = stmt.lineno
+        # --- iteration headers ---
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(stmt.iter, set_vars):
+                findings.append(self._finding(stmt.iter))
+        # --- recurse into compound statements, preserving order ---
+        for child_body in self._child_bodies(stmt):
+            self._process_body(child_body, set_vars, findings)
+
+    def _note_binding(
+        self,
+        name: str,
+        value: ast.expr,
+        lineno: int,
+        set_vars: Dict[str, int],
+    ) -> None:
+        if _is_set_expr(value, set_vars):
+            set_vars[name] = lineno
+        else:
+            set_vars.pop(name, None)
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+        for field in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, field, None)
+            if isinstance(child, list) and child and isinstance(child[0], ast.stmt):
+                yield child
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield handler.body
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+        """Expressions evaluated by ``stmt`` itself (not child statements)."""
+        for field in ("value", "test", "iter", "exc", "msg"):
+            expr = getattr(stmt, field, None)
+            if isinstance(expr, ast.expr):
+                yield expr
+        for item in getattr(stmt, "items", []) or []:  # with-statements
+            yield item.context_expr
+        targets = getattr(stmt, "targets", None)
+        if isinstance(stmt, ast.Assign) and targets:
+            for target in targets:
+                yield target
+
+    def _check_expr(
+        self,
+        expr: ast.expr,
+        set_vars: Dict[str, int],
+        findings: List[Finding],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+                self._note_binding(
+                    node.target.id, node.value, node.lineno, set_vars
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter, set_vars):
+                        findings.append(self._finding(generator.iter))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                    and _is_set_expr(node.args[0], set_vars)
+                ):
+                    findings.append(
+                        Finding(
+                            node.lineno,
+                            node.col_offset,
+                            f"`{func.id}()` over {_describe(node.args[0])} "
+                            "freezes an arbitrary hash order; use "
+                            "`sorted(...)`",
+                        )
+                    )
+
+    @staticmethod
+    def _finding(iterable: ast.expr) -> Finding:
+        return Finding(
+            iterable.lineno,
+            iterable.col_offset,
+            f"iteration over {_describe(iterable)} has hash-dependent "
+            "order on a hot path; wrap it in `sorted(...)`",
+        )

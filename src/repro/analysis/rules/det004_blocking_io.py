@@ -1,0 +1,80 @@
+"""DET004: no blocking I/O inside the simulation core."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+#: Exact canonical names that block on the OS.
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "io.open",
+        "input",
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Any call under these modules blocks (or spawns something that does).
+BLOCKING_PREFIXES: FrozenSet[str] = frozenset(
+    {
+        "socket",
+        "subprocess",
+        "http.client",
+        "asyncio",
+        "threading",
+        "multiprocessing",
+    }
+)
+
+
+class BlockingIoRule(Rule):
+    """The simulator is a single-threaded discrete-event loop: simulated
+    "network" and "disk" are latency models, and the kernel owns the only
+    clock.  Real I/O inside ``repro.sim`` / ``repro.broker`` /
+    ``repro.core`` / ``repro.net`` stalls the loop for wall-clock time the
+    simulation cannot see, couples results to the host environment, and
+    (for sockets/subprocesses/threads) introduces OS scheduling as a
+    hidden source of nondeterminism.
+
+    Banned inside ``no-io`` modules (or files tagged
+    ``# repro: scope[no-io]``): ``open``/``io.open``, ``input``,
+    ``time.sleep``, ``os.system``/``os.popen``, ``urllib.request``, and
+    anything under ``socket``, ``subprocess``, ``http.client``,
+    ``asyncio``, ``threading`` or ``multiprocessing``.
+
+    File output belongs in ``repro.obs`` exporters and experiment
+    harnesses, which run outside the simulated path.
+    """
+
+    ID = "DET004"
+    SUMMARY = "blocking I/O inside the simulation core"
+    SCOPE = "no-io"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve_call(node.func)
+            if name is None:
+                continue
+            top = name.split(".", 1)[0]
+            two = ".".join(name.split(".")[:2])
+            if (
+                name in BLOCKING_CALLS
+                or top in BLOCKING_PREFIXES
+                or two in BLOCKING_PREFIXES
+            ):
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking call `{name}()` inside the simulation core; "
+                    "real I/O belongs in repro.obs exporters or experiment "
+                    "harnesses",
+                )

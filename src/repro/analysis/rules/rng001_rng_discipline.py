@@ -1,0 +1,132 @@
+"""RNG001: RNG threading discipline (typed params, narrow imports)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+from repro.analysis.rules.det002_global_rng import GLOBAL_RNG_FUNCTIONS
+
+
+def _rng_params(node: ast.arguments) -> List[ast.arg]:
+    params = []
+    for arg in (
+        list(node.posonlyargs) + list(node.args) + list(node.kwonlyargs)
+    ):
+        if arg.arg == "rng" or arg.arg.endswith("_rng"):
+            params.append(arg)
+    return params
+
+
+def _annotation_names_random(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return "Random" in text
+
+
+class RngDisciplineRule(Rule):
+    """Randomness is threaded through the codebase as seeded
+    ``random.Random`` stream objects (see ``repro.sim.rng``).  Two
+    complementary hygiene checks keep that discipline visible to the type
+    checker:
+
+    1. **Typed streams.** Any parameter named ``rng`` (or ``*_rng``) must
+       carry an annotation naming ``Random``.  An untyped or ``Any``-typed
+       stream lets a caller pass the ``random`` *module* -- whose
+       module-level functions share global state -- and mypy waves it
+       through; every downstream draw then silently couples unrelated
+       components.
+
+    2. **Narrow imports.** ``from random import choice`` (or any other
+       module-level function) re-introduces the global generator under a
+       local name where DET002's call-site scan is easy to miss in review;
+       the import itself is flagged.  Conversely, a module that imports
+       ``random`` wholesale but only ever touches ``random.Random`` should
+       say so: ``from random import Random`` keeps the global-state
+       surface out of the namespace entirely.
+    """
+
+    ID = "RNG001"
+    SUMMARY = "RNG parameter/import breaks the seeded-stream discipline"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        yield from self._check_params(ctx)
+        yield from self._check_imports(ctx)
+
+    def _check_params(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg in _rng_params(node.args):
+                if arg.annotation is None:
+                    yield Finding(
+                        arg.lineno,
+                        arg.col_offset,
+                        f"RNG parameter `{arg.arg}` of `{node.name}` is "
+                        "untyped; annotate it as `random.Random`",
+                    )
+                elif not _annotation_names_random(arg.annotation):
+                    yield Finding(
+                        arg.lineno,
+                        arg.col_offset,
+                        f"RNG parameter `{arg.arg}` of `{node.name}` is "
+                        f"typed `{ast.unparse(arg.annotation)}`; seeded "
+                        "streams must be typed `random.Random`",
+                    )
+
+    def _check_imports(self, ctx: RuleContext) -> Iterator[Finding]:
+        import_random_nodes: List[ast.Import] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module != "random" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in GLOBAL_RNG_FUNCTIONS:
+                        yield Finding(
+                            node.lineno,
+                            node.col_offset,
+                            f"`from random import {alias.name}` binds a "
+                            "global-RNG function; import `Random` and use "
+                            "a seeded stream",
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" and alias.asname is None:
+                        import_random_nodes.append(node)
+
+        for node in import_random_nodes:
+            if self._only_uses_random_class(ctx.tree):
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    "`import random` is used only for the `Random` type; "
+                    "narrow it to `from random import Random`",
+                )
+
+    @staticmethod
+    def _only_uses_random_class(tree: ast.Module) -> bool:
+        """True if every use of the name ``random`` is ``random.Random``.
+
+        Annotations inside string literals (``"random.Random"``) do not
+        produce Name nodes, so postponed annotations count as class-only
+        use too -- which is what we want.
+        """
+        class_uses = 0
+        attribute_values = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id == "random":
+                    attribute_values.add(id(node.value))
+                    if node.attr != "Random":
+                        return False
+                    class_uses += 1
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == "random"
+                and id(node) not in attribute_values
+            ):
+                return False  # bare `random` reference (e.g. passed around)
+        return class_uses > 0

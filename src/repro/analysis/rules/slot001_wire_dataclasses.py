@@ -1,0 +1,85 @@
+"""SLOT001: wire-format dataclasses must be frozen and slotted."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[Tuple[ast.expr, Optional[ast.Call]]]:
+    """Return ``(decorator, call)`` if the class is a dataclass.
+
+    ``call`` is ``None`` for the bare ``@dataclass`` form.
+    """
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            pass
+        elif isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            pass
+        else:
+            continue
+        call = decorator if isinstance(decorator, ast.Call) else None
+        return decorator, call
+    return None
+
+
+def _keyword_is_true(call: Optional[ast.Call], name: str) -> bool:
+    if call is None:
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+class WireDataclassRule(Rule):
+    """Every message/command/event dataclass in the wire modules
+    (``repro.core.messages``, ``repro.broker.commands``) must declare
+    ``@dataclass(frozen=True, slots=True)``.
+
+    ``frozen=True`` because wire objects are shared by reference across
+    actors: transport batching and the event pool both assume a payload
+    cannot be mutated after send -- a writable message lets one subscriber
+    corrupt what another receives, at a simulated time that depends on
+    delivery order.  ``slots=True`` because fan-out allocates these in the
+    millions: slots cut per-instance memory roughly in half and block the
+    silent-typo failure mode where ``msg.chanel = ...`` creates a new
+    attribute instead of raising.
+
+    Both flags are checked syntactically on the decorator, so
+    ``@dataclass`` and ``@dataclass(frozen=True)`` are each flagged with
+    the missing flag(s) named.
+    """
+
+    ID = "SLOT001"
+    SUMMARY = "wire dataclass missing frozen=True/slots=True"
+    SCOPE = "wire-messages"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            found = _dataclass_decorator(node)
+            if found is None:
+                continue
+            decorator, call = found
+            missing = [
+                flag
+                for flag in ("frozen", "slots")
+                if not _keyword_is_true(call, flag)
+            ]
+            if missing:
+                yield Finding(
+                    decorator.lineno,
+                    decorator.col_offset,
+                    f"wire dataclass `{node.name}` must declare "
+                    + " and ".join(f"{flag}=True" for flag in missing)
+                    + "; mutable or dict-backed messages break shared-"
+                    "reference fan-out",
+                )

@@ -1,0 +1,65 @@
+"""TRC001: emitted trace events must be registered in the schema."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+_SCHEMA_MODULE = "repro.obs.trace"
+
+
+class TraceSchemaRule(Rule):
+    """Every ``tracer.emit(SomeEvent(...))`` call site must construct an
+    event class that is registered in ``repro.obs.trace``'s
+    ``EVENT_TYPES`` table.
+
+    The table is what the JSONL loader uses to revive events, so a class
+    that exists-but-is-unregistered round-trips through export as a dead
+    ``{"type": ...}`` dict: traces written today silently stop loading in
+    ``repro.obs.cli`` and every oracle that replays them.  That drift
+    never raises at emit time -- which is why it is a lint, checked
+    cross-file against the registry literal parsed from the schema module
+    (never imported, so it also works on broken trees).
+
+    The check is intentionally precise: only constructor arguments whose
+    class resolves through imports to ``repro.obs.trace`` are validated,
+    so locally-defined event types and non-trace arguments are ignored.
+    ``Tracer``/``NullTracer`` helpers and the abstract ``TraceEvent`` base
+    are resolvable but unregistered -- emitting the base class directly is
+    exactly the bug this rule exists to flag.
+    """
+
+    ID = "TRC001"
+    SUMMARY = "emit() of an event class missing from EVENT_TYPES"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        registry = ctx.facts.trace_events
+        if registry is None:
+            return
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Call):
+                continue
+            name = imports.resolve_call(arg.func)
+            if name is None or not name.startswith(_SCHEMA_MODULE + "."):
+                continue
+            class_name = name[len(_SCHEMA_MODULE) + 1 :]
+            if "." in class_name or class_name in registry:
+                continue
+            yield Finding(
+                arg.lineno,
+                arg.col_offset,
+                f"emitted event `{class_name}` is not registered in "
+                f"EVENT_TYPES ({_SCHEMA_MODULE}); exported traces will "
+                "not load back",
+            )

@@ -20,7 +20,7 @@ the same middleware.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Any, List
 
 from repro.core.balancer import BalancerEvent, CloudOperations
@@ -59,7 +59,7 @@ class ConsistentHashingBalancer(Actor):
         initial_plan: Plan,
         cloud: CloudOperations,
         default_nominal_bps: float,
-        rng: random.Random,
+        rng: Random,
         *,
         tracer: Tracer = NULL_TRACER,
     ):
@@ -161,7 +161,7 @@ class ConsistentHashingBalancer(Actor):
             channels.update(self.view.channel_loads(server_id))
         mappings = {
             channel: ChannelMapping(ReplicationMode.SINGLE, (self.ring.lookup(channel),))
-            for channel in channels
+            for channel in sorted(channels)
         }
         previous_plan = self.plan
         self.plan = self.plan.evolve(

@@ -15,7 +15,7 @@ from ``s``.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import List, Tuple
 
 from repro.check.scenario import Scenario
@@ -51,7 +51,7 @@ def _round(value: float) -> float:
 
 
 def _fault_schedule(
-    rng: random.Random, profile: str, server_ids: List[str]
+    rng: Random, profile: str, server_ids: List[str]
 ) -> Tuple[FaultAction, ...]:
     lo, hi = FAULT_WINDOW
     at = _round(rng.uniform(lo, hi))
@@ -94,7 +94,7 @@ def _fault_schedule(
 
 def generate_scenario(seed: int, *, break_repair_replay: bool = False) -> Scenario:
     """Deterministically derive one scenario from ``seed``."""
-    rng = random.Random(f"repro-check:{seed}")
+    rng = Random(f"repro-check:{seed}")
     shape = WORKLOAD_SHAPES[rng.randrange(len(WORKLOAD_SHAPES))]
     profile = FAULT_PROFILES[rng.randrange(len(FAULT_PROFILES))]
 

@@ -14,7 +14,7 @@ servers when the cluster is underloaded.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Protocol, Set, Tuple
 
@@ -87,7 +87,7 @@ class LoadBalancer(Actor):
         initial_plan: Plan,
         cloud: CloudOperations,
         default_nominal_bps: float,
-        rng: random.Random,
+        rng: Random,
         *,
         tracer: Tracer = NULL_TRACER,
     ):

@@ -19,7 +19,7 @@ Exposes the standard pub/sub API (``subscribe`` / ``unsubscribe`` /
 
 from __future__ import annotations
 
-import random
+from random import Random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
@@ -95,7 +95,7 @@ class DynamothClient(Actor):
         sim: Simulator,
         node_id: str,
         bootstrap_ring: ConsistentHashRing,
-        rng: random.Random,
+        rng: Random,
         *,
         plan_entry_timeout_s: float = 30.0,
         resubscribe_grace_s: float = 0.25,

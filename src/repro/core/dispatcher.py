@@ -29,7 +29,7 @@ be modified").
 
 from __future__ import annotations
 
-import random
+from random import Random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Set, Tuple
@@ -99,7 +99,7 @@ class Dispatcher(Actor):
         sim: Simulator,
         server: PubSubServer,
         initial_plan: Plan,
-        rng: random.Random,
+        rng: Random,
         *,
         plan_entry_timeout_s: float = 30.0,
         repair_buffer_s: float = 5.0,

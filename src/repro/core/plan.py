@@ -14,9 +14,9 @@ how dispatchers detect stale publishers during reconfiguration.
 from __future__ import annotations
 
 import enum
-import random
+from random import Random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.hashing import ConsistentHashRing
 
@@ -59,7 +59,7 @@ class ChannelMapping:
     # ------------------------------------------------------------------
     # Routing rules (Figure 2)
     # ------------------------------------------------------------------
-    def publish_targets(self, rng: random.Random) -> Tuple[str, ...]:
+    def publish_targets(self, rng: Random) -> Tuple[str, ...]:
         """Servers a publisher must send one publication to."""
         if self.mode is ReplicationMode.ALL_PUBLISHERS:
             return self.servers
@@ -67,7 +67,7 @@ class ChannelMapping:
             return (rng.choice(self.servers),)
         return self.servers  # SINGLE: the one server
 
-    def subscribe_targets(self, rng: random.Random) -> Tuple[str, ...]:
+    def subscribe_targets(self, rng: Random) -> Tuple[str, ...]:
         """Servers a subscriber must hold subscriptions on."""
         if self.mode is ReplicationMode.ALL_SUBSCRIBERS:
             return self.servers
@@ -99,7 +99,7 @@ class ChannelMapping:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "ChannelMapping":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelMapping":
         return cls(
             ReplicationMode(data["mode"]),
             tuple(data["servers"]),
@@ -122,7 +122,7 @@ class Plan:
         mappings: Mapping[str, ChannelMapping],
         ring: ConsistentHashRing,
         active_servers: Tuple[str, ...],
-    ):
+    ) -> None:
         self.version = version
         self._mappings: Dict[str, ChannelMapping] = dict(mappings)
         self.ring = ring
@@ -215,7 +215,7 @@ class Plan:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "Plan":
+    def from_dict(cls, data: Mapping[str, Any]) -> "Plan":
         ring_spec = data["ring"]
         ring = ConsistentHashRing(ring_spec["servers"], vnodes=ring_spec["vnodes"])
         mappings = {

@@ -11,7 +11,7 @@ series behind Figures 5, 6 and 7.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -27,7 +27,7 @@ class BucketedStat:
         self._reservoir: List[float] = []
         self._reservoir_size = reservoir_size
         self._seen = 0
-        self._rng = random.Random(seed)
+        self._rng = Random(seed)
 
     def add(self, time: float, value: float) -> None:
         bucket = self._buckets.get(int(time))

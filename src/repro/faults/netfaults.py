@@ -8,7 +8,7 @@ leaves the simulation byte-identical to one with no plane at all.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Dict, Optional, Set, Tuple
 
 
@@ -22,7 +22,7 @@ class NetworkFaultPlane:
     usual deterministic course.
     """
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: Random):
         self._rng = rng
         #: unordered pairs with all traffic cut
         self._cut: Set[Tuple[str, str]] = set()

@@ -11,7 +11,7 @@ touch that stream at all.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -158,7 +158,7 @@ class ChaosSchedule:
         return cls(tuple(actions))
 
     def expand(
-        self, rng: random.Random, server_ids: Sequence[str]
+        self, rng: Random, server_ids: Sequence[str]
     ) -> List[ConcreteAction]:
         """Resolve stochastic actions into a concrete, time-sorted list.
 
@@ -179,7 +179,7 @@ class ChaosSchedule:
 
     @staticmethod
     def _expand_random(
-        process: RandomCrashes, rng: random.Random, server_ids: Sequence[str]
+        process: RandomCrashes, rng: Random, server_ids: Sequence[str]
     ) -> List[ConcreteAction]:
         if process.rate_per_s <= 0.0 or not server_ids:
             return []

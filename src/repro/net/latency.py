@@ -13,7 +13,7 @@ the same median/tail exercises the identical code path.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from typing import Protocol
 
 
@@ -26,7 +26,7 @@ class LatencyModel(Protocol):
     unset -- or set it to ``None`` -- for stochastic models.
     """
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Random) -> float:
         """Return a one-way propagation delay in seconds."""
         ...
 
@@ -34,27 +34,27 @@ class LatencyModel(Protocol):
 class FixedLatency:
     """A constant one-way delay.  Useful in unit tests."""
 
-    def __init__(self, delay: float):
+    def __init__(self, delay: float) -> None:
         if delay < 0:
             raise ValueError(f"negative latency: {delay!r}")
         self.delay = delay
         self.fixed_delay = delay
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Random) -> float:
         return self.delay
 
 
 class UniformLatency:
     """Uniformly distributed one-way delay in ``[low, high]``."""
 
-    def __init__(self, low: float, high: float):
+    def __init__(self, low: float, high: float) -> None:
         if low < 0 or high < low:
             raise ValueError(f"invalid latency range: [{low!r}, {high!r}]")
         self.low = low
         self.high = high
         self.fixed_delay = low if low == high else None
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Random) -> float:
         return rng.uniform(self.low, self.high)
 
 
@@ -65,14 +65,14 @@ class LanLatency:
     availability zone.
     """
 
-    def __init__(self, base: float = 0.0003, jitter: float = 0.0004):
+    def __init__(self, base: float = 0.0003, jitter: float = 0.0004) -> None:
         if base < 0 or jitter < 0:
             raise ValueError("LAN latency parameters must be non-negative")
         self.base = base
         self.jitter = jitter
         self.fixed_delay = base if jitter == 0 else None
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Random) -> float:
         return self.base + rng.random() * self.jitter
 
 
@@ -99,7 +99,7 @@ class KingLatencyModel:
         sigma: float = 0.55,
         floor: float = 0.002,
         ceiling: float = 0.400,
-    ):
+    ) -> None:
         if median <= 0:
             raise ValueError(f"median must be positive: {median!r}")
         if sigma <= 0:
@@ -112,7 +112,7 @@ class KingLatencyModel:
         self.ceiling = ceiling
         self._mu = math.log(median)
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Random) -> float:
         value = rng.lognormvariate(self._mu, self.sigma)
         if value < self.floor:
             return self.floor

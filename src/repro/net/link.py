@@ -11,7 +11,7 @@ egress bytes for each wall-clock second of virtual time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class SecondBuckets:
@@ -61,7 +61,7 @@ class EgressPort:
     whose uplinks are never the bottleneck in the paper's setup).
     """
 
-    def __init__(self, capacity_bps: float = None):
+    def __init__(self, capacity_bps: Optional[float] = None) -> None:
         if capacity_bps is not None and capacity_bps <= 0:
             raise ValueError(f"capacity must be positive: {capacity_bps!r}")
         self.capacity_bps = capacity_bps

@@ -25,7 +25,7 @@ deliveries through the kernel's pooled batch interface.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.net.latency import KingLatencyModel, LanLatency, LatencyModel
@@ -60,10 +60,10 @@ class Transport:
     def __init__(
         self,
         sim: Simulator,
-        rng: random.Random,
+        rng: Random,
         lan_model: Optional[LatencyModel] = None,
         wan_model: Optional[LatencyModel] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self._rng = rng
         self.lan_model: LatencyModel = lan_model if lan_model is not None else LanLatency()
@@ -79,7 +79,7 @@ class Transport:
         #: resolution depend only on registration-time facts, so entries
         #: stay valid until either endpoint unregisters (which prunes
         #: them).
-        self._pairs: Dict[Tuple[str, str], list] = {}
+        self._pairs: Dict[Tuple[str, str], List[Any]] = {}
         self.messages_sent: int = 0
         self.messages_dropped: int = 0
         #: optional network fault plane (installed by
@@ -245,7 +245,7 @@ class Transport:
         #: one propagation sample per latency model ("leg") per batch
         leg_samples: Dict[int, float] = {}
         times: List[float] = []
-        args_seq: List[tuple] = []
+        args_seq: List[Tuple[Any, ...]] = []
         add_time = times.append
         add_args = args_seq.append
         dropped = 0
@@ -286,7 +286,7 @@ class Transport:
             self.messages_dropped += dropped
         return completions
 
-    def _classify_pair(self, key: Tuple[str, str]) -> Optional[list]:
+    def _classify_pair(self, key: Tuple[str, str]) -> Optional[List[Any]]:
         """Resolve and cache an endpoint pair's connection state.
 
         Returns ``None`` -- without caching -- when the destination is not
@@ -297,7 +297,7 @@ class Transport:
         if dst is None:
             return None
         if src_id == dst_id:
-            state = [dst, None, 0.0, 0.0]
+            state: List[Any] = [dst, None, 0.0, 0.0]
         else:
             if self._actors[src_id].is_infra and dst.is_infra:
                 model: LatencyModel = self.lan_model

@@ -441,7 +441,7 @@ class Tracer:
     #: Hot paths check this before constructing any event.
     enabled = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.events: List[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 

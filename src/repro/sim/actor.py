@@ -28,7 +28,7 @@ class Actor:
     #: tracer's tap per instance when tracing is enabled.
     tap: Optional[Any] = None
 
-    def __init__(self, sim: Simulator, node_id: str, *, is_infra: bool):
+    def __init__(self, sim: Simulator, node_id: str, *, is_infra: bool) -> None:
         self.sim = sim
         self.node_id = node_id
         self.is_infra = is_infra

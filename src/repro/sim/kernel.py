@@ -49,7 +49,9 @@ class ScheduledEvent:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_pooled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., None]] = fn
@@ -234,7 +236,7 @@ class Simulator:
         self,
         fn: Callable[..., None],
         times: Sequence[float],
-        args_seq: Sequence[tuple],
+        args_seq: Sequence[Tuple[Any, ...]],
     ) -> int:
         """Bulk-schedule ``fn(*args)`` at many absolute times.
 
@@ -430,6 +432,7 @@ class Simulator:
         """
         fn = event.fn
         args = event.args
+        assert fn is not None  # non-cancelled events always carry a callback
         if event._pooled:
             self._recycle(event)
         else:
@@ -563,6 +566,7 @@ class Simulator:
                     self._now = entry[0]
                     fn = event.fn
                     args = event.args
+                    assert fn is not None  # non-cancelled => callback present
                     if event._pooled:
                         event.fn = None
                         event.args = ()
@@ -607,6 +611,7 @@ class Simulator:
                     self._now = entry[0]
                     fn = event.fn
                     args = event.args
+                    assert fn is not None  # non-cancelled => callback present
                     if event._pooled:
                         event.fn = None
                         event.args = ()

@@ -14,7 +14,7 @@ properties the experiments depend on:
 from __future__ import annotations
 
 import hashlib
-import random
+from random import Random
 from typing import Dict
 
 
@@ -35,15 +35,15 @@ class RngRegistry:
     :meth:`stream` with the same name return the same generator object.
     """
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: Dict[str, Random] = {}
 
-    def stream(self, name: str) -> random.Random:
+    def stream(self, name: str) -> Random:
         """Return the stream for ``name``, creating it on first use."""
         rng = self._streams.get(name)
         if rng is None:
-            rng = random.Random(derive_seed(self.root_seed, name))
+            rng = Random(derive_seed(self.root_seed, name))
             self._streams[name] = rng
         return rng
 

@@ -14,7 +14,8 @@ balancer evaluations and player position updates.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from random import Random
+from typing import Callable, Optional
 
 from repro.sim.kernel import ScheduledEvent, Simulator
 
@@ -27,7 +28,7 @@ class Timer:
     re-arms it.
     """
 
-    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]):
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]) -> None:
         if interval <= 0:
             raise ValueError(f"timer interval must be positive: {interval!r}")
         self._sim = sim
@@ -76,8 +77,8 @@ class PeriodicTask:
         callback: Callable[[float], None],
         *,
         jitter: float = 0.0,
-        rng: Optional[Any] = None,
-    ):
+        rng: Optional[Random] = None,
+    ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive: {period!r}")
         if jitter < 0 or jitter >= period:
@@ -113,6 +114,7 @@ class PeriodicTask:
 
     def _next_delay(self) -> float:
         if self._jitter > 0:
+            assert self._rng is not None  # enforced by __init__
             return self.period + self._rng.uniform(-self._jitter, self._jitter)
         return self.period
 

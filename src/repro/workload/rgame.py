@@ -16,7 +16,7 @@ corresponding notification back from the pub/sub server".
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -85,7 +85,7 @@ class TileWorld:
             for j in range(self.tiles_per_side)
         ]
 
-    def random_point(self, rng: random.Random) -> Tuple[float, float]:
+    def random_point(self, rng: Random) -> Tuple[float, float]:
         return rng.uniform(0, self.world_size), rng.uniform(0, self.world_size)
 
 
@@ -97,7 +97,7 @@ class Player:
         client: DynamothClient,
         world: TileWorld,
         config: RGameConfig,
-        rng: random.Random,
+        rng: Random,
         rtt_sink: Optional[RttSink] = None,
     ):
         self.client = client

@@ -1,0 +1,11 @@
+"""Seeded CFG001 violations: references to nonexistent config fields."""
+
+from repro.core.config import DynamothConfig
+
+
+def build_config() -> DynamothConfig:
+    return DynamothConfig(max_servers=4, lr_celing=0.9)
+
+
+def describe(config: DynamothConfig) -> str:
+    return f"{config.max_servers} servers, lr_high={config.lr_hi}"

@@ -1,0 +1,10 @@
+"""A fixture with no violations, even under every scope tag."""
+# repro: scope[hot-path,no-io]
+
+from random import Random
+
+
+def pick_server(servers: list, rng: Random) -> str:
+    candidates = set(servers)
+    ranked = sorted(candidates)
+    return ranked[rng.randrange(len(ranked))]

@@ -1,0 +1,12 @@
+"""Seeded DET001 violations: wall-clock reads on a simulated path."""
+
+import time
+from datetime import datetime as dt
+
+
+def stamp_event() -> float:
+    return time.time()
+
+
+def log_line() -> str:
+    return dt.now().isoformat()

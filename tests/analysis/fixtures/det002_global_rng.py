@@ -1,0 +1,17 @@
+"""Seeded DET002 violations: module-level RNG and OS entropy."""
+
+import random
+import uuid
+from random import choice
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)
+
+
+def pick(options: list) -> object:
+    return choice(options)
+
+
+def request_id() -> str:
+    return str(uuid.uuid4())

@@ -1,0 +1,18 @@
+"""Seeded DET003 violations: unordered set iteration on a hot path."""
+# repro: scope[hot-path]
+
+
+def fan_out(channels: list, extra: list) -> dict:
+    pending = set(channels)
+    pending.update(extra)
+    order = {channel: len(channel) for channel in pending}
+    total = 0
+    for channel in {"a", "b"} | pending:
+        total += len(channel)
+    order["__total__"] = total
+    return order
+
+
+def ok_sorted(channels: list) -> list:
+    members = set(channels)
+    return [channel for channel in sorted(members)]

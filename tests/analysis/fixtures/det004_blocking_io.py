@@ -1,0 +1,18 @@
+"""Seeded DET004 violations: blocking I/O inside the simulation core."""
+# repro: scope[no-io]
+
+import subprocess
+import time
+
+
+def checkpoint(state: bytes, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(state)
+
+
+def settle() -> None:
+    time.sleep(0.5)
+
+
+def shell_out() -> None:
+    subprocess.run(["true"], check=True)

@@ -1,0 +1,11 @@
+"""Seeded RNG001 violations: untyped stream, type-only broad import."""
+
+import random
+
+
+def sample_delay(rng) -> float:
+    return rng.uniform(0.0, 1.0)
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

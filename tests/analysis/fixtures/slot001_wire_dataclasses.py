@@ -1,0 +1,20 @@
+"""Seeded SLOT001 violations: wire dataclasses without frozen/slots."""
+# repro: scope[wire-messages]
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LoosePublish:
+    channel: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class HalfPinnedAck:
+    channel: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProperNotice:
+    channel: str

@@ -1,0 +1,17 @@
+"""Violations silenced by inline ``# repro: allow[RULE]`` suppressions."""
+# repro: scope[hot-path,no-io]
+
+import time
+
+
+def export_checkpoint(path: str, payload: bytes) -> float:
+    with open(path, "wb") as handle:  # repro: allow[DET004]
+        handle.write(payload)
+    return time.time()  # repro: allow[DET001]
+
+
+def drain(members: set) -> int:
+    total = 0
+    for member in members:  # repro: allow[DET003]
+        total += len(member)
+    return total

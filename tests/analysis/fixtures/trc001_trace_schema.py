@@ -1,0 +1,8 @@
+"""Seeded TRC001 violation: emitting an unregistered trace event."""
+
+from repro.obs.trace import PublishEvent, TraceEvent, Tracer
+
+
+def emit_events(tracer: Tracer) -> None:
+    tracer.emit(PublishEvent(0.0, "m-1", "tile:0:0", "client-1", 1, ("s1",), 64))
+    tracer.emit(TraceEvent(0.0))

@@ -1,0 +1,88 @@
+"""collect_facts over the real repository tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, collect_facts
+from repro.analysis.project import _registered_event_names, _class_facts
+import ast
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return collect_facts(ROOT, AnalysisConfig())
+
+
+class TestTraceRegistry:
+    def test_known_events_registered(self, facts):
+        assert facts.trace_events is not None
+        for name in ("PublishEvent", "DeliveryEvent", "MetricsEvent"):
+            assert name in facts.trace_events
+
+    def test_base_class_not_registered(self, facts):
+        # TraceEvent is the abstract base; emitting it is the bug TRC001
+        # exists to catch, so it must not appear in the registry facts.
+        assert "TraceEvent" not in facts.trace_events
+
+    def test_registry_is_large(self, facts):
+        assert len(facts.trace_events) >= 25
+
+
+class TestConfigClasses:
+    def test_both_tracked_classes_found(self, facts):
+        assert set(facts.config_classes) == {
+            "DynamothConfig",
+            "ChaosScenarioConfig",
+        }
+
+    def test_dynamoth_fields_present(self, facts):
+        fields = facts.config_classes["DynamothConfig"].fields
+        assert "max_servers" in fields
+        assert "lr_celing" not in fields  # the golden-fixture typo
+
+    def test_methods_are_members_not_fields(self, facts):
+        cf = facts.config_classes["DynamothConfig"]
+        assert cf.methods.isdisjoint(cf.fields)
+        assert cf.members == cf.fields | cf.methods
+
+
+class TestCacheKey:
+    def test_stable_across_collections(self, facts):
+        again = collect_facts(ROOT, AnalysisConfig())
+        assert facts.cache_key() == again.cache_key()
+
+    def test_key_reflects_registry(self, facts):
+        assert "PublishEvent" in facts.cache_key()
+
+
+class TestParsers:
+    def test_dict_comp_registry_form(self):
+        tree = ast.parse(
+            "EVENT_TYPES = {cls.TYPE: cls for cls in (A, B)}\n"
+        )
+        assert _registered_event_names(tree) == frozenset({"A", "B"})
+
+    def test_plain_dict_registry_form(self):
+        tree = ast.parse('EVENT_TYPES = {"a": A, "b": B}\n')
+        assert _registered_event_names(tree) == frozenset({"A", "B"})
+
+    def test_missing_registry_is_none(self):
+        assert _registered_event_names(ast.parse("x = 1\n")) is None
+
+    def test_class_facts_split(self):
+        tree = ast.parse(
+            "class C:\n"
+            "    a: int\n"
+            "    B = 3\n"
+            "    def m(self):\n"
+            "        pass\n"
+        )
+        cf = _class_facts(tree, "C")
+        assert cf.fields == frozenset({"a", "B"})
+        assert cf.methods == frozenset({"m"})
+
+    def test_class_facts_missing_class(self):
+        assert _class_facts(ast.parse("x = 1\n"), "C") is None

@@ -1,0 +1,111 @@
+"""Golden diagnostics: each fixture produces exactly these findings.
+
+The comparisons are exact (full ``path:line:col: RULE message`` strings),
+so any drift in rule behaviour, message wording, positions or ordering
+fails loudly here first.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisEngine, load_config
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = "tests/analysis/fixtures"
+
+GOLDEN = {
+    "det001_wallclock.py": [
+        f"{FIXTURES}/det001_wallclock.py:8:12: DET001 wall-clock read "
+        "`time.time()`; simulated time must come from the kernel clock (`sim.now`)",
+        f"{FIXTURES}/det001_wallclock.py:12:12: DET001 wall-clock read "
+        "`datetime.datetime.now()`; simulated time must come from the kernel "
+        "clock (`sim.now`)",
+    ],
+    "det002_global_rng.py": [
+        f"{FIXTURES}/det002_global_rng.py:5:1: RNG001 `from random import "
+        "choice` binds a global-RNG function; import `Random` and use a "
+        "seeded stream",
+        f"{FIXTURES}/det002_global_rng.py:9:12: DET002 global-RNG call "
+        "`random.uniform()`; thread a seeded `random.Random` stream "
+        "(repro.sim.rng) instead",
+        f"{FIXTURES}/det002_global_rng.py:13:12: DET002 global-RNG call "
+        "`random.choice()`; thread a seeded `random.Random` stream "
+        "(repro.sim.rng) instead",
+        f"{FIXTURES}/det002_global_rng.py:17:16: DET002 non-reproducible "
+        "entropy source `uuid.uuid4()`; derive randomness from a seeded "
+        "stream (repro.sim.rng)",
+    ],
+    "det003_set_iteration.py": [
+        f"{FIXTURES}/det003_set_iteration.py:8:51: DET003 iteration over set "
+        "variable `pending` has hash-dependent order on a hot path; wrap it "
+        "in `sorted(...)`",
+        f"{FIXTURES}/det003_set_iteration.py:10:20: DET003 iteration over a "
+        "set expression has hash-dependent order on a hot path; wrap it in "
+        "`sorted(...)`",
+    ],
+    "det004_blocking_io.py": [
+        f"{FIXTURES}/det004_blocking_io.py:9:10: DET004 blocking call "
+        "`open()` inside the simulation core; real I/O belongs in repro.obs "
+        "exporters or experiment harnesses",
+        f"{FIXTURES}/det004_blocking_io.py:14:5: DET004 blocking call "
+        "`time.sleep()` inside the simulation core; real I/O belongs in "
+        "repro.obs exporters or experiment harnesses",
+        f"{FIXTURES}/det004_blocking_io.py:18:5: DET004 blocking call "
+        "`subprocess.run()` inside the simulation core; real I/O belongs in "
+        "repro.obs exporters or experiment harnesses",
+    ],
+    "slot001_wire_dataclasses.py": [
+        f"{FIXTURES}/slot001_wire_dataclasses.py:7:2: SLOT001 wire dataclass "
+        "`LoosePublish` must declare frozen=True and slots=True; mutable or "
+        "dict-backed messages break shared-reference fan-out",
+        f"{FIXTURES}/slot001_wire_dataclasses.py:13:2: SLOT001 wire "
+        "dataclass `HalfPinnedAck` must declare slots=True; mutable or "
+        "dict-backed messages break shared-reference fan-out",
+    ],
+    "trc001_trace_schema.py": [
+        f"{FIXTURES}/trc001_trace_schema.py:8:17: TRC001 emitted event "
+        "`TraceEvent` is not registered in EVENT_TYPES (repro.obs.trace); "
+        "exported traces will not load back",
+    ],
+    "rng001_rng_discipline.py": [
+        f"{FIXTURES}/rng001_rng_discipline.py:3:1: RNG001 `import random` is "
+        "used only for the `Random` type; narrow it to `from random import "
+        "Random`",
+        f"{FIXTURES}/rng001_rng_discipline.py:6:18: RNG001 RNG parameter "
+        "`rng` of `sample_delay` is untyped; annotate it as `random.Random`",
+    ],
+    "cfg001_config_fields.py": [
+        f"{FIXTURES}/cfg001_config_fields.py:7:52: CFG001 `DynamothConfig` "
+        "has no field `lr_celing`",
+        f"{FIXTURES}/cfg001_config_fields.py:11:53: CFG001 `DynamothConfig` "
+        "has no field or method `lr_hi` (via `config.lr_hi`)",
+    ],
+    "clean.py": [],
+    "suppressed.py": [],
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalysisEngine(ROOT, load_config(ROOT))
+
+
+@pytest.mark.parametrize("fixture", sorted(GOLDEN))
+def test_fixture_diagnostics_exact(engine, fixture):
+    report = engine.check(
+        [Path(FIXTURES) / fixture], use_cache=False
+    )
+    assert [d.format() for d in report.diagnostics] == GOLDEN[fixture]
+
+
+@pytest.mark.parametrize("fixture", sorted(GOLDEN))
+def test_fixture_rule_seeded(engine, fixture):
+    """Each violation fixture trips (at least) the rule it is named for."""
+    stem = fixture.split("_", 1)[0].upper()
+    report = engine.check([Path(FIXTURES) / fixture], use_cache=False)
+    rules = {d.rule for d in report.diagnostics}
+    if fixture in ("clean.py", "suppressed.py"):
+        assert rules == set()
+    else:
+        assert stem in rules

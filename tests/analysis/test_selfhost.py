@@ -1,0 +1,121 @@
+"""Self-hosting: the analyzer passes clean over its own repository.
+
+These tests run the real CLI in a subprocess (the exact commands CI and
+developers use) and pin the pyproject ``[tool.repro.analysis]`` table to
+the code defaults so the 3.10 no-TOML fallback cannot drift.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, AnalysisEngine, load_config
+from repro.analysis.cli import main
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args: str) -> "subprocess.CompletedProcess[str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestSelfHost:
+    def test_src_is_clean_in_process(self):
+        engine = AnalysisEngine(ROOT, load_config(ROOT))
+        report = engine.check([Path("src")], use_cache=False)
+        assert [d.format() for d in report.diagnostics] == []
+        assert report.baselined == 0  # nothing grandfathered either
+
+    def test_check_src_exits_zero(self):
+        proc = run_cli("check", "src", "--no-cache")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_check_tests_exits_zero(self):
+        proc = run_cli("check", "tests", "--no-cache")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fixture_violation_exits_one(self):
+        proc = run_cli(
+            "check",
+            "tests/analysis/fixtures/det001_wallclock.py",
+            "--no-cache",
+        )
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_json_format_parses(self):
+        proc = run_cli(
+            "check",
+            "tests/analysis/fixtures/det002_global_rng.py",
+            "--format=json",
+            "--no-cache",
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["files_analyzed"] == 1
+        assert payload["summary"]["findings"] == len(payload["diagnostics"])
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "DET002" in rules
+
+
+class TestCliInProcess:
+    def test_explain_rule(self, capsys):
+        assert main(["explain", "DET003"]) == 0
+        out = capsys.readouterr().out
+        assert "DET003" in out and "PYTHONHASHSEED" in out
+
+    def test_explain_catalogue(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in AnalysisConfig().active_rules():
+            assert rule_id in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["explain", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_subcommand_is_usage_error(self):
+        assert main([]) == 2
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["explain", "det001"]) == 0
+        assert "DET001" in capsys.readouterr().out
+
+
+def test_pyproject_table_matches_code_defaults():
+    """The committed TOML table and the code defaults must be identical.
+
+    On Python 3.10 (no tomllib, no third-party tomli) load_config silently
+    falls back to the code defaults; this pin guarantees the fallback and
+    the table can never disagree.
+    """
+    try:
+        import tomllib  # noqa: F401
+    except ImportError:
+        try:
+            import tomli  # noqa: F401
+        except ImportError:
+            pytest.skip("no TOML parser available to compare against")
+    assert load_config(ROOT) == AnalysisConfig()
+
+
+def test_committed_baseline_is_empty():
+    """The repository baseline stays empty: new findings must be fixed or
+    explicitly suppressed inline, never silently grandfathered."""
+    from repro.analysis.baseline import load_baseline
+
+    assert load_baseline(ROOT / AnalysisConfig().baseline) == {}

@@ -1,5 +1,6 @@
 """Unit tests for the Redis-like pub/sub server."""
 
+from random import Random
 import pytest
 
 from repro.broker.commands import (
@@ -28,7 +29,7 @@ class FakeClient(Actor):
         return [m for __, m in self.received if isinstance(m, Delivery)]
 
 
-def build(sim, rng, config=None):
+def build(sim, rng: Random, config=None):
     net = Transport(sim, rng, lan_model=FixedLatency(0.0005), wan_model=FixedLatency(0.01))
     config = config or BrokerConfig()
     server = PubSubServer(sim, "srv", config)
@@ -40,14 +41,14 @@ def build(sim, rng, config=None):
 
 
 class TestSubscriptions:
-    def test_subscribe_adds_to_channel(self, sim, rng):
+    def test_subscribe_adds_to_channel(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         clients[0].send("srv", SubscribeCmd("news"), 64)
         sim.run_until(1.0)
         assert server.subscriber_count("news") == 1
         assert server.is_subscribed("news", "c0")
 
-    def test_unsubscribe_removes(self, sim, rng):
+    def test_unsubscribe_removes(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         clients[0].send("srv", SubscribeCmd("news"), 64)
         sim.run_until(1.0)
@@ -56,7 +57,7 @@ class TestSubscriptions:
         assert server.subscriber_count("news") == 0
         assert "news" not in server.channels()
 
-    def test_subscribe_listener_sees_plan_version(self, sim, rng):
+    def test_subscribe_listener_sees_plan_version(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         seen = []
         server.add_subscribe_listener(lambda ch, cid, v: seen.append((ch, cid, v)))
@@ -64,7 +65,7 @@ class TestSubscriptions:
         sim.run_until(1.0)
         assert seen == [("news", "c0", 7)]
 
-    def test_unsubscribe_listener(self, sim, rng):
+    def test_unsubscribe_listener(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         seen = []
         server.add_unsubscribe_listener(lambda ch, cid: seen.append((ch, cid)))
@@ -73,7 +74,7 @@ class TestSubscriptions:
         sim.run_until(1.0)
         assert seen == [("news", "c0")]
 
-    def test_disconnect_clears_all_subscriptions(self, sim, rng):
+    def test_disconnect_clears_all_subscriptions(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         clients[0].send("srv", SubscribeCmd("a"), 64)
         clients[0].send("srv", SubscribeCmd("b"), 64)
@@ -84,7 +85,7 @@ class TestSubscriptions:
 
 
 class TestPublish:
-    def test_delivers_to_all_subscribers(self, sim, rng):
+    def test_delivers_to_all_subscribers(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         for c in clients[:3]:
             c.send("srv", SubscribeCmd("news"), 64)
@@ -96,7 +97,7 @@ class TestPublish:
             assert c.deliveries()[0].payload == "flash"
         assert clients[3].deliveries() == []
 
-    def test_publisher_also_receives_if_subscribed(self, sim, rng):
+    def test_publisher_also_receives_if_subscribed(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         clients[0].send("srv", SubscribeCmd("news"), 64)
         sim.run_until(1.0)
@@ -104,14 +105,14 @@ class TestPublish:
         sim.run_until(2.0)
         assert len(clients[0].deliveries()) == 1
 
-    def test_no_subscribers_is_fine(self, sim, rng):
+    def test_no_subscribers_is_fine(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         clients[0].send("srv", PublishCmd("empty", "void", 100), 100)
         sim.run_until(1.0)
         assert server.publish_count == 1
         assert server.delivery_count == 0
 
-    def test_cpu_cost_delays_fanout(self, sim, rng):
+    def test_cpu_cost_delays_fanout(self, sim, rng: Random):
         config = BrokerConfig(cpu_per_publish_s=0.010, cpu_per_delivery_s=0.005)
         net, server, clients = build(sim, rng, config)
         clients[0].send("srv", SubscribeCmd("ch"), 64)
@@ -122,7 +123,7 @@ class TestPublish:
         # publish arrives at 1+0.01 WAN, +0.015 CPU, +~0 NIC, +0.01 WAN out
         assert arrival == pytest.approx(1.035, abs=1e-3)
 
-    def test_cpu_queue_serializes_bursts(self, sim, rng):
+    def test_cpu_queue_serializes_bursts(self, sim, rng: Random):
         config = BrokerConfig(cpu_per_publish_s=0.010, cpu_per_delivery_s=0.0)
         net, server, clients = build(sim, rng, config)
         clients[0].send("srv", SubscribeCmd("ch"), 64)
@@ -134,7 +135,7 @@ class TestPublish:
         gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
         assert gaps == [0.01] * 4
 
-    def test_observer_sees_every_publication(self, sim, rng):
+    def test_observer_sees_every_publication(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         seen = []
         server.add_observer(lambda ch, pid, payload, size: seen.append((ch, pid, payload)))
@@ -143,7 +144,7 @@ class TestPublish:
         sim.run_until(1.0)
         assert sorted(seen) == [("a", "c0", "x"), ("b", "c1", "y")]
 
-    def test_local_subscriber_receives_without_network(self, sim, rng):
+    def test_local_subscriber_receives_without_network(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         seen = []
         server.subscribe_local("ch", lambda *a: seen.append(a))
@@ -153,7 +154,7 @@ class TestPublish:
         # loopback must not consume NIC egress
         assert net.port("srv").total_bytes == 0
 
-    def test_unsubscribe_local(self, sim, rng):
+    def test_unsubscribe_local(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         seen = []
         cb = lambda *a: seen.append(a)
@@ -163,7 +164,7 @@ class TestPublish:
         sim.run_until(1.0)
         assert seen == []
 
-    def test_last_fanout_reflects_delivery_count(self, sim, rng):
+    def test_last_fanout_reflects_delivery_count(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         fanouts = []
         server.add_observer(lambda *a: fanouts.append(server.last_fanout))
@@ -174,14 +175,14 @@ class TestPublish:
         sim.run_until(2.0)
         assert fanouts == [2]
 
-    def test_unknown_message_type_raises(self, sim, rng):
+    def test_unknown_message_type_raises(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         with pytest.raises(TypeError):
             server.receive(object(), "c0")
 
 
 class TestOutputBufferKill:
-    def test_overflow_kills_connection(self, sim, rng):
+    def test_overflow_kills_connection(self, sim, rng: Random):
         config = BrokerConfig(
             per_connection_bps=1000.0,  # 1 KB/s drain
             output_buffer_limit_bytes=2000,
@@ -199,7 +200,7 @@ class TestOutputBufferKill:
         closed = [m for __, m in clients[0].received if isinstance(m, ConnectionClosed)]
         assert closed and closed[0].reason == "output-buffer-overflow"
 
-    def test_slow_flow_does_not_kill(self, sim, rng):
+    def test_slow_flow_does_not_kill(self, sim, rng: Random):
         config = BrokerConfig(per_connection_bps=100_000.0, output_buffer_limit_bytes=10_000)
         net, server, clients = build(sim, rng, config)
         clients[0].send("srv", SubscribeCmd("ch"), 64)
@@ -210,7 +211,7 @@ class TestOutputBufferKill:
         assert server.killed_connections == 0
         assert len(clients[0].deliveries()) == 10
 
-    def test_close_all_connections_notifies_everyone(self, sim, rng):
+    def test_close_all_connections_notifies_everyone(self, sim, rng: Random):
         net, server, clients = build(sim, rng)
         for c in clients[:3]:
             c.send("srv", SubscribeCmd("ch"), 64)

@@ -8,7 +8,7 @@ import it from here.
 
 from __future__ import annotations
 
-import random
+from random import Random
 
 import pytest
 
@@ -26,12 +26,12 @@ def sim() -> Simulator:
 
 
 @pytest.fixture
-def rng() -> random.Random:
-    return random.Random(1234)
+def rng() -> Random:
+    return Random(1234)
 
 
 @pytest.fixture
-def transport(sim, rng) -> Transport:
+def transport(sim, rng: Random) -> Transport:
     """A transport with deterministic small latencies (tests only)."""
     return make_fixed_transport(sim, rng)
 

@@ -1,5 +1,6 @@
 """Tests for the Local Load Analyzer."""
 
+from random import Random
 import pytest
 
 from repro.broker.commands import PublishCmd, SubscribeCmd
@@ -31,7 +32,7 @@ class FakeClient(Actor):
 
 
 @pytest.fixture
-def setup(sim, rng):
+def setup(sim, rng: Random):
     net = Transport(sim, rng, lan_model=FixedLatency(0.0005), wan_model=FixedLatency(0.01))
     config = BrokerConfig(nominal_egress_bps=10_000.0, per_message_overhead_bytes=50)
     server = PubSubServer(sim, "srv", config)

@@ -1,6 +1,6 @@
 """Unit tests for plans and channel mappings."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -25,14 +25,14 @@ class TestChannelMapping:
             ChannelMapping(ReplicationMode.ALL_PUBLISHERS, ("a", "a"))
 
     def test_single_routing(self):
-        rng = random.Random(0)
+        rng = Random(0)
         mapping = ChannelMapping(ReplicationMode.SINGLE, ("a",))
         assert mapping.publish_targets(rng) == ("a",)
         assert mapping.subscribe_targets(rng) == ("a",)
 
     def test_all_subscribers_routing(self):
         """Figure 2b: publish to one random server, subscribe to all."""
-        rng = random.Random(0)
+        rng = Random(0)
         mapping = ChannelMapping(ReplicationMode.ALL_SUBSCRIBERS, ("a", "b", "c"))
         assert set(mapping.subscribe_targets(rng)) == {"a", "b", "c"}
         targets = {mapping.publish_targets(rng)[0] for __ in range(100)}
@@ -41,7 +41,7 @@ class TestChannelMapping:
 
     def test_all_publishers_routing(self):
         """Figure 2c: publish to all servers, subscribe to one."""
-        rng = random.Random(0)
+        rng = Random(0)
         mapping = ChannelMapping(ReplicationMode.ALL_PUBLISHERS, ("a", "b", "c"))
         assert set(mapping.publish_targets(rng)) == {"a", "b", "c"}
         picks = {mapping.subscribe_targets(rng)[0] for __ in range(100)}

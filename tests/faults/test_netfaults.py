@@ -1,6 +1,6 @@
 """Unit tests for the network fault plane."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -9,7 +9,7 @@ from repro.faults import NetworkFaultPlane
 
 @pytest.fixture
 def plane():
-    return NetworkFaultPlane(random.Random(0))
+    return NetworkFaultPlane(Random(0))
 
 
 class TestIdlePlane:
@@ -18,7 +18,7 @@ class TestIdlePlane:
         assert not plane.active
 
     def test_idle_plane_consumes_no_rng(self):
-        rng = random.Random(5)
+        rng = Random(5)
         state = rng.getstate()
         plane = NetworkFaultPlane(rng)
         for __ in range(100):

@@ -1,6 +1,6 @@
 """Unit tests for chaos schedules and their deterministic expansion."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -42,17 +42,17 @@ class TestExpand:
                 PartitionNodes(10.0, "pub1", "pub3", until=15.0),
             )
         )
-        timeline = schedule.expand(random.Random(0), SERVERS)
+        timeline = schedule.expand(Random(0), SERVERS)
         assert [a.at for a in timeline] == [5.0, 10.0, 20.0]
 
     def test_simultaneous_actions_keep_schedule_order(self):
         first = CrashServer(5.0, "pub1")
         second = DegradeLink(5.0, "pub2", "pub3", loss=0.1)
-        timeline = ChaosSchedule((first, second)).expand(random.Random(0), SERVERS)
+        timeline = ChaosSchedule((first, second)).expand(Random(0), SERVERS)
         assert timeline == [first, second]
 
     def test_expansion_consumes_no_rng_without_random_crashes(self):
-        rng = random.Random(42)
+        rng = Random(42)
         state = rng.getstate()
         ChaosSchedule.single_crash("pub1", at=1.0).expand(rng, SERVERS)
         assert rng.getstate() == state
@@ -61,19 +61,19 @@ class TestExpand:
 class TestRandomCrashes:
     def test_same_seed_same_timeline(self):
         schedule = ChaosSchedule((RandomCrashes(0.1, start=0.0, end=100.0),))
-        a = schedule.expand(random.Random(7), SERVERS)
-        b = schedule.expand(random.Random(7), SERVERS)
+        a = schedule.expand(Random(7), SERVERS)
+        b = schedule.expand(Random(7), SERVERS)
         assert a == b and a  # identical and non-empty
 
     def test_different_seed_different_timeline(self):
         schedule = ChaosSchedule((RandomCrashes(0.1, start=0.0, end=100.0),))
-        a = schedule.expand(random.Random(1), SERVERS)
-        b = schedule.expand(random.Random(2), SERVERS)
+        a = schedule.expand(Random(1), SERVERS)
+        b = schedule.expand(Random(2), SERVERS)
         assert a != b
 
     def test_crashes_stay_in_window_and_name_known_servers(self):
         schedule = ChaosSchedule((RandomCrashes(0.5, start=10.0, end=50.0),))
-        timeline = schedule.expand(random.Random(3), SERVERS)
+        timeline = schedule.expand(Random(3), SERVERS)
         crashes = [a for a in timeline if isinstance(a, CrashServer)]
         assert crashes
         for crash in crashes:
@@ -84,7 +84,7 @@ class TestRandomCrashes:
         schedule = ChaosSchedule(
             (RandomCrashes(0.5, start=0.0, end=50.0, restart_after_s=5.0),)
         )
-        timeline = schedule.expand(random.Random(3), SERVERS)
+        timeline = schedule.expand(Random(3), SERVERS)
         crashes = [a for a in timeline if isinstance(a, CrashServer)]
         restarts = [a for a in timeline if isinstance(a, RestartServer)]
         assert len(restarts) == len(crashes)
@@ -94,13 +94,13 @@ class TestRandomCrashes:
     def test_zero_rate_or_no_servers_expands_empty(self):
         assert (
             ChaosSchedule((RandomCrashes(0.0, 0.0, 100.0),)).expand(
-                random.Random(0), SERVERS
+                Random(0), SERVERS
             )
             == []
         )
         assert (
             ChaosSchedule((RandomCrashes(1.0, 0.0, 100.0),)).expand(
-                random.Random(0), []
+                Random(0), []
             )
             == []
         )

@@ -8,7 +8,7 @@ being copy-pasted per suite.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Optional
 
 from repro.broker.config import BrokerConfig
@@ -38,7 +38,7 @@ def make_static_cluster(
 
 def make_fixed_transport(
     sim: Simulator,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
     *,
     lan_s: float = 0.001,
     wan_s: float = 0.02,
@@ -46,7 +46,7 @@ def make_fixed_transport(
     """A transport with deterministic fixed latencies (tests only)."""
     return Transport(
         sim,
-        rng if rng is not None else random.Random(1234),
+        rng if rng is not None else Random(1234),
         lan_model=FixedLatency(lan_s),
         wan_model=FixedLatency(wan_s),
     )

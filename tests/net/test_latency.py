@@ -1,6 +1,6 @@
 """Unit tests for latency models."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -8,7 +8,7 @@ from repro.net.latency import FixedLatency, KingLatencyModel, LanLatency, Unifor
 
 
 class TestFixedLatency:
-    def test_constant(self, rng):
+    def test_constant(self, rng: Random):
         model = FixedLatency(0.05)
         assert [model.sample(rng) for __ in range(3)] == [0.05, 0.05, 0.05]
 
@@ -18,7 +18,7 @@ class TestFixedLatency:
 
 
 class TestUniformLatency:
-    def test_within_bounds(self, rng):
+    def test_within_bounds(self, rng: Random):
         model = UniformLatency(0.01, 0.03)
         for __ in range(200):
             assert 0.01 <= model.sample(rng) <= 0.03
@@ -29,7 +29,7 @@ class TestUniformLatency:
 
 
 class TestLanLatency:
-    def test_within_bounds(self, rng):
+    def test_within_bounds(self, rng: Random):
         model = LanLatency(base=0.0003, jitter=0.0004)
         for __ in range(200):
             assert 0.0003 <= model.sample(rng) <= 0.0007
@@ -40,7 +40,7 @@ class TestLanLatency:
 
 
 class TestKingLatencyModel:
-    def test_clamped_to_floor_and_ceiling(self, rng):
+    def test_clamped_to_floor_and_ceiling(self, rng: Random):
         model = KingLatencyModel(median=0.03, sigma=2.0, floor=0.01, ceiling=0.05)
         samples = [model.sample(rng) for __ in range(500)]
         assert all(0.01 <= s <= 0.05 for s in samples)
@@ -49,7 +49,7 @@ class TestKingLatencyModel:
 
     def test_median_roughly_matches(self):
         model = KingLatencyModel(median=0.0325)
-        rng = random.Random(0)
+        rng = Random(0)
         samples = sorted(model.sample(rng) for __ in range(20_000))
         empirical_median = samples[len(samples) // 2]
         assert 0.029 <= empirical_median <= 0.036
@@ -57,7 +57,7 @@ class TestKingLatencyModel:
     def test_long_right_tail(self):
         """King-like distributions have p95 well above the median."""
         model = KingLatencyModel()
-        rng = random.Random(1)
+        rng = Random(1)
         samples = sorted(model.sample(rng) for __ in range(20_000))
         p50 = samples[len(samples) // 2]
         p95 = samples[int(0.95 * len(samples))]

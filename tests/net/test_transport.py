@@ -1,5 +1,6 @@
 """Unit tests for the actor transport."""
 
+from random import Random
 import pytest
 
 from repro.net.latency import FixedLatency
@@ -19,7 +20,7 @@ class Recorder(Actor):
 
 
 @pytest.fixture
-def net(sim, rng):
+def net(sim, rng: Random):
     return Transport(sim, rng, lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.050))
 
 

@@ -5,7 +5,7 @@ completion floors, drop accounting) and the pruning of per-pair
 connection state on unregister.
 """
 
-import random
+from random import Random
 
 import pytest
 
@@ -27,7 +27,7 @@ class Recorder(Actor):
 def _jittery_net(sim):
     return Transport(
         sim,
-        random.Random(11),
+        Random(11),
         lan_model=UniformLatency(0.001, 0.2),
         wan_model=UniformLatency(0.001, 0.2),
     )
@@ -36,7 +36,7 @@ def _jittery_net(sim):
 def _fixed_net(sim):
     return Transport(
         sim,
-        random.Random(11),
+        Random(11),
         lan_model=FixedLatency(0.001),
         wan_model=FixedLatency(0.05),
     )

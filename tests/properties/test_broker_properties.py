@@ -1,6 +1,6 @@
 """Property-based tests for pub/sub broker invariants."""
 
-import random
+from random import Random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -27,7 +27,7 @@ class Sink(Actor):
 def build_world(n_clients=4):
     sim = Simulator()
     net = Transport(
-        sim, random.Random(0), lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.01)
+        sim, Random(0), lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.01)
     )
     config = BrokerConfig(per_connection_bps=None)
     server = PubSubServer(sim, "srv", config)

@@ -1,6 +1,6 @@
 """Property-based tests for client-side exactly-once delivery."""
 
-import random
+from random import Random
 
 from hypothesis import given
 from hypothesis import strategies as st
@@ -15,7 +15,7 @@ from repro.sim.kernel import Simulator
 def make_client():
     sim = Simulator()
     ring = ConsistentHashRing(["s1", "s2"])
-    client = DynamothClient(sim, "c", ring, random.Random(0))
+    client = DynamothClient(sim, "c", ring, Random(0))
 
     class NullTransport:
         def send(self, *args, **kwargs):

@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-import random
+from random import Random
 
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
 from repro.core.metrics import ClusterLoadView
@@ -31,7 +31,7 @@ def mapping_strategy(servers):
 class TestMappingProperties:
     @given(servers=servers_strategy, seed=st.integers(0, 2**16))
     def test_publish_and_subscribe_targets_are_members(self, servers, seed):
-        rng = random.Random(seed)
+        rng = Random(seed)
         for mode in ReplicationMode:
             if mode is not ReplicationMode.SINGLE and len(servers) < 2:
                 continue
@@ -45,7 +45,7 @@ class TestMappingProperties:
         """The fundamental replication invariant (Figure 2): for any mode,
         any publish-target choice and any subscribe-target choice must
         share at least one server."""
-        rng = random.Random(seed)
+        rng = Random(seed)
         for mode in ReplicationMode:
             if mode is not ReplicationMode.SINGLE and len(servers) < 2:
                 continue

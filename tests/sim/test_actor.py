@@ -1,5 +1,7 @@
 """Unit tests for the actor base class."""
 
+from random import Random
+
 import pytest
 
 from repro.net.latency import FixedLatency
@@ -33,7 +35,7 @@ class TestActor:
         actor.shutdown()
         assert not actor.alive
 
-    def test_roundtrip_through_transport(self, sim, rng):
+    def test_roundtrip_through_transport(self, sim, rng: Random):
         net = Transport(sim, rng, lan_model=FixedLatency(0.001), wan_model=FixedLatency(0.01))
         a, b = Echo(sim, "a"), Echo(sim, "b")
         net.register(a)
@@ -47,20 +49,18 @@ class TestTransportFifo:
     """TCP-like per-connection ordering (regression tests for the churn
     reordering bug)."""
 
-    def _net(self, sim, rng):
-        import random
-
+    def _net(self, sim, rng: Random):
         from repro.net.latency import UniformLatency
 
         # highly variable latency would reorder without the FIFO lanes
         return Transport(
             sim,
-            random.Random(3),
+            Random(3),
             lan_model=UniformLatency(0.001, 0.2),
             wan_model=UniformLatency(0.001, 0.2),
         )
 
-    def test_same_connection_never_reorders(self, sim, rng):
+    def test_same_connection_never_reorders(self, sim, rng: Random):
         net = self._net(sim, rng)
         a, b = Echo(sim, "a"), Echo(sim, "b")
         net.register(a)
@@ -71,7 +71,7 @@ class TestTransportFifo:
         received = [m for m, __ in b.inbox]
         assert received == list(range(50))
 
-    def test_different_connections_may_interleave(self, sim, rng):
+    def test_different_connections_may_interleave(self, sim, rng: Random):
         net = self._net(sim, rng)
         a, b, c = Echo(sim, "a"), Echo(sim, "b"), Echo(sim, "c")
         for actor in (a, b, c):
@@ -82,7 +82,7 @@ class TestTransportFifo:
         sim.run_until(5.0)
         assert {m for m, __ in c.inbox} == {"from-a", "from-b"}
 
-    def test_non_fifo_flag_can_overtake(self, sim, rng):
+    def test_non_fifo_flag_can_overtake(self, sim, rng: Random):
         net = self._net(sim, rng)
         a, b = Echo(sim, "a"), Echo(sim, "b")
         net.register(a, egress_capacity_bps=100.0)  # slow: builds a queue
@@ -94,7 +94,7 @@ class TestTransportFifo:
         received = [m for m, __ in b.inbox]
         assert received.index("URGENT") < received.index("data4")
 
-    def test_unregister_clears_fifo_lanes(self, sim, rng):
+    def test_unregister_clears_fifo_lanes(self, sim, rng: Random):
         net = self._net(sim, rng)
         a, b = Echo(sim, "a"), Echo(sim, "b")
         net.register(a)

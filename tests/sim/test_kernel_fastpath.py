@@ -6,7 +6,7 @@ failure state of ``run(max_events=...)``.
 """
 
 import gc
-import random
+from random import Random
 
 import pytest
 
@@ -15,7 +15,7 @@ from repro.sim.kernel import Simulator
 
 def _mixed_workload(sim: Simulator, log: list) -> None:
     """A deterministic workload mixing ties, nesting, and cancellations."""
-    rng = random.Random(7)
+    rng = Random(7)
     for i in range(200):
         sim.schedule_at(round(rng.uniform(0.0, 3.0), 3), log.append, ("a", i))
     # Exact ties: insertion order must win.

@@ -1,6 +1,6 @@
 """Unit tests for resettable timers and periodic tasks."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -111,7 +111,7 @@ class TestPeriodicTask:
 
     def test_jitter_varies_period_within_bounds(self, sim):
         ticks = []
-        task = PeriodicTask(sim, 1.0, ticks.append, jitter=0.3, rng=random.Random(7))
+        task = PeriodicTask(sim, 1.0, ticks.append, jitter=0.3, rng=Random(7))
         task.start()
         sim.run_until(50.0)
         gaps = [b - a for a, b in zip(ticks, ticks[1:])]
@@ -120,7 +120,7 @@ class TestPeriodicTask:
 
     def test_invalid_jitter_rejected(self, sim):
         with pytest.raises(ValueError):
-            PeriodicTask(sim, 1.0, lambda t: None, jitter=1.0, rng=random.Random(0))
+            PeriodicTask(sim, 1.0, lambda t: None, jitter=1.0, rng=Random(0))
 
     def test_non_positive_period_rejected(self, sim):
         with pytest.raises(ValueError):

@@ -1,10 +1,10 @@
 """Tests for the RGame world, players and workload driver."""
 
-import random
+from random import Random
 
 import pytest
 
-from repro.workload.rgame import Player, RGameConfig, RGameWorkload, TileWorld
+from repro.workload.rgame import RGameConfig, RGameWorkload, TileWorld
 from repro.workload.schedules import steps
 from tests.conftest import make_static_cluster
 
@@ -33,7 +33,7 @@ class TestTileWorld:
 
     def test_random_point_in_bounds(self):
         world = TileWorld(100.0, 4)
-        rng = random.Random(0)
+        rng = Random(0)
         for __ in range(100):
             x, y = world.random_point(rng)
             assert 0 <= x <= 100 and 0 <= y <= 100
