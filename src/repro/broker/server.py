@@ -276,6 +276,10 @@ class PubSubServer(Actor):
             metrics.histogram("fanout_size", channel_class=channel_class(channel)).observe(
                 float(delivered)
             )
+            profiler = tracer.profiler
+            if profiler is not None:
+                profiler.count("broker", "fanout.deliveries", delivered)
+                profiler.count("broker", "fanout.publications", 1)
 
         # Loopback deliveries: dispatcher subscriptions and LLA observation.
         for callback in list(self._local_subs.get(channel, ())):

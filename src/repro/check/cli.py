@@ -25,6 +25,8 @@ from repro.check.generate import generate_scenario
 from repro.check.oracles import Violation, check_result
 from repro.check.scenario import Scenario, run_scenario, with_break
 from repro.check.shrink import shrink
+from repro.obs.sink import StreamingJsonlSink
+from repro.obs.trace import Tracer
 
 
 def _report_violations(scenario: Scenario, violations: Sequence[Violation]) -> None:
@@ -87,6 +89,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="max candidate runs during shrinking (default: 32)")
     parser.add_argument("--artifacts", type=Path, default=None,
                         help="directory to write minimized reproducer JSON to")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="stream each run's trace to this JSONL file "
+                             "(overwritten per scenario, so it holds the "
+                             "failing -- or last -- run)")
     args = parser.parse_args(argv)
 
     if args.scenario is not None:
@@ -105,7 +111,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
 
     for scenario in scenarios:
-        result = run_scenario(scenario)
+        tracer = None
+        if args.trace is not None:
+            # Tee mode: stream to disk while also buffering, because the
+            # oracles read result.tracer.events after the run.
+            sink = StreamingJsonlSink(str(args.trace))
+            tracer = Tracer(sink=sink, keep_events=True)
+        result = run_scenario(scenario, tracer=tracer)
+        if tracer is not None and tracer.sink is not None:
+            tracer.sink.finalize(tracer)
         violations = check_result(result)
         if violations:
             return _handle_failure(scenario, violations, args)

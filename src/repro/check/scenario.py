@@ -308,8 +308,14 @@ def _noop_callback(channel: str, body: object, envelope: object) -> None:
     pass
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Run one scenario deterministically and return its ground truth."""
+def run_scenario(
+    scenario: Scenario, *, tracer: Optional[Tracer] = None
+) -> RunResult:
+    """Run one scenario deterministically and return its ground truth.
+
+    A caller-supplied ``tracer`` (e.g. one teeing into a streaming sink)
+    must keep event buffering on: the oracles read ``tracer.events``.
+    """
     config = DynamothConfig(
         t_wait_s=scenario.t_wait_s,
         plan_entry_timeout_s=scenario.plan_entry_timeout_s,
@@ -325,7 +331,10 @@ def run_scenario(scenario: Scenario) -> RunResult:
         load_window_s=8.0,
         repair_replay_enabled=not scenario.break_repair_replay,
     )
-    tracer = Tracer()
+    if tracer is None:
+        tracer = Tracer()
+    elif not tracer.events_kept:
+        raise ValueError("run_scenario needs a buffering tracer (oracles read events)")
     cluster = DynamothCluster(
         seed=scenario.seed,
         config=config,

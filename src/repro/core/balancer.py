@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from random import Random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Protocol, Set, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.core.config import DynamothConfig
 from repro.core.dispatcher import dispatcher_id
@@ -132,6 +132,14 @@ class LoadBalancer(Actor):
         #: repaired as soon as a spawn completes
         self._pending_repairs: List[str] = []
 
+        #: Read-only live-SLA signal (``repro.obs.sla.SlaMonitor``), wired
+        #: by the cluster when SLA monitoring is configured.  The balancer
+        #: polls it each evaluation tick so windows drain on sim time even
+        #: when deliveries stop, and mirrors the violation count into a
+        #: gauge -- it must never feed SLA state back into plan decisions
+        #: (that would couple placement to the observability layer).
+        self.sla_monitor: Optional[Any] = None
+
         self._task = PeriodicTask(sim, config.lb_eval_interval_s, self._evaluate)
 
     # ------------------------------------------------------------------
@@ -212,6 +220,13 @@ class LoadBalancer(Actor):
     def _evaluate(self, now: float) -> None:
         self.view.prune(now)
         self._check_heartbeats(now)
+        monitor = self.sla_monitor
+        if monitor is not None:
+            monitor.poll(now)
+            if self._tracer.enabled:
+                self._tracer.metrics.gauge("sla_violations_active").set(
+                    len(monitor.active_scopes())
+                )
         ratios = {s: self.view.load_ratio(s) for s in self.active_servers}
         self.load_history.append((now, ratios))
         if self._tracer.enabled:

@@ -515,11 +515,15 @@ class DynamothClient(Actor):
                     envelope.sender,
                     latency,
                     envelope.plan_version,
+                    delivery.server_id,
                 )
             )
             tracer.metrics.histogram(
                 "delivery_latency_s", channel_class=channel_class(channel)
             ).observe(latency)
+            # Single global counter so streaming runs (which keep no event
+            # buffer to count DeliveryEvents in) still report totals.
+            tracer.metrics.counter("deliveries_received_total").inc()
 
         if self.on_delivery is not None:
             self.on_delivery(channel, envelope)

@@ -35,6 +35,7 @@ from repro.core.messages import PlanPush, ServerSpawned
 from repro.core.plan import ChannelMapping, Plan
 from repro.net.latency import LatencyModel
 from repro.net.transport import Transport
+from repro.obs.sla import SlaConfig, SlaMonitor
 from repro.obs.trace import (
     NULL_TRACER,
     LlaStallEvent,
@@ -83,6 +84,21 @@ class DynamothCluster:
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled:
             self.tracer.attach_kernel(self.sim)
+        #: Live SLA monitor (observability only); built when tracing is on
+        #: and the config sets a threshold.  It rides the tracer's observer
+        #: hook, so it sees every DeliveryEvent as it is emitted.
+        self.sla_monitor: Optional[SlaMonitor] = None
+        if self.tracer.enabled and self.config.sla_threshold_s is not None:
+            self.sla_monitor = SlaMonitor(
+                self.tracer,
+                SlaConfig(
+                    threshold_s=self.config.sla_threshold_s,
+                    quantile=self.config.sla_quantile,
+                    window_s=self.config.sla_window_s,
+                    slices=self.config.sla_window_slices,
+                ),
+            )
+            self.tracer.add_observer(self.sla_monitor)
         self.transport = Transport(
             self.sim,
             self.rng.stream("net"),
@@ -141,6 +157,7 @@ class DynamothCluster:
         if self.balancer is not None:
             self.transport.register(self.balancer)
             self._wire_tap(self.balancer)
+            self.balancer.sla_monitor = self.sla_monitor
 
         for server_id in bootstrap_ids:
             self._materialize_server(server_id)

@@ -164,6 +164,20 @@ class DynamothConfig:
     #: ablation benchmark that quantifies that overhead.
     eager_plan_push: bool = False
 
+    # --- live SLA monitoring (repro.obs.sla; observability only) ---
+    #: Windowed delivery-latency threshold in seconds.  ``None`` (the
+    #: default) disables the live SLA monitor entirely; when set (and a
+    #: tracer is attached) the cluster tracks sliding-window latency
+    #: quantiles per channel class and per server and emits
+    #: ``sla_violation_start``/``sla_violation_end`` trace events.  Purely
+    #: observational: plan decisions never read SLA state.
+    sla_threshold_s: Optional[float] = None
+    #: Quantile the SLA is judged on (the paper uses the 95th percentile).
+    sla_quantile: float = 95.0
+    #: Sliding-window span (sim seconds) and its slice count.
+    sla_window_s: float = 10.0
+    sla_window_slices: int = 10
+
     def __post_init__(self) -> None:
         if not (0 < self.lr_safe <= self.lr_high):
             raise ValueError("need 0 < lr_safe <= lr_high")
@@ -199,3 +213,9 @@ class DynamothConfig:
             raise ValueError("repair buffer settings must be non-negative")
         if self.vnodes_per_server < 1:
             raise ValueError("vnodes_per_server must be >= 1")
+        if self.sla_threshold_s is not None and self.sla_threshold_s <= 0:
+            raise ValueError("sla_threshold_s must be positive or None")
+        if not (0 < self.sla_quantile <= 100):
+            raise ValueError("sla_quantile must be in (0, 100]")
+        if self.sla_window_s <= 0 or self.sla_window_slices < 1:
+            raise ValueError("need sla_window_s > 0 and sla_window_slices >= 1")

@@ -20,9 +20,14 @@ pipeline end to end through the real cluster stack:
     the failure-path overhead measured so fast-path work never regresses it.
 
 Reported per scenario: executed simulator events, wall-clock seconds,
-events/second (the headline metric), deliveries, and peak RSS.  Peak RSS
-is process-wide and monotonic across scenarios in one run; compare it only
-between runs of the same scenario order.
+events/second (the headline metric), deliveries, peak RSS, and an RSS
+*time series* sampled every ``RSS_SAMPLE_EVERY`` executed events through
+the kernel's sampling hook (so sampling never perturbs the event
+sequence).  Peak RSS is process-wide and monotonic across scenarios in
+one run; compare it only between runs of the same scenario order.  The
+``chaos_light`` scenario runs fully traced through a streaming JSONL sink
+(no event buffering) and carries the live SLA monitor's windowed-p95
+report and violation timeline into the JSON.
 
 The harness is deliberately tolerant of running against older builds (no
 ``scheduler`` keyword, no batching) so a pre-optimization baseline can be
@@ -33,19 +38,27 @@ from __future__ import annotations
 
 import inspect
 import json
+import os
 import platform
 import resource
+import tempfile
 import time
-from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.broker.config import BrokerConfig
 from repro.core.cluster import BALANCER_DYNAMOTH, BALANCER_NONE, DynamothCluster
 from repro.core.config import DynamothConfig
+from repro.obs.sink import StreamingJsonlSink
+from repro.obs.trace import Tracer
 from repro.sim.timers import PeriodicTask
 
 #: Schema version of the emitted JSON.
-BENCH_SCHEMA = 1
+#: v2: per-scenario ``rss_series`` and the chaos scenario's ``sla`` report.
+BENCH_SCHEMA = 2
+
+#: Sample RSS once per this many executed simulator events.
+RSS_SAMPLE_EVERY = 10_000
 
 #: The scenario whose events/second the CI regression gate watches.
 HEADLINE_SCENARIO = "fanout"
@@ -121,10 +134,46 @@ class ScenarioResult:
     deliveries: int
     deliveries_per_s: float
     peak_rss_kb: int
+    #: [{"events": N, "rss_kb": K}, ...] sampled every RSS_SAMPLE_EVERY
+    #: executed events via the kernel sampling hook
+    rss_series: List[Dict[str, int]] = field(default_factory=list)
+    #: live SLA monitor report (chaos_light only)
+    sla: Optional[Dict[str, Any]] = None
 
 
 def _peak_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _current_rss_kb() -> int:
+    """Instantaneous resident set size (kB); peak RSS as a fallback."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return _peak_rss_kb()
+
+
+class _RssSampler:
+    """Kernel sampling-hook target recording an RSS time series.
+
+    Installed with :meth:`Simulator.set_sample_hook`, which fires on a
+    cheap executed-event counter -- the sampler never schedules events,
+    so the measured run's event sequence is identical to an unsampled one.
+    """
+
+    __slots__ = ("series",)
+
+    def __init__(self) -> None:
+        self.series: List[Dict[str, int]] = []
+
+    def __call__(self, now: float, events_processed: int) -> None:
+        self.series.append(
+            {"events": events_processed, "rss_kb": _current_rss_kb()}
+        )
 
 
 _CLUSTER_PARAMS = frozenset(
@@ -143,6 +192,13 @@ def _make_cluster(scheduler: str, **kwargs) -> DynamothCluster:
     if "gc_managed" in _CLUSTER_PARAMS:
         kwargs["gc_managed"] = True
     return DynamothCluster(**kwargs)
+
+
+def _install_rss_sampler(cluster: DynamothCluster, sampler: _RssSampler) -> None:
+    """Attach the RSS sampler when the kernel supports sampling hooks."""
+    set_hook = getattr(cluster.sim, "set_sample_hook", None)
+    if set_hook is not None:
+        set_hook(sampler, every=RSS_SAMPLE_EVERY)
 
 
 def _measure(
@@ -173,6 +229,7 @@ def run_fanout(
     profile: BenchProfile, *, seed: int = 0, scheduler: str = "heap"
 ) -> ScenarioResult:
     """One hot channel, huge subscriber set, single publisher."""
+    sampler = _RssSampler()
 
     def build() -> DynamothCluster:
         broker = BrokerConfig(
@@ -190,6 +247,7 @@ def run_fanout(
             initial_servers=1,
             balancer=BALANCER_NONE,
         )
+        _install_rss_sampler(cluster, sampler)
         sink = _CountingSink()
         for i in range(profile.fanout_subscribers):
             client = cluster.create_client(f"sub{i}")
@@ -207,13 +265,16 @@ def run_fanout(
         cluster.run_for(0.6)  # drain in-flight deliveries
         return cluster
 
-    return _measure("fanout", scheduler, build)
+    result = _measure("fanout", scheduler, build)
+    result.rss_series = sampler.series
+    return result
 
 
 def run_steady(
     profile: BenchProfile, *, seed: int = 0, scheduler: str = "heap"
 ) -> ScenarioResult:
     """Many channels, moderate fan-out, the real balancer in the loop."""
+    sampler = _RssSampler()
 
     def build() -> DynamothCluster:
         cluster = _make_cluster(
@@ -224,6 +285,7 @@ def run_steady(
             initial_servers=4,
             balancer=BALANCER_DYNAMOTH,
         )
+        _install_rss_sampler(cluster, sampler)
         sink = _CountingSink()
         tasks: List[PeriodicTask] = []
         for c in range(profile.steady_channels):
@@ -249,13 +311,16 @@ def run_steady(
         cluster.run_for(0.6)
         return cluster
 
-    return _measure("steady", scheduler, build)
+    result = _measure("steady", scheduler, build)
+    result.rss_series = sampler.series
+    return result
 
 
 def run_flash_crowd(
     profile: BenchProfile, *, seed: int = 0, scheduler: str = "heap"
 ) -> ScenarioResult:
     """Subscribers ramp onto one channel while it is being published to."""
+    sampler = _RssSampler()
 
     def build() -> DynamothCluster:
         broker = BrokerConfig(
@@ -271,6 +336,7 @@ def run_flash_crowd(
             initial_servers=2,
             balancer=BALANCER_DYNAMOTH,
         )
+        _install_rss_sampler(cluster, sampler)
         sink = _CountingSink()
         channel = "event:final"
         # Pre-create clients; stagger only the subscribe calls so the ramp
@@ -291,25 +357,55 @@ def run_flash_crowd(
         cluster.run_for(0.6)
         return cluster
 
-    return _measure("flash_crowd", scheduler, build)
+    result = _measure("flash_crowd", scheduler, build)
+    result.rss_series = sampler.series
+    return result
+
+
+class _SamplingTracer(Tracer):
+    """A tracer that also installs the RSS sampler on kernel attach.
+
+    ``run_chaos`` owns its cluster, so the only seam through which the
+    bench harness reaches the kernel is the tracer's ``attach_kernel``.
+    """
+
+    def __init__(self, sampler: _RssSampler, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._rss_sampler = sampler
+
+    def attach_kernel(self, sim: Any) -> None:
+        super().attach_kernel(sim)
+        set_hook = getattr(sim, "set_sample_hook", None)
+        if set_hook is not None:
+            set_hook(self._rss_sampler, every=RSS_SAMPLE_EVERY)
 
 
 def run_chaos_light(
     profile: BenchProfile, *, seed: int = 0, scheduler: str = "heap"
 ) -> ScenarioResult:
-    """The chaos smoke scenario: crash + recovery with tracing attached."""
+    """The chaos smoke scenario: crash + recovery, fully traced.
+
+    The trace streams through a :class:`StreamingJsonlSink` into a
+    throwaway file with event buffering off -- the bench therefore also
+    proves the bounded-memory path: milestones come from the streaming
+    ``RecoveryWatch`` observer, the delivery count from the
+    ``deliveries_received_total`` counter, never from ``tracer.events``.
+    """
     from repro.experiments import chaos
 
-    start = time.perf_counter()
+    sampler = _RssSampler()
     config = chaos.ChaosScenarioConfig.smoke()
-    result = chaos.run_chaos(config)
-    wall = time.perf_counter() - start
-    # run_chaos owns its cluster; the kernel hook's counter is the only
-    # place the executed-event count survives.
-    events = int(result.tracer.metrics.counter("sim_events_total").value)
-    deliveries = sum(
-        1 for e in result.tracer.events if type(e).__name__ == "DeliveryEvent"
-    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        trace_path = os.path.join(tmp, "chaos.jsonl")
+        sink = StreamingJsonlSink(trace_path)
+        tracer = _SamplingTracer(sampler, sink=sink)
+        start = time.perf_counter()
+        result = chaos.run_chaos(config, tracer=tracer)
+        wall = time.perf_counter() - start
+        sink.finalize(tracer)
+    metrics = result.tracer.metrics
+    events = int(metrics.counter("sim_events_total").value)
+    deliveries = int(metrics.counter("deliveries_received_total").value)
     return ScenarioResult(
         name="chaos_light",
         scheduler=scheduler,
@@ -320,6 +416,8 @@ def run_chaos_light(
         deliveries=deliveries,
         deliveries_per_s=round(deliveries / wall, 1) if wall > 0 else 0.0,
         peak_rss_kb=_peak_rss_kb(),
+        rss_series=sampler.series,
+        sla=result.sla,
     )
 
 
@@ -412,6 +510,16 @@ def render_results(results: Dict[str, ScenarioResult]) -> str:
         f"{r.peak_rss_kb / 1024.0:>8.1f}"
         for r in results.values()
     )
+    for r in results.values():
+        if r.sla is not None:
+            overall = r.sla["scopes"].get("overall", {}).get("value_s")
+            shown = f"{overall * 1e3:.1f}ms" if overall is not None else "n/a"
+            lines.append(
+                f"{r.name}: windowed p{r.sla['quantile']:g} {shown} vs "
+                f"{r.sla['threshold_s'] * 1e3:.0f}ms SLA, "
+                f"{r.sla['violation_count']} violation(s), "
+                f"{r.sla['violation_seconds']:.1f}s in violation"
+            )
     return "\n".join(lines)
 
 

@@ -26,14 +26,22 @@ timeline, the same recovery milestones, and a byte-identical trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.broker.config import BrokerConfig
 from repro.core.cluster import DynamothCluster
 from repro.core.config import DynamothConfig
 from repro.faults import ChaosSchedule, FaultInjector
-from repro.obs.cli import TraceSummary
-from repro.obs.trace import ClientReconnectEvent, ServerCrashEvent, Tracer
+from repro.obs.trace import (
+    ClientFailoverEvent,
+    ClientReconnectEvent,
+    DeliveryEvent,
+    PlanRepairDoneEvent,
+    ServerCrashEvent,
+    ServerFailureConfirmedEvent,
+    TraceEvent,
+    Tracer,
+)
 from repro.workload.rgame import RGameConfig, RGameWorkload
 
 
@@ -59,6 +67,9 @@ class ChaosScenarioConfig:
     #: chaos runs enable client-side ping probing -- without it a
     #: subscriber has no way to notice its server silently vanished
     client_ping_interval_s: float = 1.0
+    #: windowed delivery-latency SLA threshold (None disables the monitor)
+    sla_threshold_s: Optional[float] = 0.5
+    sla_window_s: float = 10.0
     seed: int = 0
 
     @classmethod
@@ -70,6 +81,9 @@ class ChaosScenarioConfig:
             crash_at_s=20.0,
             duration_s=60.0,
             nominal_egress_bps=250_000.0,
+            # tight enough that the post-crash resubscribe surge trips a
+            # violation episode, loose enough that steady state meets it
+            sla_threshold_s=0.15,
         )
 
     def dynamoth_config(self) -> DynamothConfig:
@@ -78,6 +92,8 @@ class ChaosScenarioConfig:
             spawn_delay_s=5.0,
             t_wait_s=self.t_wait_s,
             client_ping_interval_s=self.client_ping_interval_s,
+            sla_threshold_s=self.sla_threshold_s,
+            sla_window_s=self.sla_window_s,
         )
 
     def broker_config(self) -> BrokerConfig:
@@ -95,6 +111,83 @@ class ChaosScenarioConfig:
             updates_per_s=self.updates_per_s,
             payload_size=self.payload_size,
         )
+
+
+class RecoveryWatch:
+    """Tracer observer computing recovery milestones as events stream by.
+
+    Registered via :meth:`Tracer.add_observer` before the run starts, so
+    the milestones are available even when the tracer writes through a
+    streaming sink and keeps no event buffer.  Events arrive in virtual
+    time order, which lets every milestone be resolved online:
+
+    * crash / detection / repair: first matching event for the victim;
+    * recovery: each :class:`ClientFailoverEvent` opens a pending entry
+      for that client, closed by its first strictly-later delivery; the
+      recovery time is the slowest such close.
+    """
+
+    def __init__(self, victim: str):
+        self.victim = victim
+        self.crash_t: Optional[float] = None
+        self.detect_t: Optional[float] = None
+        self.repair_t: Optional[float] = None
+        self.failover_count = 0
+        self.reconnects = 0
+        #: client -> failover time, unresolved until a later delivery
+        self._awaiting: Dict[str, float] = {}
+        self._recovered_t: Optional[float] = None
+
+    def __call__(self, event: TraceEvent) -> None:
+        et = type(event)
+        if et is DeliveryEvent:
+            awaiting = self._awaiting
+            if awaiting:
+                failed_at = awaiting.get(event.client)  # type: ignore[attr-defined]
+                if failed_at is not None and event.t > failed_at:
+                    del awaiting[event.client]  # type: ignore[attr-defined]
+                    if self._recovered_t is None or event.t > self._recovered_t:
+                        self._recovered_t = event.t
+        elif et is ServerCrashEvent:
+            if event.server == self.victim and self.crash_t is None:  # type: ignore[attr-defined]
+                self.crash_t = event.t
+        elif et is ClientReconnectEvent:
+            self.reconnects += 1
+        elif self.crash_t is not None:
+            if et is ServerFailureConfirmedEvent:
+                if event.server == self.victim and self.detect_t is None:  # type: ignore[attr-defined]
+                    self.detect_t = event.t
+            elif et is PlanRepairDoneEvent:
+                if event.server == self.victim and self.repair_t is None:  # type: ignore[attr-defined]
+                    self.repair_t = event.t
+            elif et is ClientFailoverEvent and event.server == self.victim:  # type: ignore[attr-defined]
+                self.failover_count += 1
+                client = event.client  # type: ignore[attr-defined]
+                if client not in self._awaiting:
+                    self._awaiting[client] = event.t
+
+    @property
+    def detection_s(self) -> Optional[float]:
+        if self.crash_t is None or self.detect_t is None:
+            return None
+        return self.detect_t - self.crash_t
+
+    @property
+    def repair_s(self) -> Optional[float]:
+        if self.crash_t is None or self.repair_t is None:
+            return None
+        return self.repair_t - self.crash_t
+
+    @property
+    def recovery_s(self) -> Optional[float]:
+        if (
+            self.crash_t is None
+            or not self.failover_count
+            or self._awaiting
+            or self._recovered_t is None
+        ):
+            return None
+        return self._recovered_t - self.crash_t
 
 
 @dataclass
@@ -116,6 +209,8 @@ class ChaosResult:
     #: acked resubscribes recorded during recovery
     reconnects: int
     tracer: Tracer
+    #: live SLA monitor report (None when no threshold was configured)
+    sla: Optional[Dict[str, Any]] = None
 
     @property
     def recovered(self) -> bool:
@@ -134,8 +229,10 @@ def run_chaos(
     """One crash-and-recover run.
 
     A tracer is always attached -- the recovery milestones are computed
-    from the trace -- but only handed back through ``result.tracer`` (the
-    CLI dumps it when ``--trace`` was given).
+    online by a :class:`RecoveryWatch` observer as events stream through
+    the tracer, so the run works unchanged with a streaming sink and no
+    event buffer.  The tracer is handed back through ``result.tracer``
+    (the CLI dumps or finalizes it when ``--trace`` was given).
     """
     config = config if config is not None else ChaosScenarioConfig()
     tracer = tracer if tracer is not None else Tracer()
@@ -153,6 +250,9 @@ def run_chaos(
     elif victim not in cluster.servers:
         raise ValueError(f"victim {victim!r} is not a bootstrap server")
 
+    watch = RecoveryWatch(victim)
+    tracer.add_observer(watch)
+
     injector = FaultInjector(
         cluster,
         ChaosSchedule.single_crash(
@@ -165,31 +265,22 @@ def run_chaos(
     workload.add_players(config.players)
     cluster.run_until(config.duration_s)
 
-    summary = TraceSummary(list(tracer.events))
-    crash = next(
-        (
-            e
-            for e in summary.fault_events
-            if isinstance(e, ServerCrashEvent) and e.server == victim
-        ),
-        None,
-    )
-    if crash is None:  # pragma: no cover - the schedule always fires
+    if watch.crash_t is None:  # pragma: no cover - the schedule always fires
         raise RuntimeError("crash never executed; check crash_at_s < duration_s")
-    detection_s, repair_s, failover_count, recovery_s = summary.crash_recovery(crash)
-    reconnects = sum(
-        1 for e in summary.fault_events if isinstance(e, ClientReconnectEvent)
-    )
+    monitor = cluster.sla_monitor
+    if monitor is not None:
+        monitor.poll(cluster.sim.now)
     return ChaosResult(
         config=config,
         victim=victim,
-        crash_t=crash.t,
-        detection_s=detection_s,
-        repair_s=repair_s,
-        failover_count=failover_count,
-        recovery_s=recovery_s,
-        reconnects=reconnects,
+        crash_t=watch.crash_t,
+        detection_s=watch.detection_s,
+        repair_s=watch.repair_s,
+        failover_count=watch.failover_count,
+        recovery_s=watch.recovery_s,
+        reconnects=watch.reconnects,
         tracer=tracer,
+        sla=monitor.report() if monitor is not None else None,
     )
 
 
@@ -223,6 +314,26 @@ def render_chaos(result: ChaosResult) -> str:
             else "NEVER (subscriber lost!)"
         )
         out(f"  slowest subscriber delivering again    {recover}")
+    sla = result.sla
+    if sla is not None:
+        quantile = sla["quantile"]
+        out("")
+        out(
+            f"  SLA: windowed p{quantile:g} delivery latency vs "
+            f"{sla['threshold_s'] * 1e3:.0f}ms "
+            f"({sla['window_s']:.0f}s window)"
+        )
+        out(
+            f"    violations                           "
+            f"{sla['violation_count']} "
+            f"({sla['violation_seconds']:.1f}s total)"
+        )
+        overall = sla["scopes"].get("overall", {}).get("value_s")
+        if overall is not None:
+            out(
+                f"    overall windowed p{quantile:g} (end of run)   "
+                f"{overall * 1e3:.2f}ms"
+            )
     out("")
     out("  verdict: " + ("RECOVERED" if result.recovered else "SUBSCRIPTION LOST"))
     return "\n".join(lines)

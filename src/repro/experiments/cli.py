@@ -31,6 +31,8 @@ from typing import List, Optional
 from repro.core.cluster import BALANCER_CONSISTENT_HASHING, BALANCER_DYNAMOTH
 from repro.experiments import bench, chaos, experiment1, experiment2, experiment3, report
 from repro.obs.export import dump_tracer
+from repro.obs.profile import SimProfiler, render_profile
+from repro.obs.sink import StreamingJsonlSink
 from repro.obs.trace import Tracer
 
 logger = logging.getLogger(__name__)
@@ -44,6 +46,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="record a flight-recorder trace of the run to a JSONL file "
         "(inspect it with: python -m repro.obs summary PATH)",
+    )
+    parser.add_argument(
+        "--stream-trace",
+        action="store_true",
+        help="write the trace incrementally through a bounded-memory "
+        "streaming sink instead of buffering every event in RAM "
+        "(requires --trace; output is byte-identical)",
+    )
+    parser.add_argument(
+        "--trace-gzip",
+        action="store_true",
+        help="gzip-compress the streamed trace (requires --stream-trace)",
+    )
+    parser.add_argument(
+        "--trace-rotate",
+        type=int,
+        metavar="N",
+        default=None,
+        help="rotate the streamed trace into PATH, PATH.1, ... every N "
+        "events (requires --stream-trace)",
+    )
+    parser.add_argument(
+        "--sim-profile",
+        action="store_true",
+        help="attribute executed events and virtual time per subsystem "
+        "with the deterministic sim-profiler; prints a ranking and, with "
+        "--trace, embeds the profile in the trace trailer",
     )
     parser.add_argument(
         "-v",
@@ -167,22 +196,51 @@ def _scalability_config(args) -> "experiment2.ScalabilityConfig":
 
 
 def _make_tracer(args) -> Optional[Tracer]:
-    if not getattr(args, "trace", None):
+    trace = getattr(args, "trace", None)
+    stream = getattr(args, "stream_trace", False)
+    compress = getattr(args, "trace_gzip", False)
+    rotate = getattr(args, "trace_rotate", None)
+    profile = getattr(args, "sim_profile", False)
+    if stream and not trace:
+        raise SystemExit("error: --stream-trace requires --trace PATH")
+    if (compress or rotate is not None) and not stream:
+        raise SystemExit(
+            "error: --trace-gzip/--trace-rotate require --stream-trace"
+        )
+    if not trace and not profile:
         return None
-    # Fail before the (long) simulation, not at dump time afterwards.
-    try:
-        with open(args.trace, "w", encoding="utf-8"):
-            pass
-    except OSError as exc:
-        raise SystemExit(f"error: cannot write trace file: {exc}")
-    return Tracer()
+    profiler = SimProfiler() if profile else None
+    if trace and stream:
+        try:
+            sink = StreamingJsonlSink(
+                trace, compress=compress, rotate_events=rotate
+            )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}")
+        return Tracer(sink=sink, profiler=profiler)
+    if trace:
+        # Fail before the (long) simulation, not at dump time afterwards.
+        try:
+            with open(trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}")
+    return Tracer(profiler=profiler)
 
 
 def _dump(tracer: Optional[Tracer], args) -> None:
     if tracer is None:
         return
-    count = dump_tracer(tracer, args.trace)
-    logger.info("wrote %d trace events to %s", count, args.trace)
+    if getattr(args, "trace", None):
+        sink = tracer.sink
+        if sink is not None:
+            count = sink.finalize(tracer)
+        else:
+            count = dump_tracer(tracer, args.trace)
+        logger.info("wrote %d trace events to %s", count, args.trace)
+    if tracer.profiler is not None:
+        print()
+        print(render_profile(tracer.profiler.snapshot()))
 
 
 def _run_bench(args) -> int:
@@ -308,8 +366,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             config.crash_at_s,
         )
         result = chaos.run_chaos(config, tracer=tracer)
-        # run_chaos always traces internally; dump only on explicit --trace.
-        _dump(result.tracer if args.trace else None, args)
+        # run_chaos always traces internally; dump/profile only when the
+        # user asked for a tracer of their own.
+        _dump(tracer, args)
         print(chaos.render_chaos(result))
         if args.max_recovery_s is not None and not result.within_bound(
             args.max_recovery_s

@@ -1,25 +1,29 @@
-"""Trace-analysis CLI: ``python -m repro.obs summary <trace.jsonl>``.
+"""Trace-analysis CLI: ``python -m repro.obs <command> <trace.jsonl>``.
 
-Loads a JSONL trace produced by :mod:`repro.obs.export` and prints a run
-summary:
+Commands over JSONL traces produced by :mod:`repro.obs.export` (buffered
+or streamed, plain or gzipped, rotated segments included):
 
-* delivery-latency percentiles, overall and per *phase* (a phase is the
-  interval between two consecutive plan generations -- the natural unit for
-  "did the reconfiguration hurt latency?");
-* the reconfiguration timeline: every plan version with the channels it
-  moved and how long the migration took to settle;
-* per-server load-ratio series rendered as compact sparklines;
-* the top-N hottest channels by deliveries.
+* ``summary`` -- run summary: delivery-latency percentiles overall and per
+  *phase* (the interval between two consecutive plan generations), the
+  reconfiguration timeline, the failure & recovery timeline, the SLA
+  violation timeline, per-server load-ratio sparklines and the hottest
+  channels;
+* ``sla`` -- just the SLA-violation timeline, optionally as JSON (the CI
+  chaos job uploads this as an artifact);
+* ``profile`` -- the deterministic sim-profiler's hot-path ranking, read
+  from the ``profile`` trailer event of a run traced with profiling on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.export import read_trace
+from repro.obs.export import read_trace_segments
+from repro.obs.profile import render_profile
 from repro.obs.trace import (
     ClientFailoverEvent,
     ClientReconnectEvent,
@@ -36,12 +40,15 @@ from repro.obs.trace import (
     PlanGeneratedEvent,
     PlanRepairDoneEvent,
     PlanRepairStartEvent,
+    ProfileEvent,
     ServerCrashEvent,
     ServerFailureConfirmedEvent,
     ServerReadyEvent,
     ServerRestartEvent,
     ServerResurrectedEvent,
     ServerSuspectEvent,
+    SlaViolationEndEvent,
+    SlaViolationStartEvent,
     TraceEvent,
 )
 
@@ -126,6 +133,11 @@ class TraceSummary:
         ]
         self.fault_events: List[TraceEvent] = [
             e for e in events if isinstance(e, FAULT_EVENT_CLASSES)
+        ]
+        self.sla_events: List[TraceEvent] = [
+            e
+            for e in events
+            if isinstance(e, (SlaViolationStartEvent, SlaViolationEndEvent))
         ]
 
     @property
@@ -244,6 +256,41 @@ class TraceSummary:
             for server, ratio in snap.ratios.items():
                 series[server].append((snap.t, ratio))
         return dict(series)
+
+    # ------------------------------------------------------------------
+    # SLA violations
+    # ------------------------------------------------------------------
+    def sla_timeline(self) -> List[Dict[str, Any]]:
+        """Violation episodes paired from start/end events, in start order.
+
+        Episodes still open at the end of the trace have ``end_t`` /
+        ``duration_s`` of ``None``.
+        """
+        episodes: List[Dict[str, Any]] = []
+        open_by_scope: Dict[str, Dict[str, Any]] = {}
+        for event in self.sla_events:
+            if isinstance(event, SlaViolationStartEvent):
+                episode = {
+                    "scope": event.scope,
+                    "start_t": event.t,
+                    "end_t": None,
+                    "duration_s": None,
+                    "quantile": event.quantile,
+                    "threshold_s": event.threshold_s,
+                    "value_s": event.value_s,
+                    "peak_s": event.value_s,
+                }
+                episodes.append(episode)
+                open_by_scope[event.scope] = episode
+            else:
+                assert isinstance(event, SlaViolationEndEvent)
+                episode = open_by_scope.pop(event.scope, None)
+                if episode is None:
+                    continue  # truncated trace: end without a start
+                episode["end_t"] = event.t
+                episode["duration_s"] = event.duration_s
+                episode["peak_s"] = event.peak_s
+        return episodes
 
 
 def _fault_line(event: TraceEvent) -> str:
@@ -389,6 +436,12 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
                 + ", ".join(milestones)
             )
 
+    # --- SLA violation timeline ---
+    episodes = summary.sla_timeline()
+    if episodes:
+        out("")
+        out(render_sla_timeline(episodes))
+
     # --- per-server load ratios ---
     out("")
     series = summary.load_series()
@@ -420,6 +473,37 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def render_sla_timeline(episodes: List[Dict[str, Any]]) -> str:
+    """Human-readable SLA violation timeline (also used by ``sla``)."""
+    lines: List[str] = []
+    out = lines.append
+    if not episodes:
+        out("SLA violations: none recorded")
+        return "\n".join(lines)
+    threshold = episodes[0]["threshold_s"]
+    quantile = episodes[0]["quantile"]
+    total = sum(e["duration_s"] or 0.0 for e in episodes)
+    open_count = sum(1 for e in episodes if e["end_t"] is None)
+    out(
+        f"SLA violations (windowed p{quantile:g} > {threshold * 1000:.0f}ms): "
+        f"{len(episodes)} episode(s), {total:.1f}s total"
+        + (f", {open_count} still open" if open_count else "")
+    )
+    for episode in episodes:
+        if episode["end_t"] is None:
+            span = f"[{episode['start_t']:8.2f}s, ...     )  OPEN"
+        else:
+            span = (
+                f"[{episode['start_t']:8.2f}s, {episode['end_t']:8.2f}s)  "
+                f"{episode['duration_s']:6.2f}s"
+            )
+        out(
+            f"  {episode['scope']:<18} {span}  "
+            f"peak={_fmt_ms(episode['peak_s'])}"
+        )
+    return "\n".join(lines)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -429,19 +513,45 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("summary", help="print a run summary of a JSONL trace")
     p.add_argument("trace", help="path to a trace.jsonl file")
     p.add_argument("--top", type=int, default=5, help="hottest channels to list")
+    p = sub.add_parser("sla", help="print the SLA-violation timeline")
+    p.add_argument("trace", help="path to a trace.jsonl file")
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p = sub.add_parser("profile", help="rank hot paths from the profiler snapshot")
+    p.add_argument("trace", help="path to a trace.jsonl file")
+    p.add_argument("--top", type=int, default=20, help="sites to list per ranking")
     return parser
+
+
+def _load(path: str) -> List[TraceEvent]:
+    return read_trace_segments(path)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "summary":
-        try:
-            events = read_trace(args.trace)
-        except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        try:
+    try:
+        events = _load(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.command == "summary":
             print(render_summary(TraceSummary(events), top=args.top))
-        except BrokenPipeError:  # e.g. piped into head; not an error
-            return 0
+        elif args.command == "sla":
+            episodes = TraceSummary(events).sla_timeline()
+            if args.json:
+                print(json.dumps(episodes, indent=2, sort_keys=True))
+            else:
+                print(render_sla_timeline(episodes))
+        elif args.command == "profile":
+            profiles = [e for e in events if isinstance(e, ProfileEvent)]
+            if not profiles:
+                print(
+                    f"error: {args.trace}: no profiler snapshot in trace "
+                    "(run with profiling enabled, e.g. --sim-profile)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(render_profile(profiles[-1].data, top=args.top))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        return 0
     return 0

@@ -2,39 +2,53 @@
 
 Schema (one JSON object per line):
 
-* Line 1 is a header: ``{"type": "trace_header", "schema": 2}``.
+* Line 1 is a header: ``{"type": "trace_header", "schema": 3}``.
 * Every following line is one event: ``{"type": "<tag>", "t": <float>, ...}``
   where ``<tag>`` is a key of :data:`repro.obs.trace.EVENT_TYPES` and the
   remaining keys are that event dataclass's fields (tuples serialized as
   JSON arrays).
-* When exported through :func:`dump_tracer`, the final line is a
-  ``metrics`` event embedding a full registry snapshot.
+* When exported through :func:`dump_tracer` (or a streaming sink finalized
+  with :func:`trailer_events`), the trace ends with an optional ``profile``
+  event and a ``metrics`` event embedding a full registry snapshot.
 
 The loader reconstructs typed event objects, so a write/read cycle is
 lossless (``loaded == original`` field for field); unknown event types in
 *newer* traces are skipped rather than failing, keeping old readers usable.
+Readers transparently handle gzip-compressed traces (sniffed by magic
+bytes) and rotated segment files (``trace.jsonl``, ``trace.jsonl.1``, ...)
+written by :class:`repro.obs.sink.StreamingJsonlSink`.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import IO, Any, Dict, Iterable, Iterator, List, Union
 
-from repro.obs.trace import EVENT_TYPES, MetricsEvent, TraceEvent, Tracer
+from repro.obs.trace import EVENT_TYPES, MetricsEvent, ProfileEvent, TraceEvent, Tracer
 
 #: Current writer schema.  v2 added the fault/recovery event types of the
-#: ``repro.faults`` subsystem (server_crash, partition, server_suspect,
-#: plan_repair_*, client_reconnect, ...).
-SCHEMA_VERSION = 2
-#: Schemas this reader accepts.  v1 traces contain a strict subset of the
-#: v2 event types, so they load unchanged.
-SUPPORTED_SCHEMAS = frozenset({1, 2})
+#: ``repro.faults`` subsystem; v3 adds the live-SLA events (sla_violation_*,
+#: sla_window), the profiler snapshot event and DeliveryEvent.server.
+SCHEMA_VERSION = 3
+#: Schemas this reader accepts.  v1/v2 traces contain a strict subset of
+#: the v3 event types (and v3-grown fields have defaults), so they load
+#: unchanged.
+SUPPORTED_SCHEMAS = frozenset({1, 2, 3})
 HEADER_TYPE = "trace_header"
+
+#: GZIP magic bytes, for transparent sniffing on the read side.
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
 def event_to_json(event: TraceEvent) -> str:
     return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def header_json() -> str:
+    """The schema header line (shared by buffered and streaming writers)."""
+    return json.dumps({"type": HEADER_TYPE, "schema": SCHEMA_VERSION})
 
 
 def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
@@ -48,31 +62,55 @@ def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
     """Write ``events`` as JSONL; returns the number of events written."""
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps({"type": HEADER_TYPE, "schema": SCHEMA_VERSION}) + "\n")
+        fh.write(header_json() + "\n")
         for event in events:
             fh.write(event_to_json(event) + "\n")
             count += 1
     return count
 
 
-def dump_tracer(tracer: Tracer, path: Union[str, Path]) -> int:
-    """Export a tracer's events plus a final metrics snapshot."""
-    trailer = MetricsEvent(t=_last_time(tracer.events), data=tracer.metrics.snapshot())
-    return write_trace(path, list(tracer.events) + [trailer])
+def trailer_events(tracer: Tracer) -> List[TraceEvent]:
+    """End-of-run events appended after the timeline.
 
-
-def _last_time(events: List[TraceEvent]) -> float:
-    return events[-1].t if events else 0.0
-
-
-def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
-    """Load a JSONL trace back into typed event objects.
-
-    Validates the header, tolerates (skips) event types this version does
-    not know, and raises ``ValueError`` on malformed input.
+    A ``profile`` snapshot (when a profiler is attached) followed by the
+    ``metrics`` registry snapshot, both stamped with the last event time.
+    Shared by :func:`dump_tracer` and streaming-sink finalization so both
+    paths produce byte-identical output.
     """
-    events: List[TraceEvent] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    t = tracer.events[-1].t if tracer.events else tracer.last_t
+    trailer: List[TraceEvent] = []
+    if tracer.profiler is not None:
+        trailer.append(ProfileEvent(t=t, data=tracer.profiler.snapshot()))
+    trailer.append(MetricsEvent(t=t, data=tracer.metrics.snapshot()))
+    return trailer
+
+
+def dump_tracer(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Export a tracer's buffered events plus the end-of-run trailer.
+
+    For sink-backed (streaming) tracers use
+    :meth:`repro.obs.sink.StreamingJsonlSink.finalize` instead -- the
+    events have already left the building.
+    """
+    return write_trace(path, list(tracer.events) + trailer_events(tracer))
+
+
+def _open_for_read(path: Union[str, Path]) -> IO[str]:
+    """Open a trace for reading, transparently decompressing gzip."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Stream one trace file's events without materializing the list.
+
+    Same validation semantics as :func:`read_trace` (header checked,
+    unknown event types skipped, malformed lines raise with line numbers).
+    """
+    with _open_for_read(path) as fh:
         header_line = fh.readline()
         if not header_line:
             raise ValueError(f"{path}: empty trace file")
@@ -93,7 +131,40 @@ def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
             if cls is None:
                 continue  # forward compatibility: newer writers add types
             try:
-                events.append(cls.from_dict(data))
+                yield cls.from_dict(data)
             except (KeyError, TypeError) as exc:  # noqa: PERF203 - per-line diagnostics
                 raise ValueError(f"{path}:{line_no}: malformed event: {exc}") from exc
-    return events
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace back into typed event objects.
+
+    Validates the header, tolerates (skips) event types this version does
+    not know, and raises ``ValueError`` on malformed input.
+    """
+    return list(iter_trace(path))
+
+
+def trace_segments(path: Union[str, Path]) -> List[Path]:
+    """``path`` plus any rotation segments ``path.1``, ``path.2``, ... in order."""
+    base = Path(path)
+    segments = [base]
+    index = 1
+    while True:
+        candidate = base.with_name(f"{base.name}.{index}")
+        if not candidate.exists():
+            break
+        segments.append(candidate)
+        index += 1
+    return segments
+
+
+def iter_trace_segments(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Stream events across a (possibly rotated) trace in segment order."""
+    for segment in trace_segments(path):
+        yield from iter_trace(segment)
+
+
+def read_trace_segments(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a (possibly rotated) trace into one event list."""
+    return list(iter_trace_segments(path))

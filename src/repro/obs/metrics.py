@@ -20,7 +20,7 @@ assertions in tests, and per-sim-second sampling by the experiment harness.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Canonical instrument key: (name, sorted (label, value) pairs).
 InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]
@@ -84,6 +84,9 @@ class Histogram:
     DEFAULT_MIN = 1e-6
     DEFAULT_FACTOR = 2.0
     DEFAULT_BUCKETS = 64
+    #: Quantiles reported by :meth:`to_dict` (the paper's SLA is a p95
+    #: latency threshold, so p95 is part of the default set).
+    DEFAULT_QUANTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
 
     def __init__(
         self,
@@ -101,6 +104,36 @@ class Histogram:
         self._min_value = min_value
         self._factor = factor
         self._inv_log_factor = 1.0 / math.log(factor)
+
+    def reset(self) -> None:
+        """Forget every sample, keeping the bucket layout."""
+        counts = self._counts
+        for index in range(len(counts)):
+            counts[index] = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def layout(self) -> Tuple[float, float, int]:
+        """``(min_value, factor, buckets)`` -- mergeable iff layouts match."""
+        return self._min_value, self._factor, len(self._counts)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (same layout only)."""
+        if other.layout() != self.layout():
+            raise ValueError(
+                f"histogram layouts differ: {self.layout()} vs {other.layout()}"
+            )
+        counts = self._counts
+        for index, bucket_count in enumerate(other._counts):
+            counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
 
     def observe(self, value: float) -> None:
         if value <= self._min_value:
@@ -149,27 +182,56 @@ class Histogram:
         lower = self._min_value * self._factor ** (index - 1)
         return lower * math.sqrt(self._factor)
 
-    def to_dict(self) -> Dict[str, object]:
-        return {
+    def to_dict(self, quantiles: Optional[Sequence[float]] = None) -> Dict[str, object]:
+        if quantiles is None:
+            quantiles = self.DEFAULT_QUANTILES
+        out: Dict[str, object] = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean(),
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
         }
+        for q in quantiles:
+            out[quantile_label(q)] = self.percentile(q)
+        return out
+
+
+def quantile_label(q: float) -> str:
+    """``50.0 -> "p50"``, ``99.9 -> "p99.9"`` -- stable snapshot keys."""
+    text = f"{q:g}"
+    return f"p{text}"
+
+
+def merge_histograms(histograms: Iterable[Histogram]) -> Histogram:
+    """Aggregate same-layout histograms into a fresh one.
+
+    Used by the sliding-window SLA view: each window slice is one
+    :class:`Histogram`, and a windowed percentile is a percentile of the
+    merged slices.
+    """
+    out: Optional[Histogram] = None
+    for h in histograms:
+        if out is None:
+            out = Histogram(*h.layout())
+        out.merge(h)
+    if out is None:
+        raise ValueError("cannot merge zero histograms")
+    return out
 
 
 class MetricsRegistry:
     """Lazily created, label-aware instruments plus on-demand snapshots."""
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Optional[Sequence[float]] = None) -> None:
         self._counters: Dict[InstrumentKey, Counter] = {}
         self._gauges: Dict[InstrumentKey, Gauge] = {}
         self._histograms: Dict[InstrumentKey, Histogram] = {}
         self._kinds: Dict[str, str] = {}
+        #: Quantile list rendered into histogram snapshots.
+        self.quantiles: Tuple[float, ...] = (
+            tuple(quantiles) if quantiles is not None else Histogram.DEFAULT_QUANTILES
+        )
 
     # ------------------------------------------------------------------
     # Instrument access (get-or-create)
@@ -222,7 +284,8 @@ class MetricsRegistry:
             },
             "gauges": {format_key(k): g.value for k, g in sorted(self._gauges.items())},
             "histograms": {
-                format_key(k): h.to_dict() for k, h in sorted(self._histograms.items())
+                format_key(k): h.to_dict(self.quantiles)
+                for k, h in sorted(self._histograms.items())
             },
         }
 

@@ -21,8 +21,8 @@ events, which keeps traced and untraced runs bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List, Optional, Tuple, Type
+from dataclasses import MISSING, dataclass, field, fields
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -60,6 +60,14 @@ class TraceEvent:
     def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
         kwargs = {}
         for f in fields(cls):
+            if f.name not in data:
+                # Fields grown with a default after a schema bump may be
+                # absent from older traces; required fields still raise.
+                if f.default is not MISSING:
+                    continue
+                if f.default_factory is not MISSING:
+                    continue
+                raise KeyError(f.name)
             value = data[f.name]
             if isinstance(value, list):
                 value = tuple(value)
@@ -109,6 +117,8 @@ class DeliveryEvent(TraceEvent):
     sender: str
     latency_s: float
     plan_version: int
+    #: Broker that fanned out the delivery (schema 3; "" in older traces).
+    server: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -382,6 +392,59 @@ class ClientReconnectEvent(TraceEvent):
     attempts: int
 
 
+# ----------------------------------------------------------------------
+# Live SLA monitor events (schema 3, repro.obs.sla)
+# ----------------------------------------------------------------------
+@dataclass
+class SlaViolationStartEvent(TraceEvent):
+    """A scope's windowed delivery-latency quantile crossed the threshold."""
+
+    TYPE = "sla_violation_start"
+
+    scope: str  #: "overall", "channel:<class>" or "server:<id>"
+    quantile: float
+    threshold_s: float
+    value_s: float
+    window_count: int
+
+
+@dataclass
+class SlaViolationEndEvent(TraceEvent):
+    """The scope's windowed quantile dropped back under the threshold."""
+
+    TYPE = "sla_violation_end"
+
+    scope: str
+    duration_s: float
+    peak_s: float  #: worst windowed quantile value seen during the episode
+
+
+@dataclass
+class SlaWindowEvent(TraceEvent):
+    """Periodic per-scope sliding-window latency stats (one per slice)."""
+
+    TYPE = "sla_window"
+
+    scope: str
+    window_count: int
+    p50_s: Optional[float]
+    value_s: Optional[float]  #: the SLA quantile (p95 by default)
+    max_s: Optional[float]
+    violating: bool
+
+
+# ----------------------------------------------------------------------
+# Deterministic sim-profiler events (schema 3, repro.obs.profile)
+# ----------------------------------------------------------------------
+@dataclass
+class ProfileEvent(TraceEvent):
+    """End-of-run profiler snapshot: per-subsystem/site counts + sim time."""
+
+    TYPE = "profile"
+
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
 @dataclass
 class MetricsEvent(TraceEvent):
     """A metrics-registry snapshot embedded in the trace (usually last)."""
@@ -425,6 +488,10 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         PlanRepairDoneEvent,
         ClientFailoverEvent,
         ClientReconnectEvent,
+        SlaViolationStartEvent,
+        SlaViolationEndEvent,
+        SlaWindowEvent,
+        ProfileEvent,
         MetricsEvent,
     )
 }
@@ -436,17 +503,66 @@ class Tracer:
     One tracer is shared by every component of a cluster; experiments query
     ``tracer.events`` / ``tracer.metrics`` afterwards or export them with
     :mod:`repro.obs.export`.
+
+    Three optional attachments extend the buffered default:
+
+    * ``sink`` -- a :class:`repro.obs.sink.TraceSink` receiving every event
+      as it is emitted.  When a sink is set, in-memory buffering defaults
+      to *off* (``keep_events=False``) so multi-million-event runs hold
+      O(sink chunk) events rather than the whole timeline; pass
+      ``keep_events=True`` to tee (stream *and* buffer, e.g. for oracles).
+    * observers -- live per-event callbacks (:meth:`add_observer`), used by
+      the SLA monitor and the chaos recovery watcher.  Observers run after
+      the event is recorded, so anything they emit re-entrantly lands
+      after the triggering event in both buffered and streamed output.
+    * ``profiler`` -- a :class:`repro.obs.profile.SimProfiler`; attached to
+      the kernel by :meth:`attach_kernel` and fed by the message tap.
     """
 
     #: Hot paths check this before constructing any event.
     enabled = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        *,
+        sink: Optional[Any] = None,
+        keep_events: Optional[bool] = None,
+        profiler: Optional[Any] = None,
+    ) -> None:
+        if keep_events is None:
+            keep_events = sink is None
+        if sink is None and not keep_events:
+            raise ValueError("a tracer without a sink must keep events")
         self.events: List[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sink = sink
+        self.profiler = profiler
+        #: Timestamp of the most recently emitted event (streaming-safe
+        #: replacement for ``events[-1].t`` when buffering is off).
+        self.last_t: float = 0.0
+        self._keep = keep_events
+        self._observers: List[Callable[[TraceEvent], None]] = []
+
+    @property
+    def events_kept(self) -> bool:
+        """Whether emitted events are buffered in :attr:`events`."""
+        return self._keep
+
+    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Register a live per-event callback (runs on every emit)."""
+        self._observers.append(observer)
 
     def emit(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        if event.t > self.last_t:
+            self.last_t = event.t
+        if self._keep:
+            self.events.append(event)
+        sink = self.sink
+        if sink is not None:
+            sink.emit(event)
+        for observer in self._observers:
+            observer(event)
 
     def events_of(self, event_type: Type[TraceEvent]) -> List[TraceEvent]:
         return [e for e in self.events if type(e) is event_type]
@@ -459,6 +575,9 @@ class Tracer:
         metrics = self.metrics
         metrics.counter("messages_sent_total", node=src_id).inc()
         metrics.counter("bytes_sent_total", node=src_id).inc(size_bytes)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.count_message(type(message).__name__, size_bytes)
 
     def attach_kernel(self, sim: Any) -> None:
         """Install the kernel hook tracking sim events and the clock."""
@@ -470,6 +589,8 @@ class Tracer:
             clock.set(now)
 
         sim.event_hook = hook
+        if self.profiler is not None:
+            sim.profiler = self.profiler
 
 
 class NullTracer(Tracer):

@@ -164,6 +164,17 @@ class Simulator:
         #: one attribute check per event; the hook must not schedule events
         #: or touch any RNG so instrumented runs stay deterministic.
         self.event_hook: Optional[Callable[[float, int], None]] = None
+        #: Optional sim-profiler (``repro.obs.profile.SimProfiler``-shaped:
+        #: anything with ``record_event(fn, now)``).  Fed the executed
+        #: callback after each event; same determinism contract as
+        #: :attr:`event_hook` (counts and virtual time only, no wall clock).
+        self.profiler: Optional[Any] = None
+        #: Low-frequency sampling hook installed via :meth:`set_sample_hook`;
+        #: unlike :attr:`event_hook` it fires only every ``sample_every``
+        #: executed events, so per-event cost is one integer compare.
+        self.sample_hook: Optional[Callable[[float, int], None]] = None
+        self.sample_every: int = 0
+        self._sample_next: float = float("inf")
 
     # ------------------------------------------------------------------
     # Clock
@@ -423,6 +434,26 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def set_sample_hook(
+        self, fn: Optional[Callable[[float, int], None]], every: int = 100_000
+    ) -> None:
+        """Install (or clear, with ``fn=None``) the periodic sampling hook.
+
+        ``fn(now, events_processed)`` fires after every ``every`` executed
+        events -- used by the bench harness for RSS time series.  The hook
+        must follow the :attr:`event_hook` determinism contract.
+        """
+        if fn is None:
+            self.sample_hook = None
+            self.sample_every = 0
+            self._sample_next = float("inf")
+            return
+        if every < 1:
+            raise ValueError(f"sample_every must be >= 1: {every!r}")
+        self.sample_hook = fn
+        self.sample_every = every
+        self._sample_next = self._events_processed + every
+
     def _execute(self, event: ScheduledEvent) -> None:
         """Release ``event``'s handle state, run its callback, fire the hook.
 
@@ -447,6 +478,14 @@ class Simulator:
         hook = self.event_hook
         if hook is not None:
             hook(self._now, self._events_processed)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.record_event(fn, self._now)
+        if self._events_processed >= self._sample_next:
+            self._sample_next = self._events_processed + self.sample_every
+            sample = self.sample_hook
+            if sample is not None:
+                sample(self._now, self._events_processed)
 
     def _gc_suspend(self) -> bool:
         """Apply the managed GC policy on run-loop entry.
@@ -585,6 +624,14 @@ class Simulator:
                     hook = self.event_hook
                     if hook is not None:
                         hook(self._now, self._events_processed)
+                    profiler = self.profiler
+                    if profiler is not None:
+                        profiler.record_event(fn, self._now)
+                    if self._events_processed >= self._sample_next:
+                        self._sample_next = self._events_processed + self.sample_every
+                        sample = self.sample_hook
+                        if sample is not None:
+                            sample(self._now, self._events_processed)
                     if self._events_processed >= gc_next:
                         gc.collect(1)
                         gc_next = self._events_processed + self.GC_MAINTENANCE_EVENTS
@@ -630,6 +677,14 @@ class Simulator:
                     hook = self.event_hook
                     if hook is not None:
                         hook(self._now, self._events_processed)
+                    profiler = self.profiler
+                    if profiler is not None:
+                        profiler.record_event(fn, self._now)
+                    if self._events_processed >= self._sample_next:
+                        self._sample_next = self._events_processed + self.sample_every
+                        sample = self.sample_hook
+                        if sample is not None:
+                            sample(self._now, self._events_processed)
                     if heap is not self._heap:
                         heap = self._heap  # compaction rebuilt it
                     if self._events_processed >= gc_next:

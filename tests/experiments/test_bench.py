@@ -1,0 +1,58 @@
+"""Bench harness tests: schema v2 payload, RSS series, streamed chaos SLA."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+
+
+@pytest.fixture(scope="module")
+def chaos_light_result():
+    return bench.run_chaos_light(bench.SMOKE_PROFILE)
+
+
+class TestChaosLight:
+    def test_streamed_run_reports_counters_not_buffers(self, chaos_light_result):
+        # With the streaming sink the tracer holds no events, yet the
+        # counts still flow through the metrics registry.
+        assert chaos_light_result.events > 0
+        assert chaos_light_result.deliveries > 0
+
+    def test_sla_report_included(self, chaos_light_result):
+        sla = chaos_light_result.sla
+        assert sla is not None
+        assert sla["quantile"] == 95.0
+        assert sla["violation_count"] == len(sla["violations"])
+        assert "overall" in sla["scopes"]
+        for episode in sla["violations"]:
+            assert episode["start_t"] >= 0.0
+
+    def test_rss_series_sampled(self, chaos_light_result):
+        series = chaos_light_result.rss_series
+        assert series, "chaos smoke runs enough events to sample RSS"
+        assert all(p["events"] > 0 and p["rss_kb"] > 0 for p in series)
+        events = [p["events"] for p in series]
+        assert events == sorted(events)
+
+
+class TestSchema:
+    def test_results_to_dict_is_schema_v2_json(self, chaos_light_result, tmp_path):
+        doc = bench.results_to_dict(
+            bench.SMOKE_PROFILE, {"chaos_light": chaos_light_result}
+        )
+        assert doc["schema"] == bench.BENCH_SCHEMA == 2
+        scenario = doc["scenarios"]["chaos_light"]
+        assert isinstance(scenario["rss_series"], list)
+        assert scenario["sla"]["threshold_s"] == pytest.approx(0.15)
+        path = tmp_path / "bench.json"
+        bench.write_json(str(path), doc)
+        assert json.loads(path.read_text())["schema"] == 2
+
+    def test_render_mentions_sla(self, chaos_light_result):
+        text = bench.render_results({"chaos_light": chaos_light_result})
+        assert "violation(s)" in text
+
+    def test_headline_extraction_unchanged(self):
+        doc = {"scenarios": {"fanout": {"events_per_s": 123.0}}}
+        assert bench.extract_headline(doc) == 123.0

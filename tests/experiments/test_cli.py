@@ -33,3 +33,32 @@ class TestCli:
 
     def test_seed_accepted(self, capsys):
         assert main(["fig4a", "--levels", "100", "--measure-s", "2", "--seed", "9"]) == 0
+
+
+class TestStreamingFlags:
+    def test_stream_trace_requires_trace(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--smoke", "--stream-trace"])
+
+    def test_gzip_requires_stream(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["chaos", "--smoke", "--trace", str(tmp_path / "t.jsonl"),
+                 "--trace-gzip"]
+            )
+
+    def test_chaos_streamed_trace_matches_buffered(self, tmp_path, capsys):
+        streamed = tmp_path / "streamed.jsonl"
+        buffered = tmp_path / "buffered.jsonl"
+        assert main(
+            ["chaos", "--smoke", "--trace", str(streamed), "--stream-trace"]
+        ) == 0
+        assert main(["chaos", "--smoke", "--trace", str(buffered)]) == 0
+        capsys.readouterr()
+        assert streamed.read_bytes() == buffered.read_bytes()
+
+    def test_chaos_sim_profile_prints_ranking(self, capsys):
+        assert main(["chaos", "--smoke", "--sim-profile"]) == 0
+        out = capsys.readouterr().out
+        assert "sim-profiler hot paths" in out
+        assert "verdict: RECOVERED" in out

@@ -148,3 +148,71 @@ class TestMain:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSlaAndProfileSubcommands:
+    def _sla_events(self):
+        from repro.obs.trace import SlaViolationEndEvent, SlaViolationStartEvent
+
+        return [
+            _delivery(1.0, 0.01),
+            SlaViolationStartEvent(2.0, "overall", 95.0, 0.1, 0.2, 40),
+            SlaViolationEndEvent(5.0, "overall", 3.0, 0.2),
+            SlaViolationStartEvent(7.0, "server:pub1", 95.0, 0.1, 0.3, 10),
+        ]
+
+    def test_sla_subcommand_renders_timeline(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_trace(path, self._sla_events())
+        assert main(["sla", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "server:pub1" in out
+
+    def test_sla_json_includes_open_episode(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        write_trace(path, self._sla_events())
+        assert main(["sla", str(path), "--json"]) == 0
+        episodes = json.loads(capsys.readouterr().out)
+        assert len(episodes) == 2
+        open_episode = next(e for e in episodes if e["scope"] == "server:pub1")
+        assert open_episode["end_t"] is None
+
+    def test_summary_mentions_sla_timeline(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_trace(path, self._sla_events())
+        assert main(["summary", str(path)]) == 0
+        assert "SLA violations" in capsys.readouterr().out
+
+    def test_profile_subcommand(self, tmp_path, capsys):
+        from repro.obs.trace import ProfileEvent
+
+        path = tmp_path / "run.jsonl"
+        write_trace(
+            path,
+            [
+                _delivery(1.0, 0.01),
+                ProfileEvent(
+                    9.0,
+                    {
+                        "version": 1,
+                        "total_events": 5,
+                        "total_sim_s": 9.0,
+                        "events": {"sim:Task._tick": {"count": 5, "sim_s": 9.0}},
+                        "messages": {},
+                        "counters": {},
+                    },
+                ),
+            ],
+        )
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim-profiler hot paths" in out
+        assert "Task._tick" in out
+
+    def test_profile_without_profile_event_fails(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_trace(path, [_delivery(1.0, 0.01)])
+        assert main(["profile", str(path)]) == 1

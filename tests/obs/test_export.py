@@ -33,6 +33,7 @@ from repro.obs.trace import (
     PlanPushedEvent,
     PlanRepairDoneEvent,
     PlanRepairStartEvent,
+    ProfileEvent,
     PublishEvent,
     ServerCrashEvent,
     ServerFailureConfirmedEvent,
@@ -40,6 +41,9 @@ from repro.obs.trace import (
     ServerRestartEvent,
     ServerResurrectedEvent,
     ServerSuspectEvent,
+    SlaViolationEndEvent,
+    SlaViolationStartEvent,
+    SlaWindowEvent,
     SpawnRequestEvent,
     SubscribeEvent,
     SwitchNoticeEvent,
@@ -52,7 +56,8 @@ SAMPLE_EVENTS = [
     PublishEvent(0.5, "m1", "tile:1:1", "alice", 3, ("pub1", "pub2"), 120),
     FanoutEvent(0.6, "pub1", "tile:1:1", "m1", 7, 298),
     FanoutEvent(0.6, "pub1", "tile:1:1", None, 0, 298),  # msg-id-less payload
-    DeliveryEvent(0.7, "bob", "tile:1:1", "m1", "alice", 0.012, 3),
+    DeliveryEvent(0.7, "bob", "tile:1:1", "m1", "alice", 0.012, 3, "pub1"),
+    DeliveryEvent(0.7, "bob", "tile:1:1", "m1", "alice", 0.012, 3),  # v2: no server
     SubscribeEvent(1.0, "bob", "tile:1:1", ("pub1",)),
     UnsubscribeEvent(2.0, "bob", "tile:1:1"),
     PlanMissEvent(2.1, "bob", "ghost", "pub2"),
@@ -81,6 +86,12 @@ SAMPLE_EVENTS = [
     PlanRepairDoneEvent(35.0, "pub2", 5),
     ClientFailoverEvent(36.0, "bob", "pub2", ("tile:1:1",)),
     ClientReconnectEvent(36.5, "bob", "tile:1:1", ("pub1",), 1),
+    # --- telemetry v2 events (schema 3) ---
+    SlaViolationStartEvent(37.0, "overall", 95.0, 0.15, 0.21, 812),
+    SlaWindowEvent(38.0, "server:pub1", 400, 0.08, 0.21, 0.4, True),
+    SlaWindowEvent(38.0, "channel:tile", 0, None, None, None, False),  # empty window
+    SlaViolationEndEvent(39.0, "overall", 2.0, 0.21),
+    ProfileEvent(60.0, {"version": 1, "total_events": 9, "subsystems": {}}),
     MetricsEvent(13.0, {"counters": {"x": 1.0}, "gauges": {}, "histograms": {}}),
 ]
 

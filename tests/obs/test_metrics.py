@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, format_key
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_key,
+    merge_histograms,
+    quantile_label,
+)
 
 
 class TestCounter:
@@ -155,3 +163,53 @@ class TestFormatKey:
 
     def test_labeled(self):
         assert format_key(("name", (("a", "1"), ("b", "2")))) == "name{a=1,b=2}"
+
+
+class TestQuantiles:
+    def test_to_dict_includes_p95_by_default(self):
+        h = Histogram()
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        d = h.to_dict()
+        assert set(d) >= {"p50", "p90", "p95", "p99"}
+        assert d["p50"] <= d["p95"] <= d["p99"]
+
+    def test_custom_quantile_list(self):
+        h = Histogram()
+        h.observe(1.0)
+        d = h.to_dict(quantiles=(50.0, 99.9))
+        assert "p50" in d and "p99.9" in d
+        assert "p95" not in d
+
+    def test_quantile_label_formatting(self):
+        assert quantile_label(50.0) == "p50"
+        assert quantile_label(99.9) == "p99.9"
+
+    def test_registry_renders_configured_quantiles(self):
+        reg = MetricsRegistry(quantiles=(75.0,))
+        reg.histogram("lat").observe(0.4)
+        snap = reg.snapshot()
+        assert "p75" in snap["histograms"]["lat"]
+        assert "p95" not in snap["histograms"]["lat"]
+
+    def test_merge_combines_counts(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.1)
+        b.observe(0.2)
+        merged = merge_histograms([a, b])
+        assert merged.count == 2
+        assert merged.min == pytest.approx(0.1)
+        assert merged.max == pytest.approx(0.2)
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = Histogram()
+        b = Histogram(min_value=1e-3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_reset_clears_samples(self):
+        h = Histogram()
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.to_dict()["count"] == 0

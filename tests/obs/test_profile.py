@@ -1,0 +1,119 @@
+"""Sim-profiler tests: determinism contract, attribution, rendering."""
+
+import json
+
+from repro.obs.export import dump_tracer, read_trace
+from repro.obs.profile import SimProfiler, classify_callable, render_profile
+from repro.obs.trace import ProfileEvent, Tracer
+from repro.sim.kernel import Simulator
+
+
+def _run_sim(profiler=None, n=200):
+    tracer = Tracer(profiler=profiler)
+    sim = Simulator()
+    tracer.attach_kernel(sim)
+    state = {"count": 0}
+
+    def tick(n=None):
+        state["count"] += 1
+        if state["count"] < n:
+            sim.schedule(sim.now + 0.5, tick, n)
+
+    sim.schedule(0.0, tick, n)
+    sim.run()
+    return tracer, sim
+
+
+class TestClassification:
+    def test_repro_module_maps_to_subsystem(self):
+        subsystem, site = classify_callable(Simulator.run)
+        assert subsystem == "sim"
+        assert "Simulator.run" in site
+
+    def test_foreign_callable_falls_back(self):
+        subsystem, _ = classify_callable(json.dumps)
+        assert subsystem == "json"
+
+
+class TestAttribution:
+    def test_kernel_events_attributed(self):
+        profiler = SimProfiler()
+        _run_sim(profiler)
+        snap = profiler.snapshot()
+        assert snap["total_events"] == 200
+        assert snap["total_sim_s"] > 0
+        assert sum(s["count"] for s in snap["events"].values()) == 200
+
+    def test_sim_time_deltas_sum_to_run_time(self):
+        profiler = SimProfiler()
+        _, sim = _run_sim(profiler)
+        snap = profiler.snapshot()
+        total = sum(s["sim_s"] for s in snap["events"].values())
+        assert abs(total - sim.now) < 1e-9
+
+    def test_domain_counters(self):
+        profiler = SimProfiler()
+        profiler.count("broker", "fanout.deliveries", 5)
+        profiler.count("broker", "fanout.deliveries", 2)
+        snap = profiler.snapshot()
+        assert snap["counters"]["broker:fanout.deliveries"] == 7
+
+    def test_message_accounting(self):
+        profiler = SimProfiler()
+        profiler.count_message("PublishCmd", 120)
+        profiler.count_message("PublishCmd", 80)
+        snap = profiler.snapshot()
+        assert snap["messages"]["PublishCmd"] == {"count": 2, "bytes": 200}
+
+
+class TestDeterminism:
+    def test_profiled_run_executes_identical_event_sequence(self):
+        _, bare = _run_sim(None)
+        profiler = SimProfiler()
+        _, profiled = _run_sim(profiler)
+        assert bare.events_processed == profiled.events_processed
+        assert bare.now == profiled.now
+
+    def test_trace_bytes_identical_modulo_profile_trailer(self, tmp_path):
+        plain_path = tmp_path / "plain.jsonl"
+        prof_path = tmp_path / "prof.jsonl"
+        tracer, _ = _run_sim(None)
+        dump_tracer(tracer, plain_path)
+        tracer, _ = _run_sim(SimProfiler())
+        dump_tracer(tracer, prof_path)
+
+        def lines_without_profile(path):
+            return [
+                line
+                for line in path.read_bytes().splitlines()
+                if json.loads(line).get("type") != ProfileEvent.TYPE
+            ]
+
+        assert lines_without_profile(prof_path) == lines_without_profile(plain_path)
+        # ... and the profiled trace does carry the trailer.
+        assert any(
+            type(e) is ProfileEvent for e in read_trace(prof_path)
+        )
+
+    def test_two_profiled_runs_identical_snapshots(self):
+        first = SimProfiler()
+        _run_sim(first)
+        second = SimProfiler()
+        _run_sim(second)
+        assert first.snapshot() == second.snapshot()
+
+
+class TestRendering:
+    def test_render_lists_hot_sites(self):
+        profiler = SimProfiler()
+        _run_sim(profiler)
+        text = render_profile(profiler.snapshot())
+        assert "total events: 200" in text
+        assert "by subsystem:" in text
+
+    def test_render_top_limits_sites(self):
+        profiler = SimProfiler()
+        _run_sim(profiler)
+        profiler.count("broker", "x", 1)
+        text = render_profile(profiler.snapshot(), top=1)
+        assert "top 1 site" in text

@@ -1,0 +1,140 @@
+"""Streaming trace sink tests: byte-equivalence, bounded memory, rotation."""
+
+import gzip
+
+import pytest
+
+from repro.obs.export import (
+    dump_tracer,
+    read_trace,
+    read_trace_segments,
+    trace_segments,
+)
+from repro.obs.sink import StreamingJsonlSink
+from repro.obs.trace import DeliveryEvent, PublishEvent, ServerReadyEvent, Tracer
+
+
+def _emit_sample_run(tracer, n=50):
+    """A deterministic event mix that also populates the metrics trailer."""
+    tracer.emit(ServerReadyEvent(0.0, "pub1"))
+    for i in range(n):
+        t = 0.1 * (i + 1)
+        tracer.emit(PublishEvent(t, f"m{i}", "tile:1:1", "alice", 2, ("pub1",), 120))
+        tracer.emit(
+            DeliveryEvent(t + 0.01, "bob", "tile:1:1", f"m{i}", "alice", 0.01, 2, "pub1")
+        )
+        tracer.metrics.counter("deliveries_total").inc()
+
+
+def _buffered_bytes(tmp_path, n=50):
+    tracer = Tracer()
+    _emit_sample_run(tracer, n)
+    path = tmp_path / "buffered.jsonl"
+    dump_tracer(tracer, path)
+    return path.read_bytes()
+
+
+class TestByteEquivalence:
+    def test_streamed_equals_buffered(self, tmp_path):
+        expected = _buffered_bytes(tmp_path)
+        path = tmp_path / "streamed.jsonl"
+        sink = StreamingJsonlSink(str(path), chunk_events=7)
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer)
+        sink.finalize(tracer)
+        assert path.read_bytes() == expected
+
+    def test_gzip_decompresses_to_buffered_bytes(self, tmp_path):
+        expected = _buffered_bytes(tmp_path)
+        path = tmp_path / "streamed.jsonl.gz"
+        sink = StreamingJsonlSink(str(path), chunk_events=7, compress=True)
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer)
+        sink.finalize(tracer)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert gzip.decompress(path.read_bytes()) == expected
+
+    def test_gzip_read_back_transparently(self, tmp_path):
+        path = tmp_path / "streamed.jsonl.gz"
+        sink = StreamingJsonlSink(str(path), compress=True)
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer, n=5)
+        sink.finalize(tracer)
+        plain = Tracer()
+        _emit_sample_run(plain, n=5)
+        plain_path = tmp_path / "plain.jsonl"
+        dump_tracer(plain, plain_path)
+        assert read_trace(path) == read_trace(plain_path)
+
+
+class TestRotation:
+    def test_segments_concatenate_to_full_trace(self, tmp_path):
+        path = tmp_path / "rot.jsonl"
+        sink = StreamingJsonlSink(str(path), chunk_events=4, rotate_events=30)
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer)  # 101 events + trailer
+        written = sink.finalize(tracer)
+
+        segments = trace_segments(path)
+        assert len(segments) > 1
+        events = read_trace_segments(path)
+        assert len(events) == written
+        # Same content as an unrotated buffered dump.
+        reference = Tracer()
+        _emit_sample_run(reference)
+        ref_path = tmp_path / "ref.jsonl"
+        dump_tracer(reference, ref_path)
+        assert events == read_trace(ref_path)
+
+    def test_each_segment_standalone_readable(self, tmp_path):
+        path = tmp_path / "rot.jsonl"
+        sink = StreamingJsonlSink(str(path), rotate_events=25)
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer)
+        sink.finalize(tracer)
+        for segment in trace_segments(path):
+            assert read_trace(segment)  # each has its own valid header
+
+
+class TestBoundedMemory:
+    def test_sink_backed_tracer_keeps_no_events(self, tmp_path):
+        sink = StreamingJsonlSink(str(tmp_path / "t.jsonl"))
+        tracer = Tracer(sink=sink)
+        _emit_sample_run(tracer)
+        assert tracer.events == []
+        assert not tracer.events_kept
+
+    def test_pending_buffer_bounded_by_chunk(self, tmp_path):
+        sink = StreamingJsonlSink(str(tmp_path / "t.jsonl"), chunk_events=8)
+        tracer = Tracer(sink=sink)
+        for i in range(100):
+            tracer.emit(ServerReadyEvent(float(i), f"s{i}"))
+            assert sink.pending_events < 8
+        sink.finalize(tracer)
+
+    def test_tee_mode_keeps_events_too(self, tmp_path):
+        sink = StreamingJsonlSink(str(tmp_path / "t.jsonl"))
+        tracer = Tracer(sink=sink, keep_events=True)
+        _emit_sample_run(tracer, n=3)
+        assert len(tracer.events) == 7
+        assert tracer.events_kept
+
+
+class TestLifecycle:
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = StreamingJsonlSink(str(tmp_path / "t.jsonl"))
+        tracer = Tracer(sink=sink)
+        tracer.emit(ServerReadyEvent(0.0, "pub1"))
+        sink.finalize(tracer)
+        with pytest.raises(ValueError):
+            sink.emit(ServerReadyEvent(1.0, "pub2"))
+
+    def test_bufferless_tracer_without_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(keep_events=False)
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with StreamingJsonlSink(str(path)) as sink:
+            sink.emit(ServerReadyEvent(0.0, "pub1"))
+        assert read_trace(path) == [ServerReadyEvent(0.0, "pub1")]
