@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.check.scenario import RunResult
 from repro.core.dispatcher import dispatcher_id
 from repro.core.plan import ReplicationMode
+from repro.core.policy import policy_class
 from repro.faults.schedule import (
     CrashServer,
     DegradeLink,
@@ -399,16 +400,24 @@ def oracle_plan_consistency(result: RunResult) -> List[Violation]:
 # ----------------------------------------------------------------------
 def oracle_replication_soundness(result: RunResult) -> List[Violation]:
     """Replication never activates below Algorithm 1's thresholds and
-    never exceeds the configured server cap, across every pushed plan."""
+    never exceeds the configured server cap, across every pushed plan.
+
+    The threshold rule is Algorithm 1's contract, so it is only asserted
+    against policies that claim it (``algorithm1_replication``); the
+    replication-server cap is universal.
+    """
     violations: List[Violation] = []
     scenario = result.scenario
     config = result.cluster.config
+    follows_algorithm1 = policy_class(
+        config.rebalance_policy
+    ).algorithm1_replication
     # Conservative upper bound on the scenario's aggregate publication
     # rate (flash crowds quarter the interval; jitter floor is 0.8x).
     max_pub_rate = scenario.publishers / (scenario.publish_interval_s * 0.8)
     if scenario.flash_crowd_at_s > 0.0:
         max_pub_rate *= 4.0
-    below_thresholds = (
+    below_thresholds = follows_algorithm1 and (
         max_pub_rate < config.publication_threshold
         and scenario.subscribers < config.subscriber_threshold
     )

@@ -3,9 +3,13 @@
 A single Load Balancer node aggregates the LLA reports into a
 :class:`~repro.core.metrics.ClusterLoadView`, and periodically decides
 whether a new plan is needed.  New plans are generated at most once every
-``T_wait`` seconds (so one reconfiguration settles before the next) through
-the two-step rebalancer of :mod:`repro.core.rebalance`, then pushed
-reliably to every dispatcher.
+``T_wait`` seconds (so one reconfiguration settles before the next)
+through the configured :class:`~repro.core.policy.RebalancePolicy`
+(``DynamothConfig.rebalance_policy``; the default ``paper`` policy is the
+two-step rebalancer of :mod:`repro.core.rebalance`), then pushed reliably
+to every dispatcher.  The balancer itself never places a channel -- every
+placement decision, including plan repair after a server failure, goes
+through the policy seam.
 
 The balancer also drives elasticity: it asks the cloud for an extra server
 when migration alone cannot relieve an overload, and decommissions drained
@@ -29,7 +33,7 @@ from repro.core.messages import (
 )
 from repro.core.metrics import ClusterLoadView
 from repro.core.plan import ChannelMapping, Plan, ReplicationMode
-from repro.core.rebalance import LoadEstimator, generate_decision
+from repro.core.policy import PolicyContext, RebalancePolicy, make_policy
 from repro.core.stragglers import StragglerTracker
 from repro.obs.trace import (
     NULL_TRACER,
@@ -140,6 +144,16 @@ class LoadBalancer(Actor):
         #: (that would couple placement to the observability layer).
         self.sla_monitor: Optional[Any] = None
 
+        #: The rebalancing policy every placement decision goes through
+        #: (``config.rebalance_policy``; see :mod:`repro.core.policy`).
+        self.policy: RebalancePolicy = make_policy(config)
+
+        #: Optional load-history recorder (``repro.lab.LoadHistoryRecorder``),
+        #: wired by the cluster or an experiment.  Called once per
+        #: evaluation tick with the balancer itself; purely observational,
+        #: like ``sla_monitor``.
+        self.history_recorder: Optional[Any] = None
+
         self._task = PeriodicTask(sim, config.lb_eval_interval_s, self._evaluate)
 
     # ------------------------------------------------------------------
@@ -231,6 +245,9 @@ class LoadBalancer(Actor):
         self.load_history.append((now, ratios))
         if self._tracer.enabled:
             self._tracer.emit(LoadSnapshotEvent(now, dict(ratios)))
+        recorder = self.history_recorder
+        if recorder is not None:
+            recorder.record_tick(now, self)
 
         waited_enough = (now - self._last_plan_time) >= self.config.t_wait_s
         if not (waited_enough or self._pool_changed):
@@ -241,14 +258,8 @@ class LoadBalancer(Actor):
         if not all(self.view.has_report(s) for s in self.bootstrap_servers):
             return
 
-        decision = generate_decision(
-            self.plan,
-            self.view,
-            self.config,
-            self.active_servers,
-            self.bootstrap_servers,
-            self._default_nominal_bps,
-            allow_scale_down=self.pending_spawns == 0,
+        decision = self.policy.decide(
+            self._policy_context(now, allow_scale_down=self.pending_spawns == 0)
         )
         self._pool_changed = False
         if decision.is_noop:
@@ -298,6 +309,26 @@ class LoadBalancer(Actor):
             self._cloud.request_decommission(server_id)
             if self._tracer.enabled:
                 self._tracer.emit(DecommissionEvent(now, server_id))
+
+    def _policy_context(
+        self,
+        now: float,
+        *,
+        active_servers: Optional[List[str]] = None,
+        allow_scale_down: bool = True,
+    ) -> PolicyContext:
+        """Snapshot the balancer's state for one policy call."""
+        servers = self.active_servers if active_servers is None else active_servers
+        return PolicyContext(
+            now=now,
+            plan=self.plan,
+            view=self.view,
+            config=self.config,
+            active_servers=tuple(servers),
+            bootstrap_servers=frozenset(self.bootstrap_servers),
+            default_nominal_bps=self._default_nominal_bps,
+            allow_scale_down=allow_scale_down,
+        )
 
     def _emit_plan_events(
         self,
@@ -408,12 +439,8 @@ class LoadBalancer(Actor):
         # reports carry the per-channel egress weights that decide where
         # each re-homed channel lands.  Without it every repaired channel
         # would look weightless and pile onto one "least loaded" target.
-        estimator = LoadEstimator(
-            self.view,
-            live + [dead_id],
-            self._default_nominal_bps,
-            cpu_aware=self.config.cpu_aware_balancing,
-        )
+        ctx = self._policy_context(now, active_servers=live + [dead_id])
+        estimator = ctx.make_estimator()
         mappings: Dict[str, ChannelMapping] = {}
         for channel in channels:
             current = self.plan.mapping(channel)
@@ -423,7 +450,14 @@ class LoadBalancer(Actor):
                 s for s in current.servers if s != dead_id and s in live
             )
             if not survivors:
-                target = estimator.least_loaded(live)
+                # Where an orphaned channel lands is a *policy* question.
+                target = self.policy.place_unknown_channel(
+                    ctx, estimator, channel, live
+                )
+                if target is None:
+                    target = estimator.least_loaded(live)
+                if target is None:
+                    continue  # unreachable: live is non-empty
                 estimator.migrate(channel, dead_id, target)
                 mappings[channel] = ChannelMapping(ReplicationMode.SINGLE, (target,))
             elif len(survivors) == 1:

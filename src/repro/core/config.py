@@ -164,6 +164,25 @@ class DynamothConfig:
     #: ablation benchmark that quantifies that overhead.
     eager_plan_push: bool = False
 
+    # --- rebalancing policy (repro.core.policy) ---
+    #: Which registered :class:`~repro.core.policy.RebalancePolicy` the
+    #: balancer decides through.  ``"paper"`` is Algorithms 1 & 2 exactly;
+    #: see ``repro.core.policy.available_policies()`` for alternatives.
+    #: Validated against the registry when the policy is instantiated
+    #: (``make_policy``), not here, to keep config import-light.
+    rebalance_policy: str = "paper"
+    #: CHBL's epsilon: each server's egress is bounded by ``(1 + eps)``
+    #: times its capacity-weighted fair share (Mirrokni et al.).
+    chbl_epsilon: float = 0.25
+    #: EWMA smoothing factor for the ``ewma_predictive`` policy (weight of
+    #: the newest load-ratio sample).
+    policy_ewma_alpha: float = 0.30
+    #: How far (seconds) ``ewma_predictive`` extrapolates the load trend.
+    policy_ewma_horizon_s: float = 5.0
+    #: ``headroom_pace`` look-ahead: seconds of measured load growth added
+    #: to a server's effective load when scoring it as a receiver.
+    policy_pace_weight: float = 3.0
+
     # --- live SLA monitoring (repro.obs.sla; observability only) ---
     #: Windowed delivery-latency threshold in seconds.  ``None`` (the
     #: default) disables the live SLA monitor entirely; when set (and a
@@ -213,6 +232,14 @@ class DynamothConfig:
             raise ValueError("repair buffer settings must be non-negative")
         if self.vnodes_per_server < 1:
             raise ValueError("vnodes_per_server must be >= 1")
+        if not self.rebalance_policy:
+            raise ValueError("rebalance_policy must name a registered policy")
+        if self.chbl_epsilon <= 0:
+            raise ValueError("chbl_epsilon must be positive")
+        if not (0 < self.policy_ewma_alpha <= 1):
+            raise ValueError("policy_ewma_alpha must be in (0, 1]")
+        if self.policy_ewma_horizon_s < 0 or self.policy_pace_weight < 0:
+            raise ValueError("policy horizons must be non-negative")
         if self.sla_threshold_s is not None and self.sla_threshold_s <= 0:
             raise ValueError("sla_threshold_s must be positive or None")
         if not (0 < self.sla_quantile <= 100):

@@ -70,12 +70,24 @@ class ServerLoadView:
     def report_count(self) -> int:
         return len(self._reports)
 
+    def mean_measured_egress_bps(self) -> float:
+        """Window-averaged measured egress in bytes/s (0 when no reports).
+
+        Exposed (rather than derived as ``load_ratio * nominal``) so the
+        load-history recorder (:mod:`repro.lab`) can persist the *exact*
+        float the load ratio is computed from; re-multiplying would round
+        differently and break bit-exact offline replay.
+        """
+        if not self._reports:
+            return 0.0
+        total = sum(r.measured_egress_bps for r in self._reports)
+        return total / len(self._reports)
+
     def load_ratio(self) -> float:
         """Window-averaged ``LR_i`` (0 when no reports)."""
         if not self._reports or self.nominal_egress_bps <= 0:
             return 0.0
-        total = sum(r.measured_egress_bps for r in self._reports)
-        return (total / len(self._reports)) / self.nominal_egress_bps
+        return self.mean_measured_egress_bps() / self.nominal_egress_bps
 
     def cpu_utilization(self) -> float:
         """Window-averaged CPU utilization (0 when no reports)."""
@@ -163,6 +175,10 @@ class ClusterLoadView:
     def nominal_egress_bps(self, server_id: str) -> float:
         view = self._servers.get(server_id)
         return view.nominal_egress_bps if view is not None else 0.0
+
+    def mean_measured_egress_bps(self, server_id: str) -> float:
+        view = self._servers.get(server_id)
+        return view.mean_measured_egress_bps() if view is not None else 0.0
 
     def cpu_utilization(self, server_id: str) -> float:
         view = self._servers.get(server_id)

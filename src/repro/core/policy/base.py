@@ -1,0 +1,218 @@
+"""The rebalancing-policy seam: what the balancer asks, not how it is answered.
+
+The paper's hierarchical rebalancer (Algorithms 1 & 2) is one point in a
+large design space.  :class:`RebalancePolicy` pins down the three questions
+every balancer implementation must answer --
+
+* *channel-level*: which channels should change replication scheme,
+* *system-level*: which channels should migrate between servers, and
+  whether to rent or drain servers,
+* *unknown-channel placement*: where a channel with no usable home (its
+  server died, or it was never planned) should live --
+
+so that competing answers (:mod:`repro.core.policy.paper`,
+:mod:`~repro.core.policy.greedy`, :mod:`~repro.core.policy.ewma`,
+:mod:`~repro.core.policy.chbl`) are interchangeable behind one seam.  The
+:class:`~repro.core.balancer.LoadBalancer` holds exactly one policy and
+calls only through this interface; the offline trace-replay harness
+(:mod:`repro.lab`) drives the same interface from recorded load histories.
+
+Policies are *pure* with respect to the simulation: they read a
+:class:`PolicyContext` and return a
+:class:`~repro.core.rebalance.RebalanceDecision`.  A policy may keep
+internal prediction state across calls (EWMA trackers, hash rings), but it
+must never touch an RNG, the wall clock, or anything outside the context
+-- determinism of the balancer (and of offline replay) depends on it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import DynamothConfig
+from repro.core.metrics import ClusterLoadView
+from repro.core.plan import ChannelMapping, Plan, ReplicationMode
+from repro.core.rebalance import LoadEstimator, RebalanceDecision
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a policy may look at when deciding.
+
+    ``view`` is the balancer's aggregated sliding-window load picture; in
+    offline replay it is a reconstructed view with identical query
+    semantics.  ``allow_scale_down`` mirrors the balancer's rule that no
+    server is drained while a spawn is still booting.
+    """
+
+    now: float
+    plan: Plan
+    view: ClusterLoadView
+    config: DynamothConfig
+    active_servers: Tuple[str, ...]
+    bootstrap_servers: FrozenSet[str]
+    default_nominal_bps: float
+    allow_scale_down: bool = True
+
+    def make_estimator(
+        self, servers: Optional[Sequence[str]] = None
+    ) -> LoadEstimator:
+        """A fresh load estimator seeded from the context's view."""
+        return LoadEstimator(
+            self.view,
+            self.active_servers if servers is None else servers,
+            self.default_nominal_bps,
+            cpu_aware=self.config.cpu_aware_balancing,
+        )
+
+
+@dataclass
+class SystemDecision:
+    """Outcome of one system-level pass (migrations + elasticity)."""
+
+    mappings: Dict[str, ChannelMapping] = field(default_factory=dict)
+    spawn_servers: int = 0
+    decommission: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+def replicated_channels(
+    plan: Plan, channel_proposals: Dict[str, ChannelMapping]
+) -> set[str]:
+    """Channels whose load is managed by channel-level replication.
+
+    System-level passes must skip these: moving a replica around would
+    fight the channel-level scheme.  Mirrors the set construction of the
+    pre-seam ``generate_decision`` exactly.
+    """
+    replicated = {
+        c
+        for c, m in channel_proposals.items()
+        if m.mode is not ReplicationMode.SINGLE
+    }
+    for channel in plan.explicit_channels():
+        if channel in channel_proposals:
+            continue
+        if plan.mapping(channel).mode is not ReplicationMode.SINGLE:
+            replicated.add(channel)
+    return replicated
+
+
+class RebalancePolicy(ABC):
+    """One rebalancing strategy behind the policy seam.
+
+    Subclasses implement the two planning hooks and (optionally) override
+    unknown-channel placement; :meth:`decide` composes them in the same
+    two-step structure as the paper's plan generation (section III-B), so
+    the ``paper`` policy is byte-identical to the pre-seam balancer and
+    every other policy slots into the identical control flow.
+    """
+
+    #: Registry key (``DynamothConfig.rebalance_policy`` value).
+    name: ClassVar[str] = ""
+    #: Whether channel-level replication follows Algorithm 1's thresholds.
+    #: The ``repro.check`` replication-soundness oracle only asserts the
+    #: threshold rules against policies that claim them.
+    algorithm1_replication: ClassVar[bool] = False
+
+    def __init__(self, config: DynamothConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # The three seam hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def channel_level(
+        self, ctx: PolicyContext, estimator: LoadEstimator
+    ) -> Tuple[Dict[str, ChannelMapping], List[str]]:
+        """Per-channel replication decisions (Algorithm 1's slot).
+
+        Returns proposed mappings plus trace notes, and must update the
+        estimator in place so the system-level pass sees the
+        post-replication load distribution.
+        """
+
+    @abstractmethod
+    def system_level(
+        self,
+        ctx: PolicyContext,
+        estimator: LoadEstimator,
+        replicated: set[str],
+    ) -> SystemDecision:
+        """Server-to-server migration and elasticity (Algorithm 2's slot)."""
+
+    def place_unknown_channel(
+        self,
+        ctx: PolicyContext,
+        estimator: LoadEstimator,
+        channel: str,
+        candidates: Sequence[str],
+    ) -> Optional[str]:
+        """Pick a home for a channel with no usable current server.
+
+        Called by the balancer's plan repair (a channel's only server
+        died) and by the replay harness when demand appears on an
+        unplanned channel.  The default -- the least-loaded candidate --
+        matches the pre-seam repair behaviour; CHBL overrides it with a
+        bounded-load ring walk.
+        """
+        return estimator.least_loaded(candidates)
+
+    # ------------------------------------------------------------------
+    # Composition (shared by every policy)
+    # ------------------------------------------------------------------
+    def decide(self, ctx: PolicyContext) -> RebalanceDecision:
+        """Run channel-level then system-level planning (section III-B)."""
+        decision = RebalanceDecision()
+        estimator = ctx.make_estimator()
+
+        channel_proposals, notes = self.channel_level(ctx, estimator)
+        decision.mappings.update(channel_proposals)
+        decision.notes.extend(notes)
+
+        replicated = replicated_channels(ctx.plan, channel_proposals)
+
+        system = self.system_level(ctx, estimator, replicated)
+        decision.mappings.update(system.mappings)
+        decision.spawn_servers = system.spawn_servers
+        decision.decommission.extend(system.decommission)
+        decision.notes.extend(system.notes)
+        return decision
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[RebalancePolicy]] = {}
+
+
+def register_policy(cls: Type[RebalancePolicy]) -> Type[RebalancePolicy]:
+    """Class decorator adding a policy to the registry (keyed by ``name``)."""
+    if not cls.name:
+        raise ValueError(f"policy class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate policy name: {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def policy_class(name: str) -> Type[RebalancePolicy]:
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown rebalance policy {name!r}; "
+            f"registered: {', '.join(available_policies())}"
+        )
+    return cls
+
+
+def make_policy(config: DynamothConfig) -> RebalancePolicy:
+    """Instantiate the policy named by ``config.rebalance_policy``."""
+    return policy_class(config.rebalance_policy)(config)
+
+
+def available_policies() -> List[str]:
+    """Registered policy names, sorted for stable CLI/report output."""
+    return sorted(_REGISTRY)

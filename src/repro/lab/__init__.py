@@ -1,0 +1,41 @@
+"""The policy lab: record live load histories, replay them offline.
+
+The lab closes the loop that the policy seam (:mod:`repro.core.policy`)
+opens: :class:`LoadHistoryRecorder` captures the balancer's tick-by-tick
+load picture during a live (simulated) run into a versioned JSONL
+:class:`LoadHistory`; :class:`PolicyReplayer` then re-runs that history
+against any registered policy *without* re-simulating the network, and
+:func:`compare_policies` tabulates SLA violations, migration churn, plan
+pushes and rented server-hours across all of them.
+
+``python -m repro.lab`` exposes ``record`` / ``replay`` / ``compare``.
+"""
+
+from repro.lab.compare import ComparisonReport, compare_policies
+from repro.lab.history import (
+    HISTORY_SCHEMA,
+    LoadHistory,
+    LoadHistoryRecorder,
+    plan_digest,
+)
+from repro.lab.replay import (
+    MODELED,
+    VERBATIM,
+    PolicyReplayer,
+    ReplayMetrics,
+    ReplayResult,
+)
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "MODELED",
+    "VERBATIM",
+    "ComparisonReport",
+    "LoadHistory",
+    "LoadHistoryRecorder",
+    "PolicyReplayer",
+    "ReplayMetrics",
+    "ReplayResult",
+    "compare_policies",
+    "plan_digest",
+]

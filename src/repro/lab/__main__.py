@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.lab``."""
+
+from repro.lab.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,450 @@
+"""Versioned JSONL load histories: record once, replay against any policy.
+
+A :class:`LoadHistory` is everything the balancer *saw* during a run, at
+balancer granularity -- per evaluation tick the window-averaged server
+state (exact load-ratio inputs, per-channel loads in view iteration
+order) and the logical per-channel demand, plus the pool events
+(spawns/failures) and every plan the live balancer pushed.  That is
+sufficient to re-run the balancer's decision loop offline, against any
+registered :class:`~repro.core.policy.RebalancePolicy`, without
+re-simulating brokers, clients or the network (:mod:`repro.lab.replay`).
+
+Wire format (one JSON object per line):
+
+* ``{"kind": "header", "schema": 1, "label": ..., "seed": ...,
+  "default_nominal_bps": ..., "config": {DynamothConfig fields}}``
+* ``{"kind": "plan", "t": ..., "version": ..., "digest": ...,
+  "plan": Plan.to_dict()}`` -- every plan the live balancer adopted,
+  including the initial plan (version 0).
+* ``{"kind": "tick", "t": ..., "active": [...], "all_bootstrap_reported":
+  ..., "servers": [[id, nominal, measured, cpu, [channel rows]], ...],
+  "totals": [[channel, pubs/s, publishers, subs, bytes/s], ...]}``
+* ``{"kind": "event", "t": ..., "event": ..., "detail": ...}`` -- the
+  balancer's control-plane ledger (server-ready, server-failed, ...).
+
+Determinism notes: ``servers`` preserves the live view's iteration order
+(float summation order in cross-server totals), per-server channel rows
+preserve ``channel_loads`` dict order (stable-sort tie-breaking in
+``migratable_channels``), and ``measured`` is the exact window mean the
+live load ratio was computed from.  Replaying a history therefore
+reconstructs bit-identical estimator inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.config import DynamothConfig
+from repro.core.messages import ChannelMetricsSnapshot, LoadReport
+from repro.core.plan import Plan
+
+HISTORY_SCHEMA = 1
+
+#: Balancer event kinds that matter to replay (pool membership + spawns).
+POOL_EVENT_KINDS = frozenset(
+    {
+        "server-ready",
+        "server-failed",
+        "server-resurrected",
+        "decommission",
+        "spawn-request",
+    }
+)
+
+
+def plan_digest(plan: Plan) -> str:
+    """Stable content digest of a plan (mappings, versions, pool, ring)."""
+    payload = json.dumps(plan.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ServerSample:
+    """One server's window-averaged state at one balancer tick."""
+
+    server_id: str
+    nominal_bps: float
+    #: exact window-mean measured egress (``lr = measured / nominal``)
+    measured_bps: float
+    cpu: float
+    #: per-channel window averages, in live ``channel_loads`` dict order
+    channels: Tuple[ChannelMetricsSnapshot, ...]
+
+    def to_row(self) -> List[Any]:
+        return [
+            self.server_id,
+            self.nominal_bps,
+            self.measured_bps,
+            self.cpu,
+            [
+                [
+                    c.channel,
+                    c.publications_per_s,
+                    c.publisher_count,
+                    c.subscriber_count,
+                    c.messages_out_per_s,
+                    c.bytes_out_per_s,
+                ]
+                for c in self.channels
+            ],
+        ]
+
+    @staticmethod
+    def from_row(row: List[Any]) -> "ServerSample":
+        server_id, nominal, measured, cpu, channels = row
+        return ServerSample(
+            server_id=server_id,
+            nominal_bps=nominal,
+            measured_bps=measured,
+            cpu=cpu,
+            channels=tuple(
+                ChannelMetricsSnapshot(c[0], c[1], c[2], c[3], c[4], c[5])
+                for c in channels
+            ),
+        )
+
+    def to_report(self, window_start: float, window_end: float) -> LoadReport:
+        """A synthetic LoadReport reproducing this sample's view state.
+
+        One report per server per tick: the window then averages over a
+        single entry, reproducing the recorded means exactly.
+        """
+        return LoadReport(
+            server_id=self.server_id,
+            window_start=window_start,
+            window_end=window_end,
+            nominal_egress_bps=self.nominal_bps,
+            measured_egress_bps=self.measured_bps,
+            channels=self.channels,
+            cpu_utilization=self.cpu,
+        )
+
+
+@dataclass(frozen=True)
+class ChannelDemand:
+    """Logical (replica-deduplicated) demand of one channel at one tick."""
+
+    channel: str
+    publications_per_s: float
+    publisher_count: int
+    subscriber_count: int
+    bytes_out_per_s: float
+
+    def to_row(self) -> List[Any]:
+        return [
+            self.channel,
+            self.publications_per_s,
+            self.publisher_count,
+            self.subscriber_count,
+            self.bytes_out_per_s,
+        ]
+
+    @staticmethod
+    def from_row(row: List[Any]) -> "ChannelDemand":
+        return ChannelDemand(row[0], row[1], row[2], row[3], row[4])
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """One balancer evaluation tick."""
+
+    t: float
+    active_servers: Tuple[str, ...]
+    all_bootstrap_reported: bool
+    servers: Tuple[ServerSample, ...]
+    totals: Tuple[ChannelDemand, ...]
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "kind": "tick",
+            "t": self.t,
+            "active": list(self.active_servers),
+            "all_bootstrap_reported": self.all_bootstrap_reported,
+            "servers": [s.to_row() for s in self.servers],
+            "totals": [d.to_row() for d in self.totals],
+        }
+
+    @staticmethod
+    def from_obj(obj: Dict[str, Any]) -> "TickRecord":
+        return TickRecord(
+            t=obj["t"],
+            active_servers=tuple(obj["active"]),
+            all_bootstrap_reported=obj["all_bootstrap_reported"],
+            servers=tuple(ServerSample.from_row(r) for r in obj["servers"]),
+            totals=tuple(ChannelDemand.from_row(r) for r in obj["totals"]),
+        )
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """A control-plane event from the live balancer's ledger."""
+
+    t: float
+    event: str
+    detail: str = ""
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {"kind": "event", "t": self.t, "event": self.event, "detail": self.detail}
+
+    @staticmethod
+    def from_obj(obj: Dict[str, Any]) -> "PoolEvent":
+        return PoolEvent(t=obj["t"], event=obj["event"], detail=obj.get("detail", ""))
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """One plan the live balancer adopted (for the seam-equivalence gate)."""
+
+    t: float
+    version: int
+    digest: str
+    plan: Dict[str, Any]
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "kind": "plan",
+            "t": self.t,
+            "version": self.version,
+            "digest": self.digest,
+            "plan": self.plan,
+        }
+
+    @staticmethod
+    def from_obj(obj: Dict[str, Any]) -> "PlanRecord":
+        return PlanRecord(
+            t=obj["t"], version=obj["version"], digest=obj["digest"], plan=obj["plan"]
+        )
+
+
+@dataclass
+class LoadHistory:
+    """A recorded run: header + ticks + pool events + adopted plans."""
+
+    label: str = "run"
+    seed: Optional[int] = None
+    default_nominal_bps: float = 0.0
+    config: Dict[str, Any] = field(default_factory=dict)
+    schema: int = HISTORY_SCHEMA
+    ticks: List[TickRecord] = field(default_factory=list)
+    events: List[PoolEvent] = field(default_factory=list)
+    plans: List[PlanRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def dynamoth_config(self, **overrides: Any) -> DynamothConfig:
+        """Reconstruct the recorded config (unknown fields are dropped)."""
+        known = {f.name for f in dataclasses.fields(DynamothConfig)}
+        kwargs = {k: v for k, v in self.config.items() if k in known}
+        kwargs.update(overrides)
+        return DynamothConfig(**kwargs)
+
+    def initial_plan(self) -> Plan:
+        """The live run's starting plan (version 0)."""
+        if not self.plans:
+            raise ValueError("history has no plan records")
+        first = min(self.plans, key=lambda p: p.version)
+        return Plan.from_dict(first.plan)
+
+    def duration_s(self) -> float:
+        if not self.ticks:
+            return 0.0
+        return self.ticks[-1].t - self.ticks[0].t
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            self.write(fh)
+
+    def write(self, fh: IO[str]) -> None:
+        header = {
+            "kind": "header",
+            "schema": self.schema,
+            "label": self.label,
+            "seed": self.seed,
+            "default_nominal_bps": self.default_nominal_bps,
+            "config": self.config,
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in self._records_in_order():
+            fh.write(json.dumps(record.to_obj(), sort_keys=True) + "\n")
+
+    def _records_in_order(self) -> Iterator[Union[TickRecord, PoolEvent, PlanRecord]]:
+        # Each stream is already time-ordered; a stable merge keeps the
+        # file readable chronologically (plan/event lines between the
+        # ticks that bracket them).
+        merged: List[Tuple[float, int, Union[TickRecord, PoolEvent, PlanRecord]]] = []
+        merged.extend((p.t, 0, p) for p in self.plans)
+        merged.extend((e.t, 1, e) for e in self.events)
+        merged.extend((t.t, 2, t) for t in self.ticks)
+        merged.sort(key=lambda item: (item[0], item[1]))
+        for __, __, record in merged:
+            yield record
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "LoadHistory":
+        history: Optional[LoadHistory] = None
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                kind = obj.get("kind")
+                if kind == "header":
+                    if obj.get("schema") != HISTORY_SCHEMA:
+                        raise ValueError(
+                            f"{path}: unsupported history schema "
+                            f"{obj.get('schema')!r} (expected {HISTORY_SCHEMA})"
+                        )
+                    history = LoadHistory(
+                        label=obj.get("label", "run"),
+                        seed=obj.get("seed"),
+                        default_nominal_bps=obj.get("default_nominal_bps", 0.0),
+                        config=obj.get("config", {}),
+                        schema=obj["schema"],
+                    )
+                    continue
+                if history is None:
+                    raise ValueError(f"{path}:{line_no}: record before header")
+                if kind == "tick":
+                    history.ticks.append(TickRecord.from_obj(obj))
+                elif kind == "event":
+                    history.events.append(PoolEvent.from_obj(obj))
+                elif kind == "plan":
+                    history.plans.append(PlanRecord.from_obj(obj))
+                else:
+                    raise ValueError(f"{path}:{line_no}: unknown record kind {kind!r}")
+        if history is None:
+            raise ValueError(f"{path}: empty history (no header line)")
+        return history
+
+
+class LoadHistoryRecorder:
+    """Observes a live :class:`~repro.core.balancer.LoadBalancer`.
+
+    Attach before the run starts::
+
+        recorder = LoadHistoryRecorder(label="flash", seed=7)
+        cluster.balancer.history_recorder = recorder
+        ... run ...
+        recorder.finalize(cluster.balancer)
+        recorder.history.save("flash.jsonl")
+
+    ``record_tick`` is called by the balancer once per evaluation tick
+    (before the plan gate, so every tick is captured whether or not a
+    decision ran); ``finalize`` flushes events and plans adopted after
+    the last tick.  Purely observational: recording changes no balancer
+    behaviour, so a recorded run's trace stays byte-identical.
+    """
+
+    def __init__(self, label: str = "run", seed: Optional[int] = None) -> None:
+        self.label = label
+        self.seed = seed
+        self.history: Optional[LoadHistory] = None
+        self._events_seen = 0
+        self._plans_seen = 0
+
+    # ------------------------------------------------------------------
+    def record_tick(self, now: float, balancer: Any) -> None:
+        history = self._ensure_history(balancer)
+        self._flush_ledgers(balancer)
+
+        view = balancer.view
+        samples: List[ServerSample] = []
+        for server_id in view.servers():  # view iteration order, exactly
+            loads = view.channel_loads(server_id)
+            channels = tuple(
+                ChannelMetricsSnapshot(
+                    channel=channel,
+                    publications_per_s=load.publications_per_s,
+                    publisher_count=load.publisher_count,
+                    subscriber_count=load.subscriber_count,
+                    messages_out_per_s=load.messages_out_per_s,
+                    bytes_out_per_s=load.bytes_out_per_s,
+                )
+                for channel, load in loads.items()  # dict order, exactly
+            )
+            samples.append(
+                ServerSample(
+                    server_id=server_id,
+                    nominal_bps=view.nominal_egress_bps(server_id),
+                    measured_bps=view.mean_measured_egress_bps(server_id),
+                    cpu=view.cpu_utilization(server_id),
+                    channels=channels,
+                )
+            )
+
+        seen: set[str] = set()
+        for sample in samples:
+            seen.update(c.channel for c in sample.channels)
+        totals: List[ChannelDemand] = []
+        for channel in sorted(seen):
+            t = view.channel_totals(channel, balancer.plan.mapping(channel))
+            if t is None:
+                continue
+            totals.append(
+                ChannelDemand(
+                    channel=channel,
+                    publications_per_s=t.publications_per_s,
+                    publisher_count=t.publisher_count,
+                    subscriber_count=t.subscriber_count,
+                    bytes_out_per_s=t.bytes_out_per_s,
+                )
+            )
+
+        history.ticks.append(
+            TickRecord(
+                t=now,
+                active_servers=tuple(balancer.active_servers),
+                all_bootstrap_reported=all(
+                    view.has_report(s) for s in balancer.bootstrap_servers
+                ),
+                servers=tuple(samples),
+                totals=tuple(totals),
+            )
+        )
+
+    def finalize(self, balancer: Any) -> LoadHistory:
+        """Flush trailing events/plans; returns the completed history."""
+        history = self._ensure_history(balancer)
+        self._flush_ledgers(balancer)
+        return history
+
+    # ------------------------------------------------------------------
+    def _ensure_history(self, balancer: Any) -> LoadHistory:
+        if self.history is None:
+            self.history = LoadHistory(
+                label=self.label,
+                seed=self.seed,
+                default_nominal_bps=balancer._default_nominal_bps,
+                config=dataclasses.asdict(balancer.config),
+            )
+        return self.history
+
+    def _flush_ledgers(self, balancer: Any) -> None:
+        """Diff the balancer's event and plan ledgers since the last call."""
+        history = self.history
+        assert history is not None
+        events = balancer.events
+        for event in events[self._events_seen :]:
+            if event.kind in POOL_EVENT_KINDS:
+                history.events.append(PoolEvent(event.time, event.kind, event.detail))
+        self._events_seen = len(events)
+
+        plans = balancer.plan_history
+        for pushed_at, plan in plans[self._plans_seen :]:
+            history.plans.append(
+                PlanRecord(
+                    t=pushed_at,
+                    version=plan.version,
+                    digest=plan_digest(plan),
+                    plan=plan.to_dict(),
+                )
+            )
+        self._plans_seen = len(plans)

@@ -1,0 +1,25 @@
+"""Shared fixture: one small recorded flash-crowd run.
+
+Recording runs the full simulator, so the history is produced once per
+session and shared by every lab test; the replays themselves are cheap.
+"""
+
+import pytest
+
+from repro.lab.cli import Scenario, record_scenario
+from repro.workload.schedules import steps
+
+MINI_FLASH = Scenario(
+    name="mini-flash",
+    describe="small flash crowd for tests",
+    duration_s=45.0,
+    initial_servers=1,
+    max_servers=4,
+    nominal_egress_bps=100_000.0,
+    schedule=steps([(0.0, 8), (10.0, 8), (16.0, 48), (45.0, 48)]),
+)
+
+
+@pytest.fixture(scope="session")
+def mini_history():
+    return record_scenario(MINI_FLASH, seed=7)

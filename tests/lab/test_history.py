@@ -1,0 +1,118 @@
+"""LoadHistory wire format: recording, round-trip, validation."""
+
+import json
+
+import pytest
+
+from repro.core.plan import Plan
+from repro.lab.history import HISTORY_SCHEMA, LoadHistory, plan_digest
+
+
+class TestRecorder:
+    def test_captures_every_tick(self, mini_history):
+        # One record per balancer evaluation (1 s interval, 45 s run).
+        assert len(mini_history.ticks) == 45
+        times = [t.t for t in mini_history.ticks]
+        assert times == sorted(times)
+
+    def test_header_fields(self, mini_history):
+        assert mini_history.label == "mini-flash"
+        assert mini_history.seed == 7
+        assert mini_history.schema == HISTORY_SCHEMA
+        assert mini_history.default_nominal_bps > 0
+        # the recorded config reconstructs cleanly
+        cfg = mini_history.dynamoth_config()
+        assert cfg.max_servers == 4
+
+    def test_flash_crowd_recorded_spawns_and_plans(self, mini_history):
+        events = {e.event for e in mini_history.events}
+        assert "spawn-request" in events
+        assert "server-ready" in events
+        # plan v0 plus at least one rebalance
+        versions = [p.version for p in mini_history.plans]
+        assert versions[0] == 0
+        assert len(versions) >= 2
+        assert versions == sorted(versions)
+
+    def test_initial_plan_round_trips(self, mini_history):
+        plan = mini_history.initial_plan()
+        assert plan.version == 0
+        assert plan_digest(plan) == mini_history.plans[0].digest
+
+    def test_server_samples_preserve_view_floats(self, mini_history):
+        """Recorded means reconstruct the exact load ratio."""
+        tick = mini_history.ticks[-1]
+        for sample in tick.servers:
+            report = sample.to_report(tick.t - 1.0, tick.t)
+            assert report.measured_egress_bps == sample.measured_bps
+            assert report.nominal_egress_bps == sample.nominal_bps
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, mini_history, tmp_path):
+        path = tmp_path / "history.jsonl"
+        mini_history.save(path)
+        loaded = LoadHistory.load(path)
+        assert loaded.label == mini_history.label
+        assert loaded.seed == mini_history.seed
+        assert loaded.config == mini_history.config
+        assert len(loaded.ticks) == len(mini_history.ticks)
+        assert [t.to_obj() for t in loaded.ticks] == [
+            t.to_obj() for t in mini_history.ticks
+        ]
+        assert [e.to_obj() for e in loaded.events] == [
+            e.to_obj() for e in mini_history.events
+        ]
+        assert [p.to_obj() for p in loaded.plans] == [
+            p.to_obj() for p in mini_history.plans
+        ]
+
+    def test_file_is_chronological_jsonl(self, mini_history, tmp_path):
+        path = tmp_path / "history.jsonl"
+        mini_history.save(path)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "header"
+        times = [r["t"] for r in records[1:]]
+        assert times == sorted(times)
+
+    def test_save_twice_is_byte_identical(self, mini_history, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        mini_history.save(a)
+        mini_history.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "header", "schema": 999}) + "\n")
+        with pytest.raises(ValueError, match="unsupported history schema"):
+            LoadHistory.load(path)
+
+    def test_record_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "tick", "t": 0.0}) + "\n")
+        with pytest.raises(ValueError, match="record before header"):
+            LoadHistory.load(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {"kind": "header", "schema": HISTORY_SCHEMA}
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps({"kind": "mystery", "t": 1.0}) + "\n"
+        )
+        with pytest.raises(ValueError, match="unknown record kind"):
+            LoadHistory.load(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no header"):
+            LoadHistory.load(path)
+
+    def test_plan_digest_is_content_addressed(self):
+        plan_a = Plan.bootstrap(["a", "b"], vnodes=8)
+        plan_b = Plan.bootstrap(["a", "b"], vnodes=8)
+        assert plan_digest(plan_a) == plan_digest(plan_b)
+        assert plan_digest(plan_a) != plan_digest(Plan.bootstrap(["a"], vnodes=8))

@@ -1,0 +1,137 @@
+"""Offline replay: seam equivalence, determinism, policy comparison, CLI."""
+
+import json
+
+import pytest
+
+from repro.core.policy import available_policies
+from repro.lab.cli import main
+from repro.lab.compare import compare_policies
+from repro.lab.replay import MODELED, VERBATIM, PolicyReplayer
+
+
+class TestSeamEquivalence:
+    """The gate: verbatim paper replay reproduces the live plan sequence."""
+
+    def test_verbatim_paper_replay_matches_live_plans(self, mini_history):
+        result = PolicyReplayer(mini_history, "paper", mode=VERBATIM).run(verify=True)
+        assert result.divergences == []
+        assert result.equivalent
+        # every recorded plan was reproduced, digest for digest
+        recorded = [(p.version, p.digest) for p in mini_history.plans]
+        replayed = [(v, d) for (__, v, d) in result.plan_seq]
+        assert replayed == recorded
+
+    def test_divergence_is_detected(self, mini_history):
+        """A non-paper policy replayed over the same history diverges --
+        the verify machinery must say so rather than vacuously pass."""
+        result = PolicyReplayer(mini_history, "least_loaded", mode=VERBATIM).run(
+            verify=True
+        )
+        assert result.divergences
+        assert not result.equivalent
+
+
+class TestDeterminism:
+    def test_replay_twice_identical(self, mini_history):
+        a = PolicyReplayer(mini_history, "chbl").run()
+        b = PolicyReplayer(mini_history, "chbl").run()
+        assert a.metrics.to_dict() == b.metrics.to_dict()
+        assert a.plan_seq == b.plan_seq
+
+    def test_compare_report_deterministic(self, mini_history):
+        one = compare_policies(mini_history).to_json()
+        two = compare_policies(mini_history).to_json()
+        assert one == two
+
+
+class TestModeledReplay:
+    def test_all_policies_complete(self, mini_history):
+        report = compare_policies(mini_history)
+        assert [m.policy for m in report.rows] == available_policies()
+        for m in report.rows:
+            assert m.ticks == len(mini_history.ticks)
+            assert m.mode == MODELED
+            assert m.server_seconds > 0
+            assert m.peak_load_ratio > 0
+
+    def test_flash_crowd_forces_action(self, mini_history):
+        """The recorded flash crowd overloads the pool: every policy must
+        have reacted (spawned or migrated), none may sit still."""
+        report = compare_policies(mini_history)
+        for m in report.rows:
+            assert m.plan_pushes > 0 or m.spawns > 0, m.policy
+
+    def test_sla_scopes_in_report(self, mini_history):
+        metrics = PolicyReplayer(mini_history, "paper").run().metrics
+        assert "overall" in metrics.sla["scopes"]
+        assert metrics.sla_violation_seconds >= 0.0
+
+    def test_markdown_report_lists_all_policies(self, mini_history):
+        text = compare_policies(mini_history).to_markdown()
+        for name in available_policies():
+            assert f"| {name} |" in text
+
+    def test_unknown_policy_rejected(self, mini_history):
+        with pytest.raises(ValueError, match="unknown rebalance policy"):
+            PolicyReplayer(mini_history, "nope")
+
+    def test_unknown_mode_rejected(self, mini_history):
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            PolicyReplayer(mini_history, "paper", mode="psychic")
+
+
+class TestCli:
+    @pytest.fixture()
+    def history_file(self, mini_history, tmp_path):
+        path = tmp_path / "mini.jsonl"
+        mini_history.save(path)
+        return path
+
+    def test_replay_verify_exit_codes(self, history_file, capsys):
+        ok = main(
+            ["replay", str(history_file), "--policy", "paper", "--mode", "verbatim", "--verify"]
+        )
+        assert ok == 0
+        assert "matches the recorded run" in capsys.readouterr().out
+        bad = main(
+            [
+                "replay",
+                str(history_file),
+                "--policy",
+                "least_loaded",
+                "--mode",
+                "verbatim",
+                "--verify",
+            ]
+        )
+        assert bad == 1
+
+    def test_replay_json_output(self, history_file, capsys):
+        assert main(["replay", str(history_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "paper"
+        assert payload["ticks"] == 45
+
+    def test_compare_writes_report(self, history_file, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["compare", str(history_file), "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Policy lab:")
+        for name in available_policies():
+            assert f"| {name} |" in text
+
+    def test_compare_policy_subset(self, history_file, capsys):
+        assert main(["compare", str(history_file), "--policies", "paper,chbl"]) == 0
+        out = capsys.readouterr().out
+        assert "| paper |" in out
+        assert "| chbl |" in out
+        assert "| least_loaded |" not in out
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "steady.jsonl"
+        assert main(["record", "--scenario", "steady", "--seed", "3", "--out", str(path)]) == 0
+        assert (
+            main(["replay", str(path), "--policy", "paper", "--mode", "verbatim", "--verify"])
+            == 0
+        )
