@@ -86,6 +86,7 @@ class AnalysisConfig:
     wire_messages: Tuple[str, ...] = (
         "src/repro/core/messages.py",
         "src/repro/broker/commands.py",
+        "src/repro/core/reliability.py",
     )
     #: file parsed for the TRC001 event registry
     trace_schema: str = "src/repro/obs/trace.py"

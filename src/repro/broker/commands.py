@@ -10,7 +10,7 @@ faithful to the paper's "no changes to Redis itself" constraint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,10 +22,19 @@ class SubscribeCmd:
     but the co-located dispatcher reads it to detect subscribers acting on
     stale plans -- e.g. every CH-fallback subscriber of a replicated
     channel would otherwise pile onto the same ring-determined server.
+
+    ``resume_after``/``resume_epoch`` carry the client's replay resume
+    point when the reliability layer is active (MigratoryData-style
+    reconnect): the broker replays cached publications with a higher
+    sequence number if the epoch matches its current boot.  The defaults
+    (-1) mean "no resume requested" and keep the command byte-identical
+    for unreliable runs.
     """
 
     channel: str
     plan_version: int = 0
+    resume_after: int = -1
+    resume_epoch: int = -1
 
     #: Approximate wire size of a subscribe command in bytes.
     WIRE_SIZE = 64
@@ -46,11 +55,17 @@ class PublishCmd:
 
     ``payload_size`` is the application payload size in bytes; the server
     adds per-message protocol overhead when forwarding to subscribers.
+
+    ``control`` marks middleware control traffic riding the pub/sub
+    primitives (dispatcher switch notices): the reliability layer must not
+    sequence or cache it -- control publications are invisible to the
+    application ledger, so stamping them would fabricate gaps.
     """
 
     channel: str
     payload: Any
     payload_size: int
+    control: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,7 +110,14 @@ class PongReply:
 
 @dataclass(frozen=True, slots=True)
 class Delivery:
-    """Server forwards a publication to one subscriber."""
+    """Server forwards a publication to one subscriber.
+
+    ``seq``/``epoch`` are stamped by the owning broker when the
+    reliability layer is active (``seq`` stays ``None`` otherwise -- and
+    always for control publications); ``replayed`` marks gap-repair and
+    resume redeliveries so clients and oracles can tell them from the
+    original fan-out.
+    """
 
     channel: str
     payload: Any
@@ -104,6 +126,43 @@ class Delivery:
     #: client library detect deliveries from servers it is migrating away
     #: from).
     server_id: str
+    seq: Optional[int] = None
+    epoch: int = 0
+    replayed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayRequest:
+    """Client asks the broker to resend a cached sequence range.
+
+    Sent when gap tracking detects missing sequence numbers on a live
+    connection (``after_seq`` = one below the lowest missing seq,
+    ``up_to_seq`` = the highest).  The broker answers with replayed
+    :class:`Delivery` messages and, for evicted prefixes, a
+    :class:`ReplayGapNotice`.
+    """
+
+    channel: str
+    epoch: int
+    after_seq: int
+    up_to_seq: int
+
+    WIRE_SIZE = 64
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayGapNotice:
+    """Broker's truthful "that range is gone": cache eviction passed
+    ``through_seq``, so sequence numbers at or below it cannot be
+    replayed.  The client stops chasing them and the check harness
+    records the window as an unrecoverable (excused) gap."""
+
+    server_id: str
+    channel: str
+    epoch: int
+    through_seq: int
+
+    WIRE_SIZE = 64
 
 
 @dataclass(frozen=True, slots=True)

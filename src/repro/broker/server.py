@@ -27,13 +27,23 @@ from repro.broker.commands import (
     PingCmd,
     PongReply,
     PublishCmd,
+    ReplayGapNotice,
+    ReplayRequest,
     SubscribeAck,
     SubscribeCmd,
     UnsubscribeCmd,
 )
 from repro.broker.config import BrokerConfig
 from repro.broker.connection import Connection
-from repro.obs.trace import NULL_TRACER, FanoutEvent, Tracer, channel_class
+from repro.core.reliability import BrokerReliability
+from repro.obs.trace import (
+    NULL_TRACER,
+    FanoutEvent,
+    ReplayEvent,
+    ReplayGapEvent,
+    Tracer,
+    channel_class,
+)
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 
@@ -55,10 +65,14 @@ class PubSubServer(Actor):
         config: Optional[BrokerConfig] = None,
         *,
         tracer: Tracer = NULL_TRACER,
+        reliability: Optional[BrokerReliability] = None,
     ):
         super().__init__(sim, node_id, is_infra=True)
         self.config = config if config is not None else BrokerConfig()
         self.tracer = tracer
+        #: opt-in reliable-delivery state (sequencing + replay cache);
+        #: ``None`` keeps the broker byte-identical to the base semantics.
+        self.reliability = reliability
         self._connections: Dict[str, Connection] = {}
         #: channel -> client node ids subscribed remotely.  An
         #: insertion-ordered dict (used as an ordered set) so fan-out
@@ -137,9 +151,17 @@ class PubSubServer(Actor):
         if isinstance(message, PublishCmd):
             self._handle_publish(message, src_id)
         elif isinstance(message, SubscribeCmd):
-            self._handle_subscribe(message.channel, src_id, message.plan_version)
+            self._handle_subscribe(
+                message.channel,
+                src_id,
+                message.plan_version,
+                message.resume_after,
+                message.resume_epoch,
+            )
         elif isinstance(message, UnsubscribeCmd):
             self._handle_unsubscribe(message.channel, src_id)
+        elif isinstance(message, ReplayRequest):
+            self._handle_replay_request(message, src_id)
         elif isinstance(message, PingCmd):
             self.transport.send(
                 self.node_id, src_id, PongReply(self.node_id), PongReply.WIRE_SIZE
@@ -154,7 +176,14 @@ class PubSubServer(Actor):
             self._connections[client_id] = conn
         return conn
 
-    def _handle_subscribe(self, channel: str, client_id: str, plan_version: int = 0) -> None:
+    def _handle_subscribe(
+        self,
+        channel: str,
+        client_id: str,
+        plan_version: int = 0,
+        resume_after: int = -1,
+        resume_epoch: int = -1,
+    ) -> None:
         conn = self._conn_for(client_id)
         conn.channels.add(channel)
         self._channels.setdefault(channel, {})[client_id] = None
@@ -163,6 +192,12 @@ class PubSubServer(Actor):
         self.transport.send(self.node_id, client_id, ack, SubscribeAck.WIRE_SIZE)
         for listener in self._subscribe_listeners:
             listener(channel, client_id, plan_version)
+        # Reconnect resume: replay what this boot cached past the client's
+        # last-seen sequence number.  A mismatched epoch means the client's
+        # position is from another boot of this id -- a fresh stream, so
+        # there is nothing meaningful to replay (replay_slice rejects it).
+        if resume_after >= 0 and self.reliability is not None:
+            self._replay_range(client_id, channel, resume_epoch, resume_after, None)
 
     def _handle_unsubscribe(self, channel: str, client_id: str) -> None:
         conn = self._connections.get(client_id)
@@ -175,6 +210,101 @@ class PubSubServer(Actor):
                 del self._channels[channel]
         for listener in self._unsubscribe_listeners:
             listener(channel, client_id)
+
+    # ------------------------------------------------------------------
+    # Reliable delivery: replay requests and resume-on-subscribe
+    # ------------------------------------------------------------------
+    def _handle_replay_request(self, request: ReplayRequest, client_id: str) -> None:
+        if self.reliability is None:
+            return
+        self._replay_range(
+            client_id,
+            request.channel,
+            request.epoch,
+            request.after_seq,
+            request.up_to_seq,
+        )
+
+    def _replay_range(
+        self,
+        client_id: str,
+        channel: str,
+        epoch: int,
+        after_seq: int,
+        up_to_seq: Optional[int],
+    ) -> None:
+        """Resend cached ``(after_seq, up_to_seq]`` to one client.
+
+        ``up_to_seq=None`` (the resume case) means "everything newer".
+        Evicted prefixes produce a truthful :class:`ReplayGapNotice`
+        instead of silently succeeding.  With the test-only kill switch
+        off (``replay_enabled=False``) nothing is sent at all -- not even
+        the gap notice -- which is exactly the silent loss the gap-free
+        oracle exists to catch.
+        """
+        rel = self.reliability
+        if up_to_seq is None:
+            up_to_seq = rel.cache_for(channel).next_seq - 1
+        replay = rel.replay_slice(channel, epoch, after_seq, up_to_seq)
+        if replay is None:
+            return
+        now = self.sim.now
+        tracer = self.tracer
+        if replay.gap_through > 0:
+            rel.unrecoverable_gaps += 1
+            notice = ReplayGapNotice(self.node_id, channel, epoch, replay.gap_through)
+            self.transport.send(
+                self.node_id, client_id, notice, ReplayGapNotice.WIRE_SIZE
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    ReplayGapEvent(
+                        now,
+                        self.node_id,
+                        channel,
+                        client_id,
+                        epoch,
+                        after_seq + 1,
+                        replay.gap_through,
+                    )
+                )
+        if not replay.entries:
+            return
+        total_bytes = 0
+        for entry in replay.entries:
+            delivery = Delivery(
+                channel,
+                entry.payload,
+                entry.payload_size,
+                self.node_id,
+                entry.seq,
+                epoch,
+                True,
+            )
+            self.transport.send(self.node_id, client_id, delivery, entry.wire_size)
+            total_bytes += entry.wire_size
+        rel.replayed_messages += len(replay.entries)
+        rel.replayed_bytes += total_bytes
+        if tracer.enabled:
+            tracer.emit(
+                ReplayEvent(
+                    now,
+                    self.node_id,
+                    channel,
+                    client_id,
+                    epoch,
+                    replay.entries[0].seq,
+                    replay.entries[-1].seq,
+                    len(replay.entries),
+                    total_bytes,
+                )
+            )
+            tracer.metrics.counter(
+                "replayed_messages_total", server=self.node_id
+            ).inc(len(replay.entries))
+            tracer.metrics.counter(
+                "replayed_bytes_total", server=self.node_id
+            ).inc(total_bytes)
 
     def _handle_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
         """Queue a publish on the CPU; deliveries happen at CPU completion."""
@@ -201,9 +331,21 @@ class PubSubServer(Actor):
         now = self.sim.now
         channel = cmd.channel
         wire_size = cmd.payload_size + self.config.per_message_overhead_bytes
+        # Reliable tiers: stamp the publication's sequence number and cache
+        # it for replay -- even with zero live subscribers, because a
+        # disconnected subscriber will ask for exactly these on resume.
+        # Control publications (switch notices) are never sequenced: they
+        # are invisible to the application, so stamping them would
+        # fabricate gaps no one can observe being filled.
+        seq: Optional[int] = None
+        epoch = 0
+        rel = self.reliability
+        if rel is not None and not cmd.control and rel.config.replay_active:
+            seq = rel.stamp_and_cache(channel, cmd.payload, cmd.payload_size, wire_size)
+            epoch = rel.epoch
         # One immutable payload envelope shared by every subscriber's
         # delivery -- the whole fan-out references the same object.
-        delivery = Delivery(channel, cmd.payload, cmd.payload_size, self.node_id)
+        delivery = Delivery(channel, cmd.payload, cmd.payload_size, self.node_id, seq, epoch)
 
         delivered = 0
         subs = self._channels.get(channel)

@@ -16,7 +16,18 @@ resulting trace plus final state against invariant *oracles*:
 * replication soundness -- Algorithm 1's schemes never activate below
   their thresholds and respect the replication-server cap;
 * ring load bounds -- the consistent-hashing fallback spreads channels
-  evenly and its exclusion walk is deterministic.
+  evenly and its exclusion walk is deterministic;
+* gap-free sequenced delivery -- under the reliable tiers, every
+  sequence hole a client demonstrably noticed is repaired via replay
+  (even through fault turbulence), unless the broker truthfully declared
+  it unrecoverable;
+* causal order -- with causal mode on, the application never sees a
+  visible FIFO or dependency inversion it did not explicitly time out on.
+
+Scenarios also carry a delivery-guarantee axis (``delivery_tier`` in
+{at_most_once, at_least_once, exactly_once}, plus ``causal_order``),
+sampled by the generator and pinnable from the CLI via ``--tier`` /
+``--causal``.
 
 Violations shrink to minimal reproducers (fewer faults, fewer channels
 and clients, shorter horizons) and replay from a printed seed::
@@ -29,10 +40,18 @@ documented at-most-once carve-out during the repair window.
 
 from repro.check.generate import FAULT_PROFILES, WORKLOAD_SHAPES, generate_scenario
 from repro.check.oracles import Violation, check_result
-from repro.check.scenario import Ledger, RunResult, Scenario, run_scenario
+from repro.check.scenario import (
+    DeliveryRecord,
+    Ledger,
+    RunResult,
+    Scenario,
+    run_scenario,
+    with_reliable_break,
+)
 from repro.check.shrink import shrink
 
 __all__ = [
+    "DeliveryRecord",
     "FAULT_PROFILES",
     "Ledger",
     "RunResult",
@@ -43,4 +62,5 @@ __all__ = [
     "generate_scenario",
     "run_scenario",
     "shrink",
+    "with_reliable_break",
 ]

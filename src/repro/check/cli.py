@@ -11,20 +11,26 @@ Modes:
   reproducer artifact) without regenerating from the seed.
 
 ``--break-repair-replay`` flips the dispatcher's test-only kill switch so
-the suite's own detection power can be demonstrated end to end.
+the suite's own detection power can be demonstrated end to end;
+``--break-reliable-replay`` does the same for the reliable tier's gap
+replay (the gap-free oracle must catch it).  ``--tier`` and
+``--causal``/``--no-causal`` pin the delivery tier and causal mode
+instead of letting the generator sample them.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.check.generate import generate_scenario
 from repro.check.oracles import Violation, check_result
-from repro.check.scenario import Scenario, run_scenario, with_break
+from repro.check.scenario import Scenario, run_scenario, with_break, with_reliable_break
 from repro.check.shrink import shrink
+from repro.core.config import DELIVERY_TIERS
 from repro.obs.sink import StreamingJsonlSink
 from repro.obs.trace import Tracer
 
@@ -63,6 +69,12 @@ def _handle_failure(
         print(f"\nreproducer written to {path}")
         print(f"replay file : python -m repro.check --scenario {path}")
     extra = " --break-repair-replay" if scenario.break_repair_replay else ""
+    if scenario.break_reliable_replay:
+        extra += " --break-reliable-replay"
+    # Pin the tier/causal axis explicitly: the replay must not depend on
+    # whether the original run sampled or overrode them.
+    extra += f" --tier {scenario.delivery_tier}"
+    extra += " --causal" if scenario.causal_order else " --no-causal"
     print(f"replay seed : python -m repro.check --seed {scenario.seed}{extra}")
     return 1
 
@@ -83,6 +95,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--break-repair-replay", action="store_true",
                         help="disable the dispatcher's repair-buffer replay "
                              "(test-only fault to demo oracle detection)")
+    parser.add_argument("--break-reliable-replay", action="store_true",
+                        help="disable the reliable tier's gap replay "
+                             "(test-only fault: the gap-free oracle must "
+                             "catch it)")
+    parser.add_argument("--tier", choices=DELIVERY_TIERS, default=None,
+                        help="pin the delivery tier instead of sampling it")
+    parser.add_argument("--causal", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="pin causal-order mode on (--causal) or off "
+                             "(--no-causal) instead of sampling it")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report the first violation without shrinking")
     parser.add_argument("--shrink-budget", type=int, default=32,
@@ -99,15 +121,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario = Scenario.from_json(args.scenario.read_text(encoding="utf-8"))
         if args.break_repair_replay:
             scenario = with_break(scenario)
+        if args.break_reliable_replay:
+            scenario = with_reliable_break(scenario)
+        if args.tier is not None:
+            scenario = replace(scenario, delivery_tier=args.tier)
+        if args.causal is not None:
+            scenario = replace(scenario, causal_order=args.causal)
         scenarios = [scenario]
-    elif args.seed is not None:
-        scenarios = [
-            generate_scenario(args.seed, break_repair_replay=args.break_repair_replay)
-        ]
     else:
+        seeds = [args.seed] if args.seed is not None else range(args.iterations)
         scenarios = [
-            generate_scenario(seed, break_repair_replay=args.break_repair_replay)
-            for seed in range(args.iterations)
+            generate_scenario(
+                seed,
+                break_repair_replay=args.break_repair_replay,
+                break_reliable_replay=args.break_reliable_replay,
+                delivery_tier=args.tier,
+                causal_order=args.causal,
+            )
+            for seed in seeds
         ]
 
     for scenario in scenarios:

@@ -3,9 +3,17 @@
 One seed maps deterministically to one :class:`Scenario`: a workload
 shape (steady, hot-channel skew, flash crowd, churny subscribers) crossed
 with a fault profile (none, single crash, crash+restart, double crash,
-partition, degraded link, LLA stall).  All fault activity lands well
-before the settle window so every run ends with a fault-free convergence
-phase for the consistency oracles to assert over.
+partition, degraded link, LLA stall, client-side partition, client-side
+loss) and a delivery tier (plus an optional causal-order mode).  All
+fault activity lands well before the settle window so every run ends
+with a fault-free convergence phase for the consistency oracles to
+assert over.
+
+The two client-side profiles degrade the subscriber--broker edge rather
+than an inter-server link: they are the profiles that exercise the
+reliable tier's gap detection and sequenced replay (a lossy client link
+drops deliveries mid-stream, which at-least-once/exactly-once must
+repair via ReplayRequest).
 
 The generator RNG is local to this module and keyed off the seed alone --
 the run itself draws every decision from the cluster's seeded registry,
@@ -16,9 +24,10 @@ from ``s``.
 from __future__ import annotations
 
 from random import Random
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.check.scenario import Scenario
+from repro.core.config import DELIVERY_TIERS
 from repro.faults.schedule import (
     CrashServer,
     DegradeLink,
@@ -37,7 +46,12 @@ FAULT_PROFILES = (
     "partition",
     "degrade",
     "stall",
+    "client-partition",
+    "client-loss",
 )
+
+#: probability that a generated scenario turns causal ordering on
+CAUSAL_PROBABILITY = 0.25
 
 HORIZON_S = 30.0
 SETTLE_S = 12.0
@@ -51,7 +65,7 @@ def _round(value: float) -> float:
 
 
 def _fault_schedule(
-    rng: Random, profile: str, server_ids: List[str]
+    rng: Random, profile: str, server_ids: List[str], client_ids: List[str]
 ) -> Tuple[FaultAction, ...]:
     lo, hi = FAULT_WINDOW
     at = _round(rng.uniform(lo, hi))
@@ -89,11 +103,48 @@ def _fault_schedule(
         return (
             StallLla(at, rng.choice(server_ids), duration_s=_round(rng.uniform(3.0, 6.0))),
         )
+    if profile == "client-partition":
+        # Briefly isolate one subscriber from one broker: short enough
+        # that the client's ping failover usually does not abandon the
+        # server, so the heal is followed by gap replay on that link.
+        client = rng.choice(client_ids)
+        server = rng.choice(server_ids)
+        until = _round(min(at + rng.uniform(1.5, 2.5), hi + 2.0))
+        return (PartitionNodes(at, client, server, until=until),)
+    if profile == "client-loss":
+        # A lossy subscriber--broker edge: deliveries drop mid-stream but
+        # the connection survives, the canonical sequenced-replay case.
+        client = rng.choice(client_ids)
+        server = rng.choice(server_ids)
+        until = _round(min(at + rng.uniform(2.0, 4.0), hi + 2.0))
+        return (
+            DegradeLink(
+                at,
+                client,
+                server,
+                loss=round(rng.uniform(0.3, 0.6), 2),
+                jitter_s=0.02,
+                until=until,
+            ),
+        )
     raise ValueError(f"unknown fault profile: {profile!r}")
 
 
-def generate_scenario(seed: int, *, break_repair_replay: bool = False) -> Scenario:
-    """Deterministically derive one scenario from ``seed``."""
+def generate_scenario(
+    seed: int,
+    *,
+    break_repair_replay: bool = False,
+    break_reliable_replay: bool = False,
+    delivery_tier: Optional[str] = None,
+    causal_order: Optional[bool] = None,
+) -> Scenario:
+    """Deterministically derive one scenario from ``seed``.
+
+    ``delivery_tier`` / ``causal_order`` override the sampled values
+    without perturbing any other draw: the generator always consumes the
+    same RNG stream, so overriding the tier yields the *same* workload
+    and fault timeline under a different delivery guarantee.
+    """
     rng = Random(f"repro-check:{seed}")
     shape = WORKLOAD_SHAPES[rng.randrange(len(WORKLOAD_SHAPES))]
     profile = FAULT_PROFILES[rng.randrange(len(FAULT_PROFILES))]
@@ -113,20 +164,40 @@ def generate_scenario(seed: int, *, break_repair_replay: bool = False) -> Scenar
     elif shape == "churny":
         churn_interval_s = _round(rng.uniform(1.0, 2.0))
 
+    channels = rng.randint(2, 6)
+    subscribers = rng.randint(3, 8)
+    publishers = rng.randint(2, 4)
+    publish_interval_s = rng.choice([0.4, 0.6, 0.8])
+    payload_size = rng.choice([48, 64, 128])
+    client_ids = [f"reader{i}" for i in range(subscribers)]
+    faults = _fault_schedule(rng, profile, server_ids, client_ids)
+
+    # Tier and causal mode are drawn unconditionally so that overriding
+    # them never shifts the stream consumed by the draws above.
+    tier = DELIVERY_TIERS[rng.randrange(len(DELIVERY_TIERS))]
+    causal = rng.random() < CAUSAL_PROBABILITY
+    if delivery_tier is not None:
+        tier = delivery_tier
+    if causal_order is not None:
+        causal = causal_order
+
     return Scenario(
         seed=seed,
         label=f"{shape}+{profile}",
         horizon_s=HORIZON_S,
         settle_s=SETTLE_S,
         initial_servers=initial_servers,
-        channels=rng.randint(2, 6),
-        subscribers=rng.randint(3, 8),
-        publishers=rng.randint(2, 4),
-        publish_interval_s=rng.choice([0.4, 0.6, 0.8]),
-        payload_size=rng.choice([48, 64, 128]),
+        channels=channels,
+        subscribers=subscribers,
+        publishers=publishers,
+        publish_interval_s=publish_interval_s,
+        payload_size=payload_size,
         hot_channel_bias=hot_channel_bias,
         flash_crowd_at_s=flash_crowd_at_s,
         churn_interval_s=churn_interval_s,
-        faults=_fault_schedule(rng, profile, server_ids),
+        faults=faults,
         break_repair_replay=break_repair_replay,
+        delivery_tier=tier,
+        causal_order=causal,
+        break_reliable_replay=break_reliable_replay,
     )

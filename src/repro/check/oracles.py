@@ -13,8 +13,13 @@ windows where the documented semantics are weaker:
   subscriber re-attached must still reach it, via the dispatcher's
   repair buffer, as long as the buffer's documented time/size bounds and
   a clean single-crash context hold;
-* **at-most-once** has no carve-out: the application never sees one
-  message id twice, ever.
+* **at-most-once** has no carve-out (the application never sees one
+  message id twice) except under the ``at_least_once`` delivery tier,
+  which does not promise it;
+* **gap-free** and **causal-order** assert the reliable delivery tier's
+  contracts: noticed sequence holes get replayed (even through fault
+  turbulence -- that is the tier's job), and causal mode never shows the
+  application a visible inversion it did not explicitly time out on.
 
 All margins here are deliberately conservative: a property suite that
 cries wolf on scheduling jitter is worse than one that checks less.
@@ -39,11 +44,13 @@ from repro.faults.schedule import (
     StallLla,
 )
 from repro.obs.trace import (
+    CausalTimeoutEvent,
     FanoutEvent,
     PlanAppliedEvent,
     PlanRepairDoneEvent,
     PlanRepairStartEvent,
     PublishEvent,
+    ReplayGapEvent,
     ServerCrashEvent,
 )
 
@@ -57,6 +64,9 @@ PRE_SUB_MARGIN_S = 1.5
 #: slack subtracted from the repair-buffer window before the bridging
 #: oracle considers a publication guaranteed
 REPAIR_WINDOW_SLACK_S = 0.5
+#: a sequence gap first noticed this close to the horizon is not asserted
+#: repaired (the replay request + retransmission needs round trips)
+GAP_SETTLE_GRACE_S = 4.0
 
 
 @dataclass(frozen=True)
@@ -291,9 +301,19 @@ def oracle_repair_bridging(result: RunResult) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
-# O3: at-most-once delivery (no carve-out)
+# O3: at-most-once delivery (no carve-out, tier permitting)
 # ----------------------------------------------------------------------
 def oracle_at_most_once(result: RunResult) -> List[Violation]:
+    """The application never sees one message id twice.
+
+    Asserted under ``at_most_once`` (no replay to duplicate anything) and
+    ``exactly_once`` (replay deduplicated by message id).  The
+    ``at_least_once`` tier explicitly does not promise this -- a replayed
+    message past the dedup window may legally surface twice -- so the
+    oracle stands down there.
+    """
+    if result.scenario.delivery_tier == "at_least_once":
+        return []
     return [
         Violation(
             "at-most-once",
@@ -496,6 +516,180 @@ def oracle_ring_bounds(result: RunResult) -> List[Violation]:
     return violations
 
 
+# ----------------------------------------------------------------------
+# O7: gap-free sequenced delivery (reliable tiers)
+# ----------------------------------------------------------------------
+def oracle_gap_free(result: RunResult) -> List[Violation]:
+    """Under a reliable tier, every *interior* sequence hole gets repaired.
+
+    Per (client, broker, boot epoch, channel) stream: if the client
+    delivered seq ``a`` and later delivered some seq ``b > a + 1``, it
+    demonstrably noticed the hole ``(a, b)`` -- the reliable tier must
+    have filled it via replay by the end of the run.  Tail holes (nothing
+    delivered past them) are unobservable to the client and not asserted.
+
+    A hole is excused only when repair was legitimately impossible:
+
+    * the broker truthfully reported it unrecoverable (cache eviction,
+      a ``gap_unrecoverable`` trace event covering those seqs);
+    * the broker crashed once the hole was noticed (replay source gone);
+    * the client's subscription lapsed across the hole (mid-stream
+      rejoin adopts the current seq rather than chasing history);
+    * the hole was first noticed within :data:`GAP_SETTLE_GRACE_S` of
+      the horizon (the repair round trips had no time to land).
+
+    Deliberately *not* excused: fault turbulence.  Repairing the gaps
+    that faults tear open is the reliable tier's entire job, and this is
+    what lets the oracle catch a disabled replay path.
+    """
+    scenario = result.scenario
+    if scenario.delivery_tier == "at_most_once":
+        return []
+    violations: List[Violation] = []
+    ledger = result.ledger
+    horizon = scenario.horizon_s
+
+    crash_times: Dict[str, List[float]] = {}
+    for event in result.tracer.events_of(ServerCrashEvent):
+        crash_times.setdefault(event.server, []).append(event.t)
+    #: (client, server, epoch, channel) -> seqs reported evicted through
+    evicted_through: Dict[Tuple[str, str, int, str], int] = {}
+    for event in result.tracer.events_of(ReplayGapEvent):
+        key = (event.client, event.server, event.epoch, event.channel)
+        evicted_through[key] = max(evicted_through.get(key, 0), event.to_seq)
+
+    streams: Dict[Tuple[str, str, int, str], Dict[int, float]] = {}
+    for t, client, server, channel, epoch, seq in ledger.seq_observations:
+        key = (client, server, epoch, channel)
+        first_t = streams.setdefault(key, {})
+        if seq not in first_t:
+            first_t[seq] = t
+
+    for key in sorted(streams):
+        client, server, epoch, channel = key
+        first_t = streams[key]
+        seqs = sorted(first_t)
+        floor = evicted_through.get(key, 0)
+        for prev, nxt in zip(seqs, seqs[1:]):
+            if nxt == prev + 1:
+                continue
+            if nxt - 1 <= floor:
+                continue  # broker reported these seqs evicted
+            # When did the client first see past the hole?
+            t_known = min(t for s, t in first_t.items() if s > prev)
+            if t_known > horizon - GAP_SETTLE_GRACE_S:
+                continue
+            if any(t >= t_known - 1.0 for t in crash_times.get(server, ())):
+                continue  # replay source died
+            if not ledger.covers(client, channel, first_t[prev], t_known):
+                continue  # subscription lapsed across the hole
+            violations.append(
+                Violation(
+                    "gap-free",
+                    f"{client} delivered seq {prev} then {nxt} from "
+                    f"{server} (epoch {epoch}) on {channel} but seqs "
+                    f"{prev + 1}..{nxt - 1} were never replayed "
+                    f"({scenario.delivery_tier} tier)",
+                    t=t_known,
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# O8: causal order per channel (causal mode)
+# ----------------------------------------------------------------------
+def oracle_causal_order(result: RunResult) -> List[Violation]:
+    """With causal mode on, app-level delivery never inverts causality.
+
+    Per (client, channel), two invariants over the delivery sequence:
+    sender FIFO (no message from a sender delivered after a later one
+    from the same sender) and dependency order (a message is never
+    delivered before a dependency that the client *does* eventually
+    deliver).  Losses are not violations -- only visible inversions are.
+
+    Excused inversions: the late-arriving side came in via gap replay
+    (``replayed`` deliveries recover history, they cannot retroactively
+    reorder it), and anything at or after the client's first causal park
+    timeout on that channel (the flush deliberately abandons ordering
+    and force-advances the delivered vector).
+    """
+    if not result.scenario.causal_order:
+        return []
+    violations: List[Violation] = []
+    ledger = result.ledger
+
+    flush_t: Dict[Tuple[str, str], float] = {}
+    for event in result.tracer.events_of(CausalTimeoutEvent):
+        key = (event.client, event.channel)
+        flush_t[key] = min(flush_t.get(key, event.t), event.t)
+
+    per_pair: Dict[Tuple[str, str], List] = {}
+    for record in ledger.records:
+        if record.pub_seq <= 0:
+            continue
+        per_pair.setdefault((record.client, record.channel), []).append(record)
+
+    for pair in sorted(per_pair):
+        client, channel = pair
+        cutoff = flush_t.get(pair, float("inf"))
+        records = per_pair[pair]
+        # First-delivery index per (sender, pub_seq); dups are ignored.
+        first_index: Dict[Tuple[str, int], int] = {}
+        for i, record in enumerate(records):
+            first_index.setdefault((record.sender, record.pub_seq), i)
+        #: per sender: delivered pub_seqs sorted, with first index
+        by_sender: Dict[str, List[Tuple[int, int]]] = {}
+        for (sender, pub_seq), i in first_index.items():
+            by_sender.setdefault(sender, []).append((pub_seq, i))
+        for entries in by_sender.values():
+            entries.sort()
+
+        max_seen: Dict[str, int] = {}
+        for i, record in enumerate(records):
+            if first_index[(record.sender, record.pub_seq)] != i:
+                continue  # duplicate delivery (at-least-once)
+            # Sender FIFO inversion.
+            prior_max = max_seen.get(record.sender, 0)
+            if (
+                record.pub_seq < prior_max
+                and not record.replayed
+                and record.t < cutoff
+            ):
+                violations.append(
+                    Violation(
+                        "causal-order",
+                        f"{client} delivered {record.sender}'s pub_seq "
+                        f"{record.pub_seq} on {channel} after already "
+                        f"seeing pub_seq {prior_max} (FIFO inversion)",
+                        t=record.t,
+                    )
+                )
+            max_seen[record.sender] = max(prior_max, record.pub_seq)
+            # Dependency inversions: a dep delivered *later* than the
+            # message that depended on it.
+            for dep_sender, dep_seq in record.deps:
+                for pub_seq, j in by_sender.get(dep_sender, ()):
+                    if pub_seq > dep_seq:
+                        break
+                    if j <= i:
+                        continue
+                    late = records[j]
+                    if late.replayed or late.t >= cutoff:
+                        continue
+                    violations.append(
+                        Violation(
+                            "causal-order",
+                            f"{client} delivered {record.sender}'s pub_seq "
+                            f"{record.pub_seq} on {channel} before its "
+                            f"dependency {dep_sender}:{pub_seq} "
+                            f"(delivered later at t={late.t:.3f})",
+                            t=record.t,
+                        )
+                    )
+    return violations
+
+
 #: every oracle, in report order
 ORACLES = (
     oracle_loss_free,
@@ -504,6 +698,8 @@ ORACLES = (
     oracle_plan_consistency,
     oracle_replication_soundness,
     oracle_ring_bounds,
+    oracle_gap_free,
+    oracle_causal_order,
 )
 
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.cluster import DynamothCluster
-from repro.core.config import DynamothConfig
+from repro.core.config import DELIVERY_TIERS, DynamothConfig
 from repro.core.plan import Plan
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import (
@@ -73,6 +73,14 @@ class Scenario:
     #: test-only: disable the dispatcher's repair-buffer replay so the
     #: oracles can be shown to catch a real loss bug
     break_repair_replay: bool = False
+    #: delivery guarantee the run executes under (the scenario-grid axis
+    #: of the delivery-guarantee testbed)
+    delivery_tier: str = "at_most_once"
+    #: per-channel causal ordering (only meaningful on reliable tiers)
+    causal_order: bool = False
+    #: test-only: disable the broker's replay path (sequencing stays on)
+    #: so the gap-free oracle can be shown to catch silent loss
+    break_reliable_replay: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon_s <= self.settle_s:
@@ -81,6 +89,8 @@ class Scenario:
             raise ValueError("need at least one channel, subscriber and publisher")
         if self.publish_interval_s <= 0:
             raise ValueError("publish_interval_s must be positive")
+        if self.delivery_tier not in DELIVERY_TIERS:
+            raise ValueError(f"delivery_tier must be one of {DELIVERY_TIERS}")
 
     # ------------------------------------------------------------------
     # Derived naming (client ids must not collide with "pubN" servers)
@@ -120,6 +130,9 @@ class Scenario:
             "plan_entry_timeout_s": self.plan_entry_timeout_s,
             "faults": [action_to_dict(a) for a in self.faults],
             "break_repair_replay": self.break_repair_replay,
+            "delivery_tier": self.delivery_tier,
+            "causal_order": self.causal_order,
+            "break_reliable_replay": self.break_reliable_replay,
         }
         return out
 
@@ -140,6 +153,33 @@ class Scenario:
 # ----------------------------------------------------------------------
 # Ground-truth ledgers
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One application-level delivery with its reliability metadata.
+
+    Recorded outside the SUT via the client's ``on_delivery`` hook; the
+    gap-free and causal-order oracles read these instead of trusting any
+    broker-side state.
+    """
+
+    t: float
+    client: str
+    channel: str
+    msg_id: str
+    sender: str
+    #: broker that fanned the delivery out
+    server: str
+    #: broker-stamped sequence number (None on at_most_once / control)
+    seq: Optional[int]
+    #: broker boot epoch the seq belongs to
+    epoch: int
+    #: whether this arrived via gap/resume replay
+    replayed: bool
+    #: causal metadata (0 / () when causal mode is off)
+    pub_seq: int
+    deps: Tuple[Tuple[str, int], ...]
+
+
 @dataclass
 class Ledger:
     """What actually happened, recorded outside the system under test."""
@@ -148,15 +188,30 @@ class Ledger:
     deliveries: List[Tuple[float, str, str, str]] = field(default_factory=list)
     #: app-visible delivery multiplicity (at-most-once oracle input)
     delivery_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: full per-delivery records including seq/dep metadata (reliability
+    #: oracles); same order as :attr:`deliveries`
+    records: List[DeliveryRecord] = field(default_factory=list)
+    #: (t, client, server, channel, epoch, seq) per *wire-level* sequenced
+    #: delivery, recorded before dedup/stale suppression -- the gap-free
+    #: oracle's input (a hole filled by a cross-stream duplicate that the
+    #: app never sees is still a filled hole)
+    seq_observations: List[Tuple[float, str, str, str, int, int]] = field(
+        default_factory=list
+    )
     #: (t, server, channel, client) per server-side SUBSCRIBE processed
     server_subs: List[Tuple[float, str, str, str]] = field(default_factory=list)
     #: (client, channel) -> closed/open [start, end] subscription intervals
     sub_intervals: Dict[Tuple[str, str], List[List[float]]] = field(default_factory=dict)
 
-    def note_delivery(self, t: float, client: str, channel: str, msg_id: str) -> None:
+    def note_delivery(
+        self, t: float, client: str, channel: str, msg_id: str,
+        record: Optional[DeliveryRecord] = None,
+    ) -> None:
         self.deliveries.append((t, client, channel, msg_id))
         key = (client, msg_id)
         self.delivery_counts[key] = self.delivery_counts.get(key, 0) + 1
+        if record is not None:
+            self.records.append(record)
 
     @property
     def delivered_pairs(self) -> Set[Tuple[str, str]]:
@@ -330,6 +385,9 @@ def run_scenario(
         # repair never re-homes anything (nor arms the repair buffer).
         load_window_s=8.0,
         repair_replay_enabled=not scenario.break_repair_replay,
+        delivery_tier=scenario.delivery_tier,
+        causal_order=scenario.causal_order,
+        reliable_replay_enabled=not scenario.break_reliable_replay,
     )
     if tracer is None:
         tracer = Tracer()
@@ -374,14 +432,43 @@ def run_scenario(
     workload = _Workload(scenario, cluster, ledger)
 
     def delivery_hook(client_id: str):
-        def hook(channel: str, envelope) -> None:
-            ledger.note_delivery(cluster.sim.now, client_id, channel, envelope.msg_id)
+        def hook(channel: str, envelope, delivery) -> None:
+            now = cluster.sim.now
+            record = DeliveryRecord(
+                t=now,
+                client=client_id,
+                channel=channel,
+                msg_id=envelope.msg_id,
+                sender=envelope.sender,
+                server=delivery.server_id,
+                seq=delivery.seq,
+                epoch=delivery.epoch,
+                replayed=delivery.replayed,
+                pub_seq=envelope.pub_seq,
+                deps=envelope.deps,
+            )
+            ledger.note_delivery(now, client_id, channel, envelope.msg_id, record)
+
+        return hook
+
+    def wire_hook(client_id: str):
+        def hook(channel: str, delivery) -> None:
+            if delivery.seq is not None:
+                ledger.seq_observations.append((
+                    cluster.sim.now,
+                    client_id,
+                    delivery.server_id,
+                    channel,
+                    delivery.epoch,
+                    delivery.seq,
+                ))
 
         return hook
 
     for reader_id in scenario.subscriber_ids():
         client = cluster.create_client(reader_id)
         client.on_delivery = delivery_hook(reader_id)
+        client.on_wire_delivery = wire_hook(reader_id)
         count = 1 + workload.wl.randrange(min(3, scenario.channels))
         for channel in sorted(workload.wl.sample(workload.channels, count)):
             workload.subscribe(reader_id, channel)
@@ -413,3 +500,8 @@ def run_scenario(
 def with_break(scenario: Scenario, broken: bool = True) -> Scenario:
     """The same scenario with the repair-replay kill switch toggled."""
     return replace(scenario, break_repair_replay=broken)
+
+
+def with_reliable_break(scenario: Scenario, broken: bool = True) -> Scenario:
+    """The same scenario with the reliable-replay kill switch toggled."""
+    return replace(scenario, break_reliable_replay=broken)

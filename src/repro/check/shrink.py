@@ -51,6 +51,13 @@ def _candidates(scenario: Scenario) -> Iterator[Scenario]:
         yield replace(scenario, flash_crowd_at_s=0.0)
     if scenario.churn_interval_s > 0.0:
         yield replace(scenario, churn_interval_s=0.0)
+    # Reliability-axis shrinks: a candidate only survives if the same
+    # oracle still trips, so downgrades that stand an oracle down (e.g.
+    # causal off for causal-order) are simply rejected by the runner.
+    if scenario.causal_order:
+        yield replace(scenario, causal_order=False)
+    if scenario.delivery_tier == "exactly_once":
+        yield replace(scenario, delivery_tier="at_least_once")
     last_fault = max((a.at for a in scenario.faults), default=0.0)
     shorter = scenario.horizon_s - 5.0
     if shorter >= scenario.settle_s + 6.0 and shorter >= last_fault + scenario.settle_s + 4.0:

@@ -30,6 +30,8 @@ from repro.broker.commands import (
     PingCmd,
     PongReply,
     PublishCmd,
+    ReplayGapNotice,
+    ReplayRequest,
     SubscribeAck,
     SubscribeCmd,
     UnsubscribeCmd,
@@ -37,8 +39,10 @@ from repro.broker.commands import (
 from repro.core.hashing import ConsistentHashRing
 from repro.core.messages import AppEnvelope, MappingNotice, SwitchNotice
 from repro.core.plan import ChannelMapping, ReplicationMode
+from repro.core.reliability import ClientReliability, ReliabilityConfig
 from repro.obs.trace import (
     NULL_TRACER,
+    CausalTimeoutEvent,
     ClientFailoverEvent,
     ClientReconnectEvent,
     DeliveryEvent,
@@ -106,6 +110,8 @@ class DynamothClient(Actor):
         reconnect_backoff_max_s: float = 10.0,
         failed_server_ttl_s: float = 60.0,
         tracer: Tracer = NULL_TRACER,
+        reliability: Optional[ReliabilityConfig] = None,
+        dedup_window: Optional[int] = None,
     ):
         super().__init__(sim, node_id, is_infra=False)
         self._ring = bootstrap_ring
@@ -130,9 +136,27 @@ class DynamothClient(Actor):
         #: Tracked so a client that disconnects mid-grace still releases
         #: every server-side subscription it holds.
         self._pending_drops: Dict[str, Set[str]] = {}
-        self._seen_ids: Set[str] = set()
+        #: msg id -> number of occurrences still inside the recency deque.
+        #: A dict (not a set) because a duplicate hit *refreshes* the id's
+        #: recency by re-appending it -- a replayed message under active
+        #: repair must not expire out of the window while its replays are
+        #: still arriving (the dedup-window edge the exactly-once tier
+        #: depends on).
+        self._seen_ids: Dict[str, int] = {}
         self._seen_order: Deque[str] = deque()
+        self._dedup_window = dedup_window if dedup_window is not None else self.DEDUP_WINDOW
         self._msg_counter = 0
+
+        # --- reliable delivery tier (repro.core.reliability) ---
+        self._rel: Optional[ClientReliability] = (
+            ClientReliability(reliability) if reliability is not None else None
+        )
+        self._causal = reliability is not None and reliability.causal_order
+        #: causal mode: per-channel out-of-order deliveries awaiting their
+        #: dependencies, in arrival order
+        self._parked: Dict[str, list] = {}
+        #: invalidates scheduled park-timeout flushes when a channel drains
+        self._park_token: Dict[str, int] = {}
 
         # --- failure detection & recovery (repro.faults subsystem) ---
         #: server -> time this client declared it dead; entries expire
@@ -165,10 +189,13 @@ class DynamothClient(Actor):
         #: back (the paper's response-time metric).
         self.on_response_time: Optional[ResponseTimeHook] = None
         #: optional ground-truth delivery ledger hook: called once per
-        #: *non-duplicate* application delivery as ``(channel, envelope)``,
-        #: before the subscription callback.  The ``repro.check`` property
-        #: harness uses it to record exactly what the application saw.
-        self.on_delivery: Optional[Callable[[str, AppEnvelope], None]] = None
+        #: *non-duplicate* application delivery as ``(channel, envelope,
+        #: delivery)``, before the subscription callback.  The
+        #: ``repro.check`` property harness uses it to record exactly what
+        #: the application saw (including seq/epoch/replayed metadata).
+        self.on_delivery: Optional[Callable[[str, AppEnvelope, Delivery], None]] = None
+        #: protocol-level tap: every delivery off the wire, pre-dedup
+        self.on_wire_delivery: Optional[Callable[[str, Delivery], None]] = None
 
         # --- counters (metrics / tests) ---
         self.published = 0
@@ -180,10 +207,26 @@ class DynamothClient(Actor):
         self.failovers = 0
         self.reconnects = 0
         self.resubscribes = 0
+        self.causal_timeouts = 0
 
     # ------------------------------------------------------------------
     # Public pub/sub API (mirrors the standard Redis client interface)
     # ------------------------------------------------------------------
+    def _subscribe_cmd(self, channel: str, version: int, server: str) -> SubscribeCmd:
+        """SUBSCRIBE for one server, with the replay resume point attached.
+
+        The resume point (last-seen sequence position on that server's
+        stream) turns reconnect into gap replay when the reliability layer
+        is on; without it (or on first contact) this is a plain SUBSCRIBE.
+        """
+        rel = self._rel
+        if rel is None or not rel.config.replay_active:
+            return SubscribeCmd(channel, version)
+        after, epoch = rel.resume_point(server, channel)
+        if after < 0:
+            return SubscribeCmd(channel, version)
+        return SubscribeCmd(channel, version, after, epoch)
+
     def subscribe(self, channel: str, callback: DeliveryCallback) -> None:
         """Subscribe to ``channel``; ``callback`` receives each publication."""
         mapping = self._resolve(channel)
@@ -195,7 +238,11 @@ class DynamothClient(Actor):
             sub.callback = callback
         desired = self._desired_sub_servers(mapping, sub.servers)
         for server in sorted(desired - sub.servers):
-            self.send(server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE)
+            self.send(
+                server,
+                self._subscribe_cmd(channel, mapping.version, server),
+                SubscribeCmd.WIRE_SIZE,
+            )
         for server in sorted(sub.servers - desired):
             self.send(server, UnsubscribeCmd(channel), UnsubscribeCmd.WIRE_SIZE)
         sub.servers = desired
@@ -217,6 +264,12 @@ class DynamothClient(Actor):
         self._acked.pop(channel, None)
         self._recovery_pending.discard(channel)
         self._recovery_attempt.pop(channel, None)
+        if self._rel is not None:
+            # A clean unsubscribe ends the stream position: a later
+            # resubscribe starts fresh rather than replaying the time away.
+            self._rel.drop_channel(channel)
+            self._parked.pop(channel, None)
+            self._park_token[channel] = self._park_token.get(channel, 0) + 1
         if sub is None and pending is None:
             return
         targets = set(sub.servers) if sub is not None else set()
@@ -233,7 +286,13 @@ class DynamothClient(Actor):
         mapping = self._resolve(channel)
         self._msg_counter += 1
         msg_id = f"{self.node_id}:{self._msg_counter}"
-        envelope = AppEnvelope(msg_id, self.node_id, body, mapping.version, self.sim.now)
+        pub_seq = 0
+        deps: Tuple[Tuple[str, int], ...] = ()
+        if self._causal and self._rel is not None:
+            pub_seq, deps = self._rel.stamp_publication(channel, self.node_id)
+        envelope = AppEnvelope(
+            msg_id, self.node_id, body, mapping.version, self.sim.now, False, pub_seq, deps
+        )
         wire_payload = payload_size + AppEnvelope.WIRE_OVERHEAD
         cmd = PublishCmd(channel, envelope, wire_payload)
         targets = mapping.publish_targets(self._rng)
@@ -400,7 +459,11 @@ class DynamothClient(Actor):
         to_drop = sorted((sub.servers | legacy) - desired)
         # Step 1: establish subscriptions on the new servers.
         for server in to_add:
-            self.send(server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE)
+            self.send(
+                server,
+                self._subscribe_cmd(channel, mapping.version, server),
+                SubscribeCmd.WIRE_SIZE,
+            )
         sub.servers = desired
         # Step 2 happens only after every new server *acked* (Redis-style
         # subscribe confirmation): re-subscribe on the kept servers with
@@ -424,7 +487,9 @@ class DynamothClient(Actor):
             return
         for server in pending.confirm:
             self.send(
-                server, SubscribeCmd(channel, pending.version), SubscribeCmd.WIRE_SIZE
+                server,
+                self._subscribe_cmd(channel, pending.version, server),
+                SubscribeCmd.WIRE_SIZE,
             )
         for server in pending.drop:
             self._pending_drops.setdefault(channel, set()).add(server)
@@ -468,6 +533,14 @@ class DynamothClient(Actor):
         elif isinstance(message, PongReply):
             self._ping_pending[message.server_id] = 0
             self._failed_servers.pop(message.server_id, None)
+        elif isinstance(message, ReplayGapNotice):
+            if self._rel is not None:
+                self._rel.forget_through(
+                    message.server_id,
+                    message.channel,
+                    message.epoch,
+                    message.through_seq,
+                )
         elif isinstance(message, ConnectionClosed):
             self._handle_disconnect(message.server_id)
         else:
@@ -491,19 +564,64 @@ class DynamothClient(Actor):
             return
 
         tracer = self._tracer
+        if self.on_wire_delivery is not None:
+            # Protocol-level tap: fires for every app delivery that made
+            # it off the wire, *before* seq/dedup suppression (a hole
+            # filled by a cross-stream duplicate is still a filled hole).
+            self.on_wire_delivery(channel, delivery)
+        rel = self._rel
+        if rel is not None and delivery.seq is not None:
+            outcome = rel.observe(
+                delivery.server_id,
+                channel,
+                delivery.seq,
+                delivery.epoch,
+                delivery.replayed,
+                self.sim.now,
+            )
+            if outcome.request is not None:
+                after, up_to = outcome.request
+                self.send(
+                    delivery.server_id,
+                    ReplayRequest(channel, delivery.epoch, after, up_to),
+                    ReplayRequest.WIRE_SIZE,
+                )
+            if not outcome.deliver:
+                # exactly_once: a sequence number already at or below the
+                # stream watermark (and not a known hole) is a replayed
+                # duplicate -- dropped *before* any msg-id bookkeeping so
+                # replay traffic can never cycle fresh ids out of the
+                # dedup window.
+                self.duplicates += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
+                return
+
         msg_id = envelope.msg_id
-        seen = self._seen_ids
-        if msg_id in seen:
+        if self._is_duplicate(msg_id):
             self.duplicates += 1
             if tracer.enabled:
                 tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
             return
-        seen.add(msg_id)
-        order = self._seen_order
-        order.append(msg_id)
-        if len(order) > self.DEDUP_WINDOW:
-            seen.discard(order.popleft())
+
+        if self._causal and rel is not None and envelope.pub_seq > 0:
+            if not rel.deliverable(
+                channel, envelope.sender, envelope.pub_seq, envelope.deps
+            ):
+                self._park(channel, envelope, delivery)
+                return
+            self._deliver_app(channel, envelope, delivery)
+            self._release_parked(channel)
+            return
+        self._deliver_app(channel, envelope, delivery)
+
+    def _deliver_app(self, channel: str, envelope: AppEnvelope, delivery: Delivery) -> None:
+        """Hand one deduplicated publication to the application."""
         self.delivered += 1
+        rel = self._rel
+        if rel is not None and envelope.pub_seq > 0:
+            rel.note_app_delivery(channel, envelope.sender, envelope.pub_seq)
+        tracer = self._tracer
         if tracer.enabled:
             latency = self.sim.now - envelope.sent_at
             tracer.emit(
@@ -526,7 +644,7 @@ class DynamothClient(Actor):
             tracer.metrics.counter("deliveries_received_total").inc()
 
         if self.on_delivery is not None:
-            self.on_delivery(channel, envelope)
+            self.on_delivery(channel, envelope, delivery)
         if envelope.sender == self.node_id and self.on_response_time is not None:
             self.on_response_time(channel, self.sim.now - envelope.sent_at, self.sim.now)
 
@@ -534,14 +652,90 @@ class DynamothClient(Actor):
         if sub is not None:
             sub.callback(channel, envelope.body, envelope)
 
+    # ------------------------------------------------------------------
+    # Causal-order parking (repro.core.reliability, causal mode)
+    # ------------------------------------------------------------------
+    def _park(self, channel: str, envelope: AppEnvelope, delivery: Delivery) -> None:
+        """Hold an out-of-order delivery until its dependencies arrive."""
+        parked = self._parked.setdefault(channel, [])
+        parked.append((envelope, delivery))
+        if len(parked) == 1:
+            token = self._park_token.get(channel, 0) + 1
+            self._park_token[channel] = token
+            self.sim.schedule(
+                self._rel.config.causal_park_timeout_s,
+                self._flush_parked,
+                channel,
+                token,
+            )
+
+    def _release_parked(self, channel: str) -> None:
+        """Deliver every parked message whose dependencies are now met."""
+        parked = self._parked.get(channel)
+        if not parked:
+            return
+        rel = self._rel
+        progress = True
+        while progress and parked:
+            progress = False
+            for index, (envelope, delivery) in enumerate(parked):
+                if rel.deliverable(
+                    channel, envelope.sender, envelope.pub_seq, envelope.deps
+                ):
+                    parked.pop(index)
+                    self._deliver_app(channel, envelope, delivery)
+                    progress = True
+                    break
+        if not parked:
+            del self._parked[channel]
+            # Invalidate the pending timeout flush: nothing left to flush.
+            self._park_token[channel] = self._park_token.get(channel, 0) + 1
+
+    def _flush_parked(self, channel: str, token: int) -> None:
+        """Park timeout: a dependency is apparently lost for good, so the
+        channel is force-flushed in arrival order rather than wedged."""
+        if not self.alive or self.transport is None:
+            return
+        if self._park_token.get(channel) != token:
+            return  # the parked set drained (or churned) since scheduling
+        parked = self._parked.pop(channel, None)
+        if not parked:
+            return
+        self.causal_timeouts += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CausalTimeoutEvent(self.sim.now, self.node_id, channel, len(parked))
+            )
+            self._tracer.metrics.counter(
+                "causal_timeouts_total", client=self.node_id
+            ).inc()
+        for envelope, delivery in parked:
+            self._deliver_app(channel, envelope, delivery)
+
     def _is_duplicate(self, msg_id: str) -> bool:
-        if msg_id in self._seen_ids:
-            return True
-        self._seen_ids.add(msg_id)
-        self._seen_order.append(msg_id)
-        if len(self._seen_order) > self.DEDUP_WINDOW:
-            self._seen_ids.discard(self._seen_order.popleft())
-        return False
+        """Message-id dedup with a count-aware LRU window.
+
+        A duplicate hit re-appends the id (recency refresh): under active
+        replay the same id keeps arriving, and the old FIFO window would
+        eventually expire it *between* two replays -- double-counting the
+        message in the delivery ledger.  Counts track how many times an id
+        sits in the deque so eviction only forgets an id when its last
+        occurrence leaves the window.
+        """
+        seen = self._seen_ids
+        order = self._seen_order
+        count = seen.get(msg_id)
+        duplicate = count is not None
+        seen[msg_id] = (count + 1) if duplicate else 1
+        order.append(msg_id)
+        if len(order) > self._dedup_window:
+            oldest = order.popleft()
+            remaining = seen[oldest] - 1
+            if remaining:
+                seen[oldest] = remaining
+            else:
+                del seen[oldest]
+        return duplicate
 
     def _handle_disconnect(self, server_id: str) -> None:
         """A server closed our connection (overload kill or decommission)."""
@@ -677,7 +871,9 @@ class DynamothClient(Actor):
             return
         for server in sorted(desired - sub.servers):
             self.send(
-                server, SubscribeCmd(channel, mapping.version), SubscribeCmd.WIRE_SIZE
+                server,
+                self._subscribe_cmd(channel, mapping.version, server),
+                SubscribeCmd.WIRE_SIZE,
             )
             self.resubscribes += 1
         sub.servers |= desired

@@ -33,6 +33,7 @@ from repro.core.dispatcher import Dispatcher, dispatcher_id
 from repro.core.lla import LocalLoadAnalyzer
 from repro.core.messages import PlanPush, ServerSpawned
 from repro.core.plan import ChannelMapping, Plan
+from repro.core.reliability import BrokerReliability, reliability_config_from
 from repro.net.latency import LatencyModel
 from repro.net.transport import Transport
 from repro.obs.sla import SlaConfig, SlaMonitor
@@ -77,6 +78,12 @@ class DynamothCluster:
             raise ValueError("initial_servers must be >= 1")
         self.config = config if config is not None else DynamothConfig()
         self.broker_config = broker_config if broker_config is not None else BrokerConfig()
+        #: reliability-layer snapshot shared by all brokers and clients;
+        #: ``None`` (plain at_most_once) keeps every component inert.
+        self.reliability_config = reliability_config_from(self.config)
+        #: server id -> boot count: a restarted id gets a new epoch so its
+        #: fresh sequence stream is never mistaken for a regression.
+        self._boot_counts: Dict[str, int] = {}
         self.sim = Simulator(scheduler=scheduler, gc_managed=gc_managed)
         self.rng = RngRegistry(seed)
         #: shared flight recorder; the no-op NULL_TRACER unless one is
@@ -182,7 +189,18 @@ class DynamothCluster:
 
     def _materialize_server(self, server_id: str) -> PubSubServer:
         """Create and wire a pub/sub server node plus its LLA/dispatcher."""
-        server = PubSubServer(self.sim, server_id, self.broker_config, tracer=self.tracer)
+        boot = self._boot_counts.get(server_id, 0) + 1
+        self._boot_counts[server_id] = boot
+        reliability = None
+        if self.reliability_config is not None and self.reliability_config.replay_active:
+            reliability = BrokerReliability(self.reliability_config, epoch=boot)
+        server = PubSubServer(
+            self.sim,
+            server_id,
+            self.broker_config,
+            tracer=self.tracer,
+            reliability=reliability,
+        )
         port = self.transport.register(server, self.broker_config.actual_egress_bps)
         self.servers[server_id] = server
         self._wire_tap(server)
@@ -365,6 +383,7 @@ class DynamothCluster:
             reconnect_backoff_max_s=self.config.reconnect_backoff_max_s,
             failed_server_ttl_s=self.config.failed_server_ttl_s,
             tracer=self.tracer,
+            reliability=self.reliability_config,
         )
         self.transport.register(client)
         self.clients[client_id] = client

@@ -12,6 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+#: Delivery-guarantee tiers of the opt-in reliability layer
+#: (``repro.core.reliability``), weakest first.
+DELIVERY_TIERS = ("at_most_once", "at_least_once", "exactly_once")
+
 
 @dataclass
 class DynamothConfig:
@@ -149,6 +153,32 @@ class DynamothConfig:
     #: oracles catch a real loss bug; production code never disables it.
     repair_replay_enabled: bool = True
 
+    # --- reliable delivery tier (repro.core.reliability) ---
+    #: delivery guarantee for application publications: ``at_most_once``
+    #: (the base semantics -- the reliability layer is entirely inert),
+    #: ``at_least_once`` (broker-side sequencing + bounded replay cache +
+    #: client gap repair), or ``exactly_once`` (at-least-once with
+    #: replayed duplicates suppressed via seq watermarks and msg-id dedup).
+    delivery_tier: str = "at_most_once"
+    #: per-channel causal ordering (VCube-PS-style): publications carry
+    #: publisher FIFO counters + dependency snapshots; clients park
+    #: deliveries until their causal dependencies have been delivered.
+    causal_order: bool = False
+    #: replay cache budgets per (server, channel): max cached messages and
+    #: max cached payload bytes.  Either at zero degrades a reliable tier
+    #: to plain at-most-once (nothing is stamped or cached).
+    replay_cache_max_msgs: int = 256
+    replay_cache_max_bytes: int = 262144
+    #: minimum seconds between two replay requests for the same stream
+    replay_retry_cooldown_s: float = 1.0
+    #: causal mode: how long an out-of-order delivery may stay parked
+    #: before the channel is force-flushed in arrival order
+    causal_park_timeout_s: float = 2.0
+    #: test-only kill switch for the broker's replay path (sequencing
+    #: stays on).  Exists so the ``repro.check`` gap-free oracle can be
+    #: shown to catch a real loss bug; production never disables it.
+    reliable_replay_enabled: bool = True
+
     # --- consistent hashing ---
     vnodes_per_server: int = 64
 
@@ -230,6 +260,17 @@ class DynamothConfig:
             raise ValueError("failed_server_ttl_s must be positive")
         if self.repair_buffer_s < 0 or self.repair_buffer_max_msgs < 0:
             raise ValueError("repair buffer settings must be non-negative")
+        if self.delivery_tier not in DELIVERY_TIERS:
+            raise ValueError(
+                f"delivery_tier must be one of {DELIVERY_TIERS}, "
+                f"got {self.delivery_tier!r}"
+            )
+        if self.replay_cache_max_msgs < 0 or self.replay_cache_max_bytes < 0:
+            raise ValueError("replay cache budgets must be non-negative")
+        if self.replay_retry_cooldown_s <= 0:
+            raise ValueError("replay_retry_cooldown_s must be positive")
+        if self.causal_park_timeout_s <= 0:
+            raise ValueError("causal_park_timeout_s must be positive")
         if self.vnodes_per_server < 1:
             raise ValueError("vnodes_per_server must be >= 1")
         if not self.rebalance_policy:

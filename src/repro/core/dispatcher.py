@@ -256,7 +256,8 @@ class Dispatcher(Actor):
             plan_version=mapping.version,
             sent_at=self.sim.now,
         )
-        cmd = PublishCmd(channel, envelope, SwitchNotice.WIRE_SIZE)
+        # Control traffic: the reliability layer must not sequence it.
+        cmd = PublishCmd(channel, envelope, SwitchNotice.WIRE_SIZE, control=True)
         self.send(self.server.node_id, cmd, SwitchNotice.WIRE_SIZE)
         self.switch_notices_sent += 1
         tracer = self._tracer

@@ -36,10 +36,23 @@ class AppEnvelope:
     plan_version: int
     sent_at: float
     forwarded: bool = False
+    #: causal-order metadata (``repro.core.reliability``): the sender's
+    #: per-channel FIFO publication counter (0 = causal mode off) ...
+    pub_seq: int = 0
+    #: ... and its dependency snapshot -- (publisher, highest pub_seq the
+    #: sender had delivered from that publisher on this channel).
+    deps: Tuple[Tuple[str, int], ...] = ()
 
     def as_forwarded(self) -> "AppEnvelope":
         return AppEnvelope(
-            self.msg_id, self.sender, self.body, self.plan_version, self.sent_at, True
+            self.msg_id,
+            self.sender,
+            self.body,
+            self.plan_version,
+            self.sent_at,
+            True,
+            self.pub_seq,
+            self.deps,
         )
 
     #: Envelope framing overhead on the wire, bytes.

@@ -1,0 +1,385 @@
+"""Opt-in reliable-delivery layer: sequencing, replay cache, gap tracking.
+
+The repro's base semantics are at-most-once with a repair window
+(DESIGN.md 6d).  This module upgrades that, per run, to the delivery
+tier selected by :attr:`~repro.core.config.DynamothConfig.delivery_tier`:
+
+* ``at_most_once`` -- the layer is entirely inert (no stamping, no cache,
+  zero wire-format change);
+* ``at_least_once`` -- the owning broker stamps every application
+  publication on a channel with a per-``(server, channel, epoch)``
+  monotonic sequence number and keeps a bounded per-channel replay cache
+  (count + byte budget, deterministic oldest-first eviction).  Clients
+  track the per-stream high-water mark plus missing sequence numbers and
+  request replay of the gap -- on redelivery after a killed connection,
+  and on resubscribe after a crash/partition failover (the resume point
+  rides the SUBSCRIBE command, MigratoryData-style);
+* ``exactly_once`` -- at-least-once plus the client's existing message-id
+  dedup, and replayed-but-already-seen sequence numbers are dropped
+  *before* the dedup bookkeeping so replay can never recycle the window.
+
+Epochs make broker restarts explicit: a restarted server id starts a new
+epoch (its boot count, threaded in by the cluster), so a fresh seq=1
+stream is never mistaken for a regression and stale resume points are
+ignored rather than replayed from the wrong stream.
+
+The optional causal mode (``causal_order=True``, VCube-PS-style per-topic
+causal broadcast) adds publisher metadata to every envelope: a per-sender
+FIFO counter and a dependency snapshot of the highest publication the
+sender had *itself delivered* from every other publisher on the channel.
+The client parks deliveries whose dependencies have not arrived and
+releases them in causal order, with a park timeout that force-flushes (in
+arrival order) so a genuinely lost dependency cannot wedge the channel --
+the flush is surfaced as a ``causal_timeout`` trace event and excused by
+the causal-order oracle.
+
+Everything here is deterministic: caches evict by insertion order, all
+iteration is over ordered structures, and the layer draws from no RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.core.config import DELIVERY_TIERS, DynamothConfig
+
+__all__ = [
+    "DELIVERY_TIERS",
+    "ReliabilityConfig",
+    "CacheEntry",
+    "ReplaySlice",
+    "ChannelReplayCache",
+    "BrokerReliability",
+    "ObserveOutcome",
+    "ClientReliability",
+    "reliability_config_from",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Immutable snapshot of the reliability knobs one cluster runs with."""
+
+    delivery_tier: str = "at_most_once"
+    causal_order: bool = False
+    cache_max_msgs: int = 256
+    cache_max_bytes: int = 262144
+    replay_retry_cooldown_s: float = 1.0
+    causal_park_timeout_s: float = 2.0
+    #: test-only kill switch: with replay disabled the broker still stamps
+    #: sequence numbers but ignores every replay/resume request *silently*
+    #: (no gap notices either) -- the loss the gap-free oracle must catch.
+    replay_enabled: bool = True
+
+    @property
+    def reliable(self) -> bool:
+        return self.delivery_tier != "at_most_once"
+
+    @property
+    def exactly_once(self) -> bool:
+        return self.delivery_tier == "exactly_once"
+
+    @property
+    def replay_active(self) -> bool:
+        """Whether sequencing/caching runs at all.
+
+        A zero count *or* byte budget degrades the tier to plain
+        at-most-once by construction: nothing is stamped, so the wire
+        traffic is byte-identical to an ``at_most_once`` run.
+        """
+        return self.reliable and self.cache_max_msgs > 0 and self.cache_max_bytes > 0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One cached publication, replayable by sequence number."""
+
+    seq: int
+    payload: object
+    payload_size: int
+    wire_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplaySlice:
+    """The broker's answer to one replay request.
+
+    ``gap_through`` > 0 means sequence numbers ``<= gap_through`` inside
+    the requested range were already evicted and are unrecoverable.
+    """
+
+    entries: Tuple[CacheEntry, ...] = ()
+    gap_through: int = 0
+
+
+class ChannelReplayCache:
+    """Bounded FIFO of the newest publications on one channel.
+
+    Eviction is deterministic: strictly oldest-first, applied whenever
+    either the count or the byte budget is exceeded.  ``floor`` is the
+    highest evicted (or never-cached) sequence number -- everything at or
+    below it is gone for good.
+    """
+
+    __slots__ = ("entries", "bytes_used", "floor", "next_seq")
+
+    def __init__(self) -> None:
+        self.entries: Deque[CacheEntry] = deque()
+        self.bytes_used = 0
+        #: highest seq no longer replayable (0 = nothing lost yet)
+        self.floor = 0
+        #: next sequence number to stamp (1-based)
+        self.next_seq = 1
+
+    def stamp(self) -> int:
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        return seq
+
+    def add(self, entry: CacheEntry, max_msgs: int, max_bytes: int) -> None:
+        entries = self.entries
+        entries.append(entry)
+        self.bytes_used += entry.wire_size
+        while entries and (len(entries) > max_msgs or self.bytes_used > max_bytes):
+            evicted = entries.popleft()
+            self.bytes_used -= evicted.wire_size
+            self.floor = evicted.seq
+
+    def slice_after(self, after_seq: int, up_to_seq: int) -> ReplaySlice:
+        """Entries with ``after_seq < seq <= up_to_seq``, plus the evicted gap."""
+        selected = tuple(
+            e for e in self.entries if after_seq < e.seq <= up_to_seq
+        )
+        gap_through = self.floor if self.floor > after_seq else 0
+        return ReplaySlice(selected, gap_through)
+
+
+class BrokerReliability:
+    """Per-broker sequencing + replay-cache state (one per server boot)."""
+
+    __slots__ = ("config", "epoch", "_caches", "replayed_messages",
+                 "replayed_bytes", "unrecoverable_gaps")
+
+    def __init__(self, config: ReliabilityConfig, epoch: int) -> None:
+        self.config = config
+        #: boot count of this server id; restarts bump it so clients can
+        #: tell a fresh stream from a sequence regression.
+        self.epoch = epoch
+        self._caches: Dict[str, ChannelReplayCache] = {}
+        # --- counters (metrics / bench) ---
+        self.replayed_messages = 0
+        self.replayed_bytes = 0
+        self.unrecoverable_gaps = 0
+
+    def cache_for(self, channel: str) -> ChannelReplayCache:
+        cache = self._caches.get(channel)
+        if cache is None:
+            cache = ChannelReplayCache()
+            self._caches[channel] = cache
+        return cache
+
+    def stamp_and_cache(
+        self, channel: str, payload: object, payload_size: int, wire_size: int
+    ) -> int:
+        """Assign the publication's seq and retain it for replay."""
+        cache = self.cache_for(channel)
+        seq = cache.stamp()
+        cache.add(
+            CacheEntry(seq, payload, payload_size, wire_size),
+            self.config.cache_max_msgs,
+            self.config.cache_max_bytes,
+        )
+        return seq
+
+    def replay_slice(
+        self, channel: str, epoch: int, after_seq: int, up_to_seq: int
+    ) -> Optional[ReplaySlice]:
+        """The entries to resend, or ``None`` when nothing applies.
+
+        A request against another epoch targets a stream this boot never
+        produced; replying would resend the wrong messages, so it is
+        ignored (the client's stream state resets on the first delivery
+        of the new epoch).
+        """
+        if not self.config.replay_enabled or epoch != self.epoch:
+            return None
+        cache = self._caches.get(channel)
+        if cache is None:
+            return None
+        return cache.slice_after(after_seq, up_to_seq)
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ObserveOutcome:
+    """What the client should do with one sequenced delivery."""
+
+    #: deliver to the application (False = stale/duplicate seq, drop)
+    deliver: bool
+    #: (after_seq, up_to_seq) replay request to send, if any
+    request: Optional[Tuple[int, int]] = None
+
+
+class _Stream:
+    """Client-side view of one (server, channel) sequence stream."""
+
+    __slots__ = ("epoch", "max_seq", "missing", "last_request_t")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.max_seq = 0
+        self.missing: Set[int] = set()
+        self.last_request_t = -1e18
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.max_seq = 0
+        self.missing.clear()
+        self.last_request_t = -1e18
+
+
+class ClientReliability:
+    """Gap tracking, resume points, and causal ordering for one client."""
+
+    __slots__ = ("config", "_streams", "_fifo_next", "_delivered_vec",
+                 "gap_requests", "unrecoverable")
+
+    def __init__(self, config: ReliabilityConfig) -> None:
+        self.config = config
+        #: (server, channel) -> stream state
+        self._streams: Dict[Tuple[str, str], _Stream] = {}
+        #: causal mode: (channel, sender) -> own FIFO publication counter
+        self._fifo_next: Dict[Tuple[str, str], int] = {}
+        #: causal mode: (channel, sender) -> highest pub_seq delivered
+        self._delivered_vec: Dict[Tuple[str, str], int] = {}
+        # --- counters ---
+        self.gap_requests = 0
+        self.unrecoverable = 0
+
+    # --- sequence streams ---------------------------------------------
+    def stream(self, server: str, channel: str) -> _Stream:
+        key = (server, channel)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = _Stream(-1)
+            self._streams[key] = stream
+        return stream
+
+    def observe(
+        self, server: str, channel: str, seq: int, epoch: int,
+        replayed: bool, now: float,
+    ) -> ObserveOutcome:
+        """Record one sequenced delivery; decide delivery + gap repair."""
+        stream = self.stream(server, channel)
+        if epoch != stream.epoch:
+            # New boot of the server id (or first contact): fresh stream.
+            stream.reset(epoch)
+            if seq > 1:
+                # Joining mid-stream is normal (we subscribed late); only
+                # what arrives after our high-water mark is owed to us.
+                stream.max_seq = seq
+                return ObserveOutcome(True)
+        if seq > stream.max_seq:
+            if seq > stream.max_seq + 1:
+                stream.missing.update(range(stream.max_seq + 1, seq))
+            stream.max_seq = seq
+        elif seq in stream.missing:
+            stream.missing.remove(seq)
+        else:
+            # At or below the high-water mark and not a known hole: a
+            # replayed duplicate.  exactly_once drops it here, before any
+            # msg-id bookkeeping; at_least_once lets it through (the app
+            # may see it again -- that is the tier's contract).
+            if self.config.exactly_once:
+                return ObserveOutcome(False)
+            return ObserveOutcome(True)
+        request = None
+        if stream.missing and (
+            now - stream.last_request_t >= self.config.replay_retry_cooldown_s
+        ):
+            stream.last_request_t = now
+            request = (min(stream.missing) - 1, max(stream.missing))
+            self.gap_requests += 1
+        return ObserveOutcome(True, request)
+
+    def forget_through(self, server: str, channel: str, epoch: int, through_seq: int) -> None:
+        """Broker said seqs <= through_seq are evicted: stop chasing them."""
+        stream = self._streams.get((server, channel))
+        if stream is None or stream.epoch != epoch:
+            return
+        lost = {s for s in stream.missing if s <= through_seq}
+        if lost:
+            stream.missing -= lost
+            self.unrecoverable += len(lost)
+
+    def resume_point(self, server: str, channel: str) -> Tuple[int, int]:
+        """(resume_after, resume_epoch) for a SUBSCRIBE on this stream."""
+        stream = self._streams.get((server, channel))
+        if stream is None or stream.epoch < 0:
+            return (-1, -1)
+        after = min(stream.missing) - 1 if stream.missing else stream.max_seq
+        return (after, stream.epoch)
+
+    def drop_channel(self, channel: str) -> None:
+        """Clean unsubscribe: the stream position is no longer meaningful."""
+        for key in [k for k in self._streams if k[1] == channel]:
+            del self._streams[key]
+        for table in (self._fifo_next, self._delivered_vec):
+            for key in [k for k in table if k[0] == channel]:
+                del table[key]
+
+    # --- causal metadata ----------------------------------------------
+    def stamp_publication(
+        self, channel: str, sender: str
+    ) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        """(pub_seq, deps) metadata for one outgoing publication."""
+        key = (channel, sender)
+        pub_seq = self._fifo_next.get(key, 0) + 1
+        self._fifo_next[key] = pub_seq
+        deps = tuple(
+            (other, self._delivered_vec[(ch, other)])
+            for ch, other in sorted(self._delivered_vec)
+            if ch == channel and other != sender
+        )
+        return pub_seq, deps
+
+    def deliverable(
+        self, channel: str, sender: str, pub_seq: int,
+        deps: Tuple[Tuple[str, int], ...],
+    ) -> bool:
+        """Causal check: FIFO from the sender plus all dependencies seen."""
+        vec = self._delivered_vec
+        if pub_seq > vec.get((channel, sender), 0) + 1:
+            return False
+        for dep_sender, dep_seq in deps:
+            if dep_sender == sender:
+                continue
+            if vec.get((channel, dep_sender), 0) < dep_seq:
+                return False
+        return True
+
+    def note_app_delivery(self, channel: str, sender: str, pub_seq: int) -> None:
+        if pub_seq <= 0:
+            return
+        key = (channel, sender)
+        if pub_seq > self._delivered_vec.get(key, 0):
+            self._delivered_vec[key] = pub_seq
+
+
+def reliability_config_from(config: DynamothConfig) -> Optional[ReliabilityConfig]:
+    """Build the cluster's reliability snapshot; ``None`` when inert."""
+    if config.delivery_tier == "at_most_once" and not config.causal_order:
+        return None
+    return ReliabilityConfig(
+        delivery_tier=config.delivery_tier,
+        causal_order=config.causal_order,
+        cache_max_msgs=config.replay_cache_max_msgs,
+        cache_max_bytes=config.replay_cache_max_bytes,
+        replay_retry_cooldown_s=config.replay_retry_cooldown_s,
+        causal_park_timeout_s=config.causal_park_timeout_s,
+        replay_enabled=config.reliable_replay_enabled,
+    )

@@ -18,6 +18,13 @@ pipeline end to end through the real cluster stack:
 ``chaos_light``
     The ``repro.faults`` smoke scenario (broker crash + recovery) -- keeps
     the failure-path overhead measured so fast-path work never regresses it.
+``reliability``
+    The delivery-guarantee price list: one steady workload with a lossy
+    subscriber link, run once per delivery tier (at_most_once,
+    at_least_once, exactly_once).  Reports, per tier, delivered and
+    replayed message counts, replay bytes, duplicate suppressions, and
+    subscriber-observed latency (mean and p95) -- the measured cost of
+    each guarantee rides in ``ScenarioResult.reliability``.
 
 Reported per scenario: executed simulator events, wall-clock seconds,
 events/second (the headline metric), deliveries, peak RSS, and an RSS
@@ -139,6 +146,8 @@ class ScenarioResult:
     rss_series: List[Dict[str, int]] = field(default_factory=list)
     #: live SLA monitor report (chaos_light only)
     sla: Optional[Dict[str, Any]] = None
+    #: per-delivery-tier price list (reliability scenario only)
+    reliability: Optional[Dict[str, Any]] = None
 
 
 def _peak_rss_kb() -> int:
@@ -421,11 +430,167 @@ def run_chaos_light(
     )
 
 
+class _LatencySink:
+    """Delivery callback recording subscriber-observed latencies."""
+
+    __slots__ = ("count", "latencies", "sim")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+        self.latencies: List[float] = []
+
+    def on_delivery(self, channel, body, envelope) -> None:
+        self.count += 1
+        self.latencies.append(self.sim.now - envelope.sent_at)
+
+
+def _latency_stats(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"mean_ms": 0.0, "p95_ms": 0.0}
+    ordered = sorted(latencies)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    return {
+        "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+        "p95_ms": round(p95 * 1e3, 3),
+    }
+
+
+def run_reliability(
+    profile: BenchProfile, *, seed: int = 0, scheduler: str = "heap"
+) -> ScenarioResult:
+    """The same lossy workload under each delivery tier.
+
+    A steady multi-channel workload whose subscriber links degrade
+    mid-run (40% loss for a few seconds) -- the canonical gap-producing
+    fault.  ``at_most_once`` simply loses those deliveries;
+    ``at_least_once``/``exactly_once`` must detect the sequence holes and
+    replay them, and this scenario measures what that buys and costs.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import ChaosSchedule, DegradeLink
+
+    channels = max(2, min(8, profile.steady_channels))
+    subs_per_channel = profile.steady_subs_per_channel
+    duration = profile.steady_duration_s
+    sampler = _RssSampler()
+    tiers: Dict[str, Any] = {}
+    total_events = 0
+    total_deliveries = 0
+    total_wall = 0.0
+    sim_time = 0.0
+
+    for tier in ("at_most_once", "at_least_once", "exactly_once"):
+        holder: Dict[str, Any] = {}
+
+        def build(tier: str = tier, holder: Dict[str, Any] = holder) -> DynamothCluster:
+            cluster = _make_cluster(
+                scheduler,
+                seed=seed,
+                config=DynamothConfig(max_servers=2, delivery_tier=tier),
+                broker_config=BrokerConfig(nominal_egress_bps=8_000_000.0),
+                initial_servers=2,
+                balancer=BALANCER_NONE,
+            )
+            _install_rss_sampler(cluster, sampler)
+            sink = _LatencySink(cluster.sim)
+            subscribers = []
+            tasks: List[PeriodicTask] = []
+            for c in range(channels):
+                channel = f"tile:{c}"
+                for s in range(subs_per_channel):
+                    client = cluster.create_client(f"sub-{c}-{s}")
+                    client.subscribe(channel, sink.on_delivery)
+                    subscribers.append(client)
+                publisher = cluster.create_client(f"pub-{c}")
+                tasks.append(
+                    PeriodicTask(
+                        cluster.sim,
+                        1.0 / profile.steady_rate,
+                        _make_publish_tick(publisher, channel),
+                    )
+                )
+            # Degrade a fixed slice of subscriber links to every broker
+            # for the middle third of the run: deterministic gap
+            # production, identical across tiers (same seed, same plane).
+            lossy_from = 1.0 + duration / 3.0
+            lossy_until = 1.0 + 2.0 * duration / 3.0
+            faults = tuple(
+                DegradeLink(
+                    lossy_from, sub.node_id, server_id,
+                    loss=0.4, until=lossy_until,
+                )
+                for sub in subscribers[: 2 * subs_per_channel]
+                for server_id in sorted(cluster.servers)
+            )
+            injector = FaultInjector(cluster, ChaosSchedule(faults))
+            injector.arm()
+            cluster.run_until(1.0)
+            for task in tasks:
+                task.start()
+            cluster.run_until(1.0 + duration)
+            for task in tasks:
+                task.stop()
+            cluster.run_for(2.0)  # let replay requests drain
+            holder["cluster"] = cluster
+            holder["sink"] = sink
+            holder["subscribers"] = subscribers
+            return cluster
+
+        result = _measure(f"reliability:{tier}", scheduler, build)
+        cluster = holder["cluster"]
+        sink = holder["sink"]
+        subscribers = holder["subscribers"]
+        replayed_messages = replayed_bytes = unrecoverable = 0
+        for server in cluster.servers.values():
+            rel = getattr(server, "reliability", None)
+            if rel is not None:
+                replayed_messages += rel.replayed_messages
+                replayed_bytes += rel.replayed_bytes
+                unrecoverable += rel.unrecoverable_gaps
+        gap_requests = sum(
+            sub._rel.gap_requests for sub in subscribers if sub._rel is not None
+        )
+        duplicates = sum(sub.duplicates for sub in subscribers)
+        tiers[tier] = {
+            "app_deliveries": sink.count,
+            "duplicates_suppressed": duplicates,
+            "gap_requests": gap_requests,
+            "replayed_messages": replayed_messages,
+            "replayed_bytes": replayed_bytes,
+            "unrecoverable_gaps": unrecoverable,
+            "events": result.events,
+            "wall_s": result.wall_s,
+            "latency": _latency_stats(sink.latencies),
+        }
+        total_events += result.events
+        total_deliveries += result.deliveries
+        total_wall += result.wall_s
+        sim_time = max(sim_time, result.sim_time_s)
+
+    return ScenarioResult(
+        name="reliability",
+        scheduler=scheduler,
+        wall_s=round(total_wall, 4),
+        sim_time_s=sim_time,
+        events=total_events,
+        events_per_s=round(total_events / total_wall, 1) if total_wall > 0 else 0.0,
+        deliveries=total_deliveries,
+        deliveries_per_s=(
+            round(total_deliveries / total_wall, 1) if total_wall > 0 else 0.0
+        ),
+        peak_rss_kb=_peak_rss_kb(),
+        rss_series=sampler.series,
+        reliability=tiers,
+    )
+
+
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "steady": run_steady,
     "fanout": run_fanout,
     "flash_crowd": run_flash_crowd,
     "chaos_light": run_chaos_light,
+    "reliability": run_reliability,
 }
 
 
@@ -510,6 +675,17 @@ def render_results(results: Dict[str, ScenarioResult]) -> str:
         f"{r.peak_rss_kb / 1024.0:>8.1f}"
         for r in results.values()
     )
+    for r in results.values():
+        if r.reliability is not None:
+            for tier, stats in r.reliability.items():
+                latency = stats["latency"]
+                lines.append(
+                    f"{r.name}: {tier:<14} {stats['app_deliveries']} delivered, "
+                    f"{stats['replayed_messages']} replayed "
+                    f"({stats['replayed_bytes']} B), "
+                    f"{stats['duplicates_suppressed']} dup(s) suppressed, "
+                    f"p95 {latency['p95_ms']:.1f}ms"
+                )
     for r in results.values():
         if r.sla is not None:
             overall = r.sla["scopes"].get("overall", {}).get("value_s")

@@ -70,6 +70,9 @@ class ChaosScenarioConfig:
     #: windowed delivery-latency SLA threshold (None disables the monitor)
     sla_threshold_s: Optional[float] = 0.5
     sla_window_s: float = 10.0
+    #: reliability layer (repro.core.reliability): at_most_once |
+    #: at_least_once | exactly_once
+    delivery_tier: str = "at_most_once"
     seed: int = 0
 
     @classmethod
@@ -94,6 +97,7 @@ class ChaosScenarioConfig:
             client_ping_interval_s=self.client_ping_interval_s,
             sla_threshold_s=self.sla_threshold_s,
             sla_window_s=self.sla_window_s,
+            delivery_tier=self.delivery_tier,
         )
 
     def broker_config(self) -> BrokerConfig:

@@ -29,6 +29,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.cluster import BALANCER_CONSISTENT_HASHING, BALANCER_DYNAMOTH
+from repro.core.config import DELIVERY_TIERS
 from repro.experiments import bench, chaos, experiment1, experiment2, experiment3, report
 from repro.obs.export import dump_tracer
 from repro.obs.profile import SimProfiler, render_profile
@@ -172,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit 1 unless every affected subscriber delivers again "
         "within this bound after the crash",
+    )
+    p.add_argument(
+        "--tier",
+        choices=DELIVERY_TIERS,
+        default=None,
+        help="delivery guarantee for the run (default: at_most_once)",
     )
     _add_common(p)
 
@@ -359,6 +366,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["crash_at_s"] = args.crash_at
         if args.restart_after is not None:
             overrides["restart_after_s"] = args.restart_after
+        if args.tier is not None:
+            overrides["delivery_tier"] = args.tier
         config = replace(config, **overrides)
         logger.info(
             "running chaos scenario (%d players, crash at t=%.1fs)...",

@@ -393,6 +393,51 @@ class ClientReconnectEvent(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Reliable-delivery events (schema 3, repro.core.reliability)
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayEvent(TraceEvent):
+    """A broker replayed a cached sequence range to one client."""
+
+    TYPE = "replay"
+
+    server: str
+    channel: str
+    client: str
+    epoch: int
+    from_seq: int
+    to_seq: int
+    messages: int
+    bytes: int
+
+
+@dataclass
+class ReplayGapEvent(TraceEvent):
+    """Cache eviction made part of a requested replay range unrecoverable."""
+
+    TYPE = "gap_unrecoverable"
+
+    server: str
+    channel: str
+    client: str
+    epoch: int
+    from_seq: int
+    to_seq: int
+
+
+@dataclass
+class CausalTimeoutEvent(TraceEvent):
+    """A parked out-of-order delivery hit the causal park timeout and the
+    channel was force-flushed in arrival order."""
+
+    TYPE = "causal_timeout"
+
+    client: str
+    channel: str
+    flushed: int
+
+
+# ----------------------------------------------------------------------
 # Live SLA monitor events (schema 3, repro.obs.sla)
 # ----------------------------------------------------------------------
 @dataclass
@@ -488,6 +533,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         PlanRepairDoneEvent,
         ClientFailoverEvent,
         ClientReconnectEvent,
+        ReplayEvent,
+        ReplayGapEvent,
+        CausalTimeoutEvent,
         SlaViolationStartEvent,
         SlaViolationEndEvent,
         SlaWindowEvent,

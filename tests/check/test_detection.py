@@ -1,10 +1,16 @@
-"""End-to-end detection power: a seeded real loss bug is caught, shrunk
-to a minimal reproducer, and replayed from the printed seed alone.
+"""End-to-end detection power: seeded real loss bugs are caught, shrunk
+to minimal reproducers, and replayed from the printed seed alone.
 
-The seeded bug is the dispatcher's test-only ``repair_replay_enabled``
-kill switch: with replay off, publications a repaired channel's new home
-accepts before the recovering subscriber re-attaches are silently lost --
-exactly what the repair-bridging oracle asserts against.
+Two seeded bugs, one per replay path:
+
+* the dispatcher's test-only ``repair_replay_enabled`` kill switch: with
+  replay off, publications a repaired channel's new home accepts before
+  the recovering subscriber re-attaches are silently lost -- exactly what
+  the repair-bridging oracle asserts against;
+* the reliable tier's ``reliable_replay_enabled`` kill switch: brokers
+  keep stamping sequence numbers but silently ignore replay requests (and
+  send no gap notices), so a lossy client link leaves unrepaired sequence
+  holes -- exactly what the gap-free oracle asserts against.
 """
 
 from __future__ import annotations
@@ -14,10 +20,9 @@ from repro.check.cli import main
 from repro.check.scenario import Scenario
 
 #: a generated scenario (churny + double-crash) whose timing lands a
-#: publication in the repair window; found by the 200-seed sweep and
-#: locked in as the acceptance case.  It sits inside the default
-#: 20-iteration PR sweep on purpose.
-BROKEN_SEED = 15
+#: publication in the repair window; found by a 400-seed sweep and
+#: locked in as the acceptance case.
+BROKEN_SEED = 244
 
 
 def _scenario_size(scenario: Scenario) -> tuple:
@@ -85,3 +90,74 @@ def test_cli_clean_sweep_exits_zero(capsys):
     assert main(["--iterations", "3"]) == 0
     out = capsys.readouterr().out
     assert "all 3 scenario(s) passed every oracle" in out
+
+
+# ----------------------------------------------------------------------
+# Reliable-tier detection power (the gap-free oracle)
+# ----------------------------------------------------------------------
+#: a steady + client-loss scenario whose lossy subscriber link tears
+#: sequence holes that only gap replay repairs; found by a 40-seed sweep
+#: under the exactly_once tier.
+GAP_SEED = 38
+
+
+def test_broken_reliable_replay_is_caught():
+    scenario = generate_scenario(
+        GAP_SEED, delivery_tier="exactly_once", break_reliable_replay=True
+    )
+    violations = check_result(run_scenario(scenario))
+    assert violations, "reliable-replay kill switch went undetected"
+    assert {v.oracle for v in violations} == {"gap-free"}
+
+
+def test_same_seed_passes_with_reliable_replay_enabled():
+    """The gap-free oracle fires on the bug, not on the lossy link."""
+    scenario = generate_scenario(GAP_SEED, delivery_tier="exactly_once")
+    assert not scenario.break_reliable_replay
+    assert check_result(run_scenario(scenario)) == []
+
+
+def test_gap_violation_shrinks_and_replays_from_json():
+    scenario = generate_scenario(
+        GAP_SEED, delivery_tier="exactly_once", break_reliable_replay=True
+    )
+    violations = check_result(run_scenario(scenario))
+    minimal, min_violations, runs = shrink(scenario, violations)
+    assert runs > 0
+    assert min_violations and all(v.oracle == "gap-free" for v in min_violations)
+    # The minimal scenario must reproduce from its own JSON alone,
+    # including the tier and kill-switch axes.  The shrinker may downgrade
+    # exactly_once to at_least_once (gap-free applies to both), but never
+    # below a reliable tier.
+    replayed = Scenario.from_json(minimal.to_json())
+    assert replayed == minimal
+    assert replayed.delivery_tier in ("at_least_once", "exactly_once")
+    assert replayed.break_reliable_replay
+    again = check_result(run_scenario(replayed))
+    assert any(v.oracle == "gap-free" for v in again)
+
+
+def test_cli_catches_reliable_kill_switch_and_prints_replay(capsys, tmp_path):
+    exit_code = main(
+        [
+            "--seed",
+            str(GAP_SEED),
+            "--tier",
+            "exactly_once",
+            "--break-reliable-replay",
+            "--shrink-budget",
+            "4",
+            "--artifacts",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "gap-free" in out
+    assert (
+        f"--seed {GAP_SEED} --break-reliable-replay --tier exactly_once" in out
+    )
+    artifact = tmp_path / f"seed{GAP_SEED}-minimized.json"
+    assert artifact.exists()
+    # Replaying the written artifact reproduces the same violation.
+    assert main(["--scenario", str(artifact), "--no-shrink"]) == 1

@@ -13,9 +13,9 @@ from repro.obs.trace import PlanRepairStartEvent, ServerCrashEvent
 
 
 def test_faulted_run_trace_round_trips_through_disk(tmp_path):
-    # Seed 15's profile is churny + double-crash: its trace exercises the
+    # Seed 0's profile is hot-skew + double-crash: its trace exercises the
     # schema-2 fault/recovery event types, not just the steady-state ones.
-    result = run_scenario(generate_scenario(15))
+    result = run_scenario(generate_scenario(0))
     path = tmp_path / "run.jsonl"
     count = write_trace(path, result.tracer.events)
     assert count == len(result.tracer.events)

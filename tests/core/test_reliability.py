@@ -1,0 +1,311 @@
+"""Unit tests for the reliable-delivery primitives (repro.core.reliability).
+
+Pure-state tests: no simulator, no wire.  The broker/cluster integration
+behaviour (replay on request, resume on subscribe, truthful gap notices)
+lives in tests/integration/test_reliable_delivery.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DynamothConfig
+from repro.core.reliability import (
+    BrokerReliability,
+    CacheEntry,
+    ChannelReplayCache,
+    ClientReliability,
+    ReliabilityConfig,
+    reliability_config_from,
+)
+
+
+def _entry(seq: int, size: int = 100) -> CacheEntry:
+    return CacheEntry(seq, f"payload-{seq}", size, size + 40)
+
+
+def _config(**kwargs) -> ReliabilityConfig:
+    kwargs.setdefault("delivery_tier", "exactly_once")
+    return ReliabilityConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ReliabilityConfig
+# ----------------------------------------------------------------------
+class TestReliabilityConfig:
+    def test_tier_predicates(self):
+        assert not ReliabilityConfig(delivery_tier="at_most_once").reliable
+        assert ReliabilityConfig(delivery_tier="at_least_once").reliable
+        assert not ReliabilityConfig(delivery_tier="at_least_once").exactly_once
+        assert ReliabilityConfig(delivery_tier="exactly_once").exactly_once
+
+    def test_zero_budget_deactivates_replay(self):
+        """A zero count or byte budget degrades to plain at-most-once."""
+        assert _config().replay_active
+        assert not _config(cache_max_msgs=0).replay_active
+        assert not _config(cache_max_bytes=0).replay_active
+        assert not ReliabilityConfig(delivery_tier="at_most_once").replay_active
+
+
+class TestConfigFrom:
+    def test_inert_config_maps_to_none(self):
+        assert reliability_config_from(DynamothConfig()) is None
+
+    def test_knobs_thread_through(self):
+        config = DynamothConfig(
+            delivery_tier="at_least_once",
+            causal_order=True,
+            replay_cache_max_msgs=7,
+            replay_cache_max_bytes=900,
+            reliable_replay_enabled=False,
+        )
+        rel = reliability_config_from(config)
+        assert rel is not None
+        assert rel.delivery_tier == "at_least_once"
+        assert rel.causal_order
+        assert rel.cache_max_msgs == 7
+        assert rel.cache_max_bytes == 900
+        assert not rel.replay_enabled
+
+    def test_causal_alone_is_not_inert(self):
+        rel = reliability_config_from(DynamothConfig(causal_order=True))
+        assert rel is not None
+        assert rel.causal_order
+
+
+# ----------------------------------------------------------------------
+# ChannelReplayCache
+# ----------------------------------------------------------------------
+class TestChannelReplayCache:
+    def test_stamp_is_monotonic_from_one(self):
+        cache = ChannelReplayCache()
+        assert [cache.stamp() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_count_eviction_is_oldest_first(self):
+        cache = ChannelReplayCache()
+        for seq in range(1, 6):
+            cache.add(_entry(seq), max_msgs=3, max_bytes=10**9)
+        assert [e.seq for e in cache.entries] == [3, 4, 5]
+        assert cache.floor == 2
+
+    def test_byte_eviction_updates_floor_and_bytes(self):
+        cache = ChannelReplayCache()
+        # wire_size = 140 each; budget of 300 holds two entries.
+        for seq in range(1, 5):
+            cache.add(_entry(seq), max_msgs=10**9, max_bytes=300)
+        assert [e.seq for e in cache.entries] == [3, 4]
+        assert cache.bytes_used == 280
+        assert cache.floor == 2
+
+    def test_oversized_entry_evicts_everything_including_itself(self):
+        cache = ChannelReplayCache()
+        cache.add(_entry(1), max_msgs=10, max_bytes=200)
+        cache.add(CacheEntry(2, "big", 400, 500), max_msgs=10, max_bytes=200)
+        assert not cache.entries
+        assert cache.bytes_used == 0
+        assert cache.floor == 2
+
+    def test_slice_after_selects_the_open_interval(self):
+        cache = ChannelReplayCache()
+        for seq in range(1, 7):
+            cache.add(_entry(seq), max_msgs=10, max_bytes=10**9)
+        result = cache.slice_after(2, 5)
+        assert [e.seq for e in result.entries] == [3, 4, 5]
+        assert result.gap_through == 0
+
+    def test_slice_after_reports_evicted_gap(self):
+        cache = ChannelReplayCache()
+        for seq in range(1, 7):
+            cache.add(_entry(seq), max_msgs=2, max_bytes=10**9)
+        # Only 5, 6 remain; floor is 4.
+        result = cache.slice_after(1, 6)
+        assert [e.seq for e in result.entries] == [5, 6]
+        assert result.gap_through == 4
+        # A request entirely above the floor reports no gap.
+        assert cache.slice_after(4, 6).gap_through == 0
+
+    def test_eviction_is_byte_identical_across_runs(self):
+        """Satellite: two identical insertion sequences leave identical
+        cache state -- eviction order must be deterministic."""
+
+        def run() -> tuple:
+            cache = ChannelReplayCache()
+            sizes = [90, 200, 40, 170, 60, 130, 220, 10]
+            for i, size in enumerate(sizes, start=1):
+                seq = cache.stamp()
+                assert seq == i
+                cache.add(
+                    CacheEntry(seq, f"m{seq}", size, size + 40),
+                    max_msgs=4,
+                    max_bytes=500,
+                )
+            return (
+                tuple(cache.entries),
+                cache.bytes_used,
+                cache.floor,
+                cache.next_seq,
+            )
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# BrokerReliability
+# ----------------------------------------------------------------------
+class TestBrokerReliability:
+    def test_stamp_and_cache_per_channel(self):
+        broker = BrokerReliability(_config(), epoch=1)
+        assert broker.stamp_and_cache("a", "m1", 10, 50) == 1
+        assert broker.stamp_and_cache("a", "m2", 10, 50) == 2
+        assert broker.stamp_and_cache("b", "m3", 10, 50) == 1
+
+    def test_replay_slice_happy_path(self):
+        broker = BrokerReliability(_config(), epoch=3)
+        for _ in range(5):
+            broker.stamp_and_cache("a", "m", 10, 50)
+        result = broker.replay_slice("a", epoch=3, after_seq=1, up_to_seq=4)
+        assert result is not None
+        assert [e.seq for e in result.entries] == [2, 3, 4]
+
+    def test_epoch_mismatch_returns_none(self):
+        broker = BrokerReliability(_config(), epoch=2)
+        broker.stamp_and_cache("a", "m", 10, 50)
+        assert broker.replay_slice("a", epoch=1, after_seq=0, up_to_seq=1) is None
+
+    def test_unknown_channel_returns_none(self):
+        broker = BrokerReliability(_config(), epoch=1)
+        assert broker.replay_slice("ghost", epoch=1, after_seq=0, up_to_seq=5) is None
+
+    def test_kill_switch_silences_replay(self):
+        broker = BrokerReliability(_config(replay_enabled=False), epoch=1)
+        broker.stamp_and_cache("a", "m", 10, 50)
+        assert broker.replay_slice("a", epoch=1, after_seq=0, up_to_seq=1) is None
+
+
+# ----------------------------------------------------------------------
+# ClientReliability: sequence streams
+# ----------------------------------------------------------------------
+class TestClientObserve:
+    def test_in_order_stream_has_no_requests(self):
+        client = ClientReliability(_config())
+        for seq in range(1, 5):
+            outcome = client.observe("s1", "a", seq, epoch=1, replayed=False, now=0.0)
+            assert outcome.deliver
+            assert outcome.request is None
+        assert client.gap_requests == 0
+
+    def test_gap_requests_the_missing_range(self):
+        client = ClientReliability(_config())
+        client.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        outcome = client.observe("s1", "a", 5, epoch=1, replayed=False, now=0.1)
+        assert outcome.deliver
+        assert outcome.request == (1, 4)
+        assert client.gap_requests == 1
+
+    def test_fill_shrinks_the_hole_and_requests_the_rest(self):
+        client = ClientReliability(_config())
+        client.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        client.observe("s1", "a", 5, epoch=1, replayed=False, now=0.1)
+        outcome = client.observe("s1", "a", 3, epoch=1, replayed=True, now=2.0)
+        assert outcome.deliver
+        assert outcome.request == (1, 4)  # 2 and 4 still missing
+        done = client.observe("s1", "a", 2, epoch=1, replayed=True, now=2.0)
+        assert done.deliver
+        assert done.request is None  # cooldown suppresses the re-request
+        client.observe("s1", "a", 4, epoch=1, replayed=True, now=4.0)
+        assert client.resume_point("s1", "a") == (5, 1)
+
+    def test_cooldown_suppresses_request_storms(self):
+        client = ClientReliability(_config(replay_retry_cooldown_s=1.0))
+        client.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        assert client.observe("s1", "a", 3, epoch=1, replayed=False, now=0.1).request
+        assert client.observe("s1", "a", 4, epoch=1, replayed=False, now=0.5).request is None
+        assert client.observe("s1", "a", 5, epoch=1, replayed=False, now=1.2).request == (1, 2)
+
+    def test_stale_seq_drops_on_exactly_once_only(self):
+        exactly = ClientReliability(_config(delivery_tier="exactly_once"))
+        exactly.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        exactly.observe("s1", "a", 2, epoch=1, replayed=False, now=0.0)
+        assert not exactly.observe("s1", "a", 1, epoch=1, replayed=True, now=0.1).deliver
+
+        at_least = ClientReliability(_config(delivery_tier="at_least_once"))
+        at_least.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        at_least.observe("s1", "a", 2, epoch=1, replayed=False, now=0.0)
+        assert at_least.observe("s1", "a", 1, epoch=1, replayed=True, now=0.1).deliver
+
+    def test_epoch_change_resets_and_adopts_midstream(self):
+        client = ClientReliability(_config())
+        client.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        client.observe("s1", "a", 4, epoch=1, replayed=False, now=0.1)
+        # Server restarted: new epoch, and we join at seq 7 mid-stream.
+        outcome = client.observe("s1", "a", 7, epoch=2, replayed=False, now=5.0)
+        assert outcome.deliver
+        assert outcome.request is None  # no gap owed before our join point
+        assert client.resume_point("s1", "a") == (7, 2)
+
+    def test_fresh_epoch_seq_one_is_not_a_regression(self):
+        client = ClientReliability(_config())
+        client.observe("s1", "a", 9, epoch=1, replayed=False, now=0.0)
+        outcome = client.observe("s1", "a", 1, epoch=2, replayed=False, now=1.0)
+        assert outcome.deliver
+        assert outcome.request is None
+
+    def test_forget_through_abandons_evicted_holes(self):
+        client = ClientReliability(_config())
+        client.observe("s1", "a", 1, epoch=1, replayed=False, now=0.0)
+        client.observe("s1", "a", 6, epoch=1, replayed=False, now=0.1)
+        client.forget_through("s1", "a", epoch=1, through_seq=4)
+        assert client.unrecoverable == 3  # 2, 3, 4 written off
+        assert client.resume_point("s1", "a") == (4, 1)  # still chasing 5
+        # A notice for the wrong epoch is ignored.
+        client.forget_through("s1", "a", epoch=9, through_seq=6)
+        assert client.unrecoverable == 3
+
+    def test_resume_point_defaults_and_drop_channel(self):
+        client = ClientReliability(_config())
+        assert client.resume_point("s1", "a") == (-1, -1)
+        client.observe("s1", "a", 2, epoch=1, replayed=False, now=0.0)
+        client.drop_channel("a")
+        assert client.resume_point("s1", "a") == (-1, -1)
+
+
+# ----------------------------------------------------------------------
+# ClientReliability: causal metadata
+# ----------------------------------------------------------------------
+class TestCausal:
+    def test_stamp_publication_counts_fifo_and_snapshots_deps(self):
+        client = ClientReliability(_config(causal_order=True))
+        assert client.stamp_publication("a", "me") == (1, ())
+        client.note_app_delivery("a", "alice", 3)
+        client.note_app_delivery("a", "bob", 1)
+        client.note_app_delivery("b", "alice", 9)  # other channel: excluded
+        pub_seq, deps = client.stamp_publication("a", "me")
+        assert pub_seq == 2
+        assert deps == (("alice", 3), ("bob", 1))
+
+    def test_deliverable_enforces_fifo_and_deps(self):
+        client = ClientReliability(_config(causal_order=True))
+        assert client.deliverable("a", "alice", 1, ())
+        assert not client.deliverable("a", "alice", 2, ())  # FIFO hole
+        assert not client.deliverable("a", "bob", 1, (("alice", 1),))
+        client.note_app_delivery("a", "alice", 1)
+        assert client.deliverable("a", "alice", 2, ())
+        assert client.deliverable("a", "bob", 1, (("alice", 1),))
+
+    def test_note_app_delivery_is_monotonic(self):
+        client = ClientReliability(_config(causal_order=True))
+        client.note_app_delivery("a", "alice", 5)
+        client.note_app_delivery("a", "alice", 2)  # late duplicate: no rollback
+        assert client.deliverable("a", "bob", 1, (("alice", 5),))
+
+    def test_unsequenced_delivery_does_not_advance_the_vector(self):
+        client = ClientReliability(_config(causal_order=True))
+        client.note_app_delivery("a", "alice", 0)
+        assert not client.deliverable("a", "bob", 1, (("alice", 1),))
+
+
+def test_config_validation_rejects_bad_tier_and_budgets():
+    with pytest.raises(ValueError, match="delivery_tier"):
+        DynamothConfig(delivery_tier="maybe_once")
+    with pytest.raises(ValueError):
+        DynamothConfig(replay_cache_max_msgs=-1)

@@ -36,6 +36,31 @@ class TestChaosLight:
         assert events == sorted(events)
 
 
+class TestReliabilityScenario:
+    @pytest.fixture(scope="class")
+    def reliability_result(self):
+        return bench.run_reliability(bench.SMOKE_PROFILE)
+
+    def test_reports_every_tier(self, reliability_result):
+        tiers = reliability_result.reliability
+        assert tiers is not None
+        assert set(tiers) == {"at_most_once", "at_least_once", "exactly_once"}
+        for stats in tiers.values():
+            assert stats["app_deliveries"] > 0
+            assert stats["latency"]["p95_ms"] > 0.0
+
+    def test_reliable_tiers_repair_the_lossy_window(self, reliability_result):
+        tiers = reliability_result.reliability
+        lossy = tiers["at_most_once"]["app_deliveries"]
+        for tier in ("at_least_once", "exactly_once"):
+            assert tiers[tier]["app_deliveries"] >= lossy
+            assert tiers[tier]["replayed_messages"] > 0
+
+    def test_render_includes_tier_lines(self, reliability_result):
+        text = bench.render_results({"reliability": reliability_result})
+        assert "exactly_once" in text
+
+
 class TestSchema:
     def test_results_to_dict_is_schema_v2_json(self, chaos_light_result, tmp_path):
         doc = bench.results_to_dict(

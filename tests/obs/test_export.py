@@ -13,6 +13,7 @@ from repro.obs.export import (
 )
 from repro.obs.trace import (
     EVENT_TYPES,
+    CausalTimeoutEvent,
     ClientFailoverEvent,
     ClientReconnectEvent,
     DecommissionEvent,
@@ -37,6 +38,8 @@ from repro.obs.trace import (
     PublishEvent,
     ServerCrashEvent,
     ServerFailureConfirmedEvent,
+    ReplayEvent,
+    ReplayGapEvent,
     ServerReadyEvent,
     ServerRestartEvent,
     ServerResurrectedEvent,
@@ -86,6 +89,10 @@ SAMPLE_EVENTS = [
     PlanRepairDoneEvent(35.0, "pub2", 5),
     ClientFailoverEvent(36.0, "bob", "pub2", ("tile:1:1",)),
     ClientReconnectEvent(36.5, "bob", "tile:1:1", ("pub1",), 1),
+    # --- reliable delivery tier events ---
+    ReplayEvent(36.6, "pub1", "tile:1:1", "bob", 1, 4, 9, 6, 1212),
+    ReplayGapEvent(36.7, "pub1", "tile:1:1", "bob", 1, 2, 3),
+    CausalTimeoutEvent(36.8, "bob", "tile:1:1", 2),
     # --- telemetry v2 events (schema 3) ---
     SlaViolationStartEvent(37.0, "overall", 95.0, 0.15, 0.21, 812),
     SlaWindowEvent(38.0, "server:pub1", 400, 0.08, 0.21, 0.4, True),
