@@ -95,6 +95,34 @@ class PubSubServer(Actor):
         self.delivery_count: int = 0
         self.killed_connections: int = 0
         self.dropped_deliveries: int = 0
+        #: channel -> precompiled fan-out arrays ``(dst_ids, conns,
+        #: pair_states, dead_count, pair_epoch)``: the subscriber walk and
+        #: transport pair resolution done once, reused across publications
+        #: until a subscribe/unsubscribe/kill/disconnect touches the
+        #: channel (or the transport prunes pair state: ``pair_epoch``).
+        self._fanout_cache: Dict[str, tuple] = {}
+        # --- fan-out cache diagnostics (obs summary renders these) ---
+        self.fanout_cache_hits: int = 0
+        self.fanout_cache_builds: int = 0
+        self.fanout_cache_invalidations: int = 0
+        #: channel -> ``[publications, publishers, messages_out,
+        #: bytes_out]`` accumulated inline at publish completion and
+        #: drained by the co-located LLA at its window flush -- the
+        #: per-publication observer callback the LLA used to pay is gone.
+        self._channel_stats: Dict[str, List[Any]] = {}
+        #: sequence stamping resolved once per boot: the at_most_once
+        #: fast path is a single attribute test per publication.
+        self._stamping = reliability is not None and reliability.config.replay_active
+        if tracer.enabled:
+            metrics = tracer.metrics
+            self._cache_gauges: Optional[tuple] = (
+                metrics.gauge("fanout_cache_channels", server=node_id),
+                metrics.gauge("fanout_cache_hits", server=node_id),
+                metrics.gauge("fanout_cache_builds", server=node_id),
+                metrics.gauge("fanout_cache_invalidations", server=node_id),
+            )
+        else:
+            self._cache_gauges = None
 
     # ------------------------------------------------------------------
     # Introspection used by the LLA and tests
@@ -114,6 +142,26 @@ class PubSubServer(Actor):
 
     def connection(self, client_id: str) -> Optional[Connection]:
         return self._connections.get(client_id)
+
+    def fanout_cache_stats(self) -> Dict[str, int]:
+        """Size and hit/build/invalidation counters of the subscriber-array
+        cache (``pair_state_count()``-style leak/behaviour diagnostics)."""
+        return {
+            "channels": len(self._fanout_cache),
+            "hits": self.fanout_cache_hits,
+            "builds": self.fanout_cache_builds,
+            "invalidations": self.fanout_cache_invalidations,
+        }
+
+    def drain_channel_stats(self) -> Dict[str, List[Any]]:
+        """Hand over and reset the per-channel load accumulators.
+
+        Called by the co-located LLA once per report window; each entry is
+        ``[publications, publisher_id_set, messages_out, bytes_out]``.
+        """
+        stats = self._channel_stats
+        self._channel_stats = {}
+        return stats
 
     def cpu_backlog(self, now: float) -> float:
         """Seconds of CPU work queued ahead of a new publish."""
@@ -187,6 +235,7 @@ class PubSubServer(Actor):
         conn = self._conn_for(client_id)
         conn.channels.add(channel)
         self._channels.setdefault(channel, {})[client_id] = None
+        self._invalidate_fanout(channel)
         # Redis-style subscription confirmation back to the client.
         ack = SubscribeAck(channel, self.node_id)
         self.transport.send(self.node_id, client_id, ack, SubscribeAck.WIRE_SIZE)
@@ -208,8 +257,14 @@ class PubSubServer(Actor):
             subs.pop(client_id, None)
             if not subs:
                 del self._channels[channel]
+        self._invalidate_fanout(channel)
         for listener in self._unsubscribe_listeners:
             listener(channel, client_id)
+
+    def _invalidate_fanout(self, channel: str) -> None:
+        """Drop a channel's precompiled fan-out arrays (topology changed)."""
+        if self._fanout_cache.pop(channel, None) is not None:
+            self.fanout_cache_invalidations += 1
 
     # ------------------------------------------------------------------
     # Reliable delivery: replay requests and resume-on-subscribe
@@ -305,6 +360,9 @@ class PubSubServer(Actor):
             tracer.metrics.counter(
                 "replayed_bytes_total", server=self.node_id
             ).inc(total_bytes)
+            profiler = tracer.profiler
+            if profiler is not None:
+                profiler.count("reliability", "replay.messages", len(replay.entries))
 
     def _handle_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
         """Queue a publish on the CPU; deliveries happen at CPU completion."""
@@ -339,8 +397,8 @@ class PubSubServer(Actor):
         # fabricate gaps no one can observe being filled.
         seq: Optional[int] = None
         epoch = 0
-        rel = self.reliability
-        if rel is not None and not cmd.control and rel.config.replay_active:
+        if self._stamping and not cmd.control:
+            rel = self.reliability
             seq = rel.stamp_and_cache(channel, cmd.payload, cmd.payload_size, wire_size)
             epoch = rel.epoch
         # One immutable payload envelope shared by every subscriber's
@@ -350,22 +408,23 @@ class PubSubServer(Actor):
         delivered = 0
         subs = self._channels.get(channel)
         if subs:
-            connections = self._connections
-            dst_ids: List[str] = []
-            conns: List[Connection] = []
-            dropped = 0
-            # Iterate the live subscriber dict directly -- kills are
-            # deferred past the loop, so nothing mutates it mid-walk and
-            # no O(n) snapshot copy is needed.
-            for client_id in subs:
-                conn = connections.get(client_id)
-                if conn is None or not conn.alive:
-                    dropped += 1
-                    continue
-                dst_ids.append(client_id)
-                conns.append(conn)
-            if dropped:
-                self.dropped_deliveries += dropped
+            # Precompiled subscriber arrays: the per-subscriber connection
+            # walk and transport pair resolution run only when topology
+            # changed since the last publication on this channel, not per
+            # publication.  ``pair_epoch`` guards against the transport
+            # pruning pair state underneath us (node unregistration).
+            entry = self._fanout_cache.get(channel)
+            if entry is not None and entry[4] == self.transport.pair_epoch:
+                self.fanout_cache_hits += 1
+            else:
+                if entry is not None:
+                    self.fanout_cache_invalidations += 1
+                entry = self._build_fanout_entry(subs)
+                if self.config.fanout_cache_enabled:
+                    self._fanout_cache[channel] = entry
+            dst_ids, conns, states, dead, _ = entry
+            if dead:
+                self.dropped_deliveries += dead
             if dst_ids:
                 if self.config.per_connection_bps is not None:
                     min_completions = [
@@ -374,9 +433,10 @@ class PubSubServer(Actor):
                     ]
                 else:
                     min_completions = None
-                completions = self.transport.send_many(
+                completions = self.transport.send_fanout(
                     self.node_id,
                     dst_ids,
+                    states,
                     delivery,
                     wire_size,
                     min_completions=min_completions,
@@ -384,16 +444,34 @@ class PubSubServer(Actor):
                 delivered = len(dst_ids)
                 limit = self.config.output_buffer_limit_bytes
                 kills: List[tuple] = []
-                for index, conn in enumerate(conns):
-                    occupancy = conn.enqueue(now, completions[index], wire_size)
-                    if occupancy > limit:
-                        kills.append((dst_ids[index], conn))
+                # -- inline Connection.enqueue (one call per delivery;
+                # the method remains for the control-plane paths) --
+                for dst_id, conn, completion in zip(dst_ids, conns, completions):
+                    pending = conn._pending
+                    pending_bytes = conn._pending_bytes
+                    while pending and pending[0][0] <= now:
+                        pending_bytes -= pending.popleft()[1]
+                    pending.append((completion, wire_size))
+                    pending_bytes += wire_size
+                    conn._pending_bytes = pending_bytes
+                    conn.deliveries += 1
+                    conn.bytes_delivered += wire_size
+                    if pending_bytes > limit:
+                        kills.append((dst_id, conn))
                 for client_id, conn in kills:
                     self._kill_connection(client_id, conn)
         self.delivery_count += delivered
         # Observers need the fan-out of *this* publication to attribute
         # egress bytes; expose it before invoking them.
         self.last_fanout = delivered
+        # Per-channel load accounting, drained by the LLA at window flush.
+        stats = self._channel_stats.get(channel)
+        if stats is None:
+            self._channel_stats[channel] = stats = [0, set(), 0, 0]
+        stats[0] += 1
+        stats[1].add(publisher_id)
+        stats[2] += delivered
+        stats[3] += delivered * wire_size
 
         tracer = self.tracer
         if tracer.enabled:
@@ -418,16 +496,55 @@ class PubSubServer(Actor):
             metrics.histogram("fanout_size", channel_class=channel_class(channel)).observe(
                 float(delivered)
             )
+            gauges = self._cache_gauges
+            if gauges is not None:
+                gauges[0].set(float(len(self._fanout_cache)))
+                gauges[1].set(float(self.fanout_cache_hits))
+                gauges[2].set(float(self.fanout_cache_builds))
+                gauges[3].set(float(self.fanout_cache_invalidations))
             profiler = tracer.profiler
             if profiler is not None:
                 profiler.count("broker", "fanout.deliveries", delivered)
                 profiler.count("broker", "fanout.publications", 1)
+                if seq is not None:
+                    # Attributed only when a reliable tier actually
+                    # stamped -- at_most_once runs must show a zero
+                    # reliability row in the profile.
+                    profiler.count("reliability", "stamp.sequenced", 1)
 
         # Loopback deliveries: dispatcher subscriptions and LLA observation.
         for callback in list(self._local_subs.get(channel, ())):
             callback(channel, publisher_id, cmd.payload, cmd.payload_size)
         for callback in self._observers:
             callback(channel, publisher_id, cmd.payload, cmd.payload_size)
+
+    def _build_fanout_entry(self, subs: Dict[str, None]) -> tuple:
+        """Compile a channel's subscriber dict into flat fan-out arrays.
+
+        Dead or missing connections are excluded and counted in ``dead``
+        so every later publication charges :attr:`dropped_deliveries`
+        exactly as the uncached per-publication walk did.
+        """
+        connections = self._connections
+        dst_ids: List[str] = []
+        conns: List[Connection] = []
+        dead = 0
+        for client_id in subs:
+            conn = connections.get(client_id)
+            if conn is None or not conn.alive:
+                dead += 1
+                continue
+            dst_ids.append(client_id)
+            conns.append(conn)
+        states = self.transport.fanout_states(self.node_id, dst_ids)
+        self.fanout_cache_builds += 1
+        return (
+            tuple(dst_ids),
+            tuple(conns),
+            states,
+            dead,
+            self.transport.pair_epoch,
+        )
 
     def _kill_connection(self, client_id: str, conn: Connection) -> None:
         """Enforce the output-buffer hard limit: disconnect the client."""
@@ -437,6 +554,7 @@ class PubSubServer(Actor):
                 subs.pop(client_id, None)
                 if not subs:
                     del self._channels[channel]
+            self._invalidate_fanout(channel)
             for listener in self._unsubscribe_listeners:
                 listener(channel, client_id)
         conn.kill()
@@ -467,6 +585,8 @@ class PubSubServer(Actor):
             )
         self._connections.clear()
         self._channels.clear()
+        self.fanout_cache_invalidations += len(self._fanout_cache)
+        self._fanout_cache.clear()
 
     def disconnect(self, client_id: str) -> None:
         """Cleanly remove a client (e.g. a player leaving the game)."""
@@ -479,6 +599,7 @@ class PubSubServer(Actor):
                 subs.pop(client_id, None)
                 if not subs:
                     del self._channels[channel]
+            self._invalidate_fanout(channel)
             for listener in self._unsubscribe_listeners:
                 listener(channel, client_id)
         conn.kill()

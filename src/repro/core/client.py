@@ -524,7 +524,129 @@ class DynamothClient(Actor):
     # ------------------------------------------------------------------
     def receive(self, message: Any, src_id: str) -> None:
         if isinstance(message, Delivery):
-            self._handle_delivery(message)
+            # Hot path: one call per application delivery.  ``_touch``,
+            # ``_is_duplicate`` and the non-causal tail of ``_deliver_app``
+            # are inlined here (the methods remain for the other call
+            # sites); ``sim._now`` skips the ``now`` property descriptor.
+            delivery = message
+            envelope = delivery.payload
+            if not isinstance(envelope, AppEnvelope):
+                return
+            channel = delivery.channel
+            sim = self.sim
+            entry = self._entries.get(channel)
+            if entry is not None:
+                entry.last_activity = sim._now
+
+            body = envelope.body
+            if isinstance(body, SwitchNotice):
+                self.switches += 1
+                self._apply_mapping(channel, body.mapping)
+                return
+
+            tracer = self._tracer
+            if self.on_wire_delivery is not None:
+                # Protocol-level tap: fires for every app delivery that
+                # made it off the wire, *before* seq/dedup suppression (a
+                # hole filled by a cross-stream duplicate is still a
+                # filled hole).
+                self.on_wire_delivery(channel, delivery)
+            rel = self._rel
+            if rel is not None and delivery.seq is not None:
+                outcome = rel.observe(
+                    delivery.server_id,
+                    channel,
+                    delivery.seq,
+                    delivery.epoch,
+                    delivery.replayed,
+                    sim._now,
+                )
+                if outcome.request is not None:
+                    after, up_to = outcome.request
+                    self.send(
+                        delivery.server_id,
+                        ReplayRequest(channel, delivery.epoch, after, up_to),
+                        ReplayRequest.WIRE_SIZE,
+                    )
+                if not outcome.deliver:
+                    # exactly_once: a sequence number already at or below
+                    # the stream watermark (and not a known hole) is a
+                    # replayed duplicate -- dropped *before* any msg-id
+                    # bookkeeping so replay traffic can never cycle fresh
+                    # ids out of the dedup window.
+                    self.duplicates += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter(
+                            "duplicates_total", client=self.node_id
+                        ).inc()
+                    return
+
+            # -- inline _is_duplicate --
+            msg_id = envelope.msg_id
+            seen = self._seen_ids
+            order = self._seen_order
+            count = seen.get(msg_id)
+            seen[msg_id] = (count + 1) if count is not None else 1
+            order.append(msg_id)
+            if len(order) > self._dedup_window:
+                oldest = order.popleft()
+                remaining = seen[oldest] - 1
+                if remaining:
+                    seen[oldest] = remaining
+                else:
+                    del seen[oldest]
+            if count is not None:
+                self.duplicates += 1
+                if tracer.enabled:
+                    tracer.metrics.counter(
+                        "duplicates_total", client=self.node_id
+                    ).inc()
+                return
+
+            if self._causal and rel is not None and envelope.pub_seq > 0:
+                if not rel.deliverable(
+                    channel, envelope.sender, envelope.pub_seq, envelope.deps
+                ):
+                    self._park(channel, envelope, delivery)
+                    return
+                self._deliver_app(channel, envelope, delivery)
+                self._release_parked(channel)
+                return
+
+            # -- inline _deliver_app (non-causal tail) --
+            self.delivered += 1
+            if rel is not None and envelope.pub_seq > 0:
+                rel.note_app_delivery(channel, envelope.sender, envelope.pub_seq)
+            if tracer.enabled:
+                latency = sim.now - envelope.sent_at
+                tracer.emit(
+                    DeliveryEvent(
+                        sim.now,
+                        self.node_id,
+                        channel,
+                        envelope.msg_id,
+                        envelope.sender,
+                        latency,
+                        envelope.plan_version,
+                        delivery.server_id,
+                    )
+                )
+                tracer.metrics.histogram(
+                    "delivery_latency_s", channel_class=channel_class(channel)
+                ).observe(latency)
+                # Single global counter so streaming runs (which keep no
+                # event buffer to count DeliveryEvents in) still report
+                # totals.
+                tracer.metrics.counter("deliveries_received_total").inc()
+
+            if self.on_delivery is not None:
+                self.on_delivery(channel, envelope, delivery)
+            if envelope.sender == self.node_id and self.on_response_time is not None:
+                self.on_response_time(channel, sim.now - envelope.sent_at, sim.now)
+
+            sub = self._subs.get(channel)
+            if sub is not None:
+                sub.callback(channel, body, envelope)
         elif isinstance(message, MappingNotice):
             self.redirects += 1
             self._apply_mapping(message.channel, message.mapping)
@@ -545,75 +667,6 @@ class DynamothClient(Actor):
             self._handle_disconnect(message.server_id)
         else:
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
-
-    def _handle_delivery(self, delivery: Delivery) -> None:
-        # Hot path: one call per application delivery.  ``_touch`` and
-        # ``_is_duplicate`` are inlined here (they remain as methods for
-        # the other call sites).
-        envelope = delivery.payload
-        if not isinstance(envelope, AppEnvelope):
-            return
-        channel = delivery.channel
-        entry = self._entries.get(channel)
-        if entry is not None:
-            entry.last_activity = self.sim.now
-
-        if isinstance(envelope.body, SwitchNotice):
-            self.switches += 1
-            self._apply_mapping(channel, envelope.body.mapping)
-            return
-
-        tracer = self._tracer
-        if self.on_wire_delivery is not None:
-            # Protocol-level tap: fires for every app delivery that made
-            # it off the wire, *before* seq/dedup suppression (a hole
-            # filled by a cross-stream duplicate is still a filled hole).
-            self.on_wire_delivery(channel, delivery)
-        rel = self._rel
-        if rel is not None and delivery.seq is not None:
-            outcome = rel.observe(
-                delivery.server_id,
-                channel,
-                delivery.seq,
-                delivery.epoch,
-                delivery.replayed,
-                self.sim.now,
-            )
-            if outcome.request is not None:
-                after, up_to = outcome.request
-                self.send(
-                    delivery.server_id,
-                    ReplayRequest(channel, delivery.epoch, after, up_to),
-                    ReplayRequest.WIRE_SIZE,
-                )
-            if not outcome.deliver:
-                # exactly_once: a sequence number already at or below the
-                # stream watermark (and not a known hole) is a replayed
-                # duplicate -- dropped *before* any msg-id bookkeeping so
-                # replay traffic can never cycle fresh ids out of the
-                # dedup window.
-                self.duplicates += 1
-                if tracer.enabled:
-                    tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
-                return
-
-        msg_id = envelope.msg_id
-        if self._is_duplicate(msg_id):
-            self.duplicates += 1
-            if tracer.enabled:
-                tracer.metrics.counter("duplicates_total", client=self.node_id).inc()
-            return
-
-        if self._causal and rel is not None and envelope.pub_seq > 0:
-            if not rel.deliverable(
-                channel, envelope.sender, envelope.pub_seq, envelope.deps
-            ):
-                self._park(channel, envelope, delivery)
-                return
-            self._deliver_app(channel, envelope, delivery)
-            self._release_parked(channel)
-            return
-        self._deliver_app(channel, envelope, delivery)
 
     def _deliver_app(self, channel: str, envelope: AppEnvelope, delivery: Delivery) -> None:
         """Hand one deduplicated publication to the application."""

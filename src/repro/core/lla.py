@@ -1,9 +1,10 @@
 """Local Load Analyzer (LLA).
 
-One LLA runs co-located with every pub/sub server (section III-A).  It
-registers as an observer of every channel on the local server -- receiving
-a copy of each publication over loopback, which costs neither NIC bandwidth
-nor measurable CPU -- and keeps per-interval, per-channel metrics:
+One LLA runs co-located with every pub/sub server (section III-A).  The
+broker accumulates per-channel counters inline as publications complete
+(loopback observation costs neither NIC bandwidth nor measurable CPU);
+the LLA drains that window at each report flush and derives per-interval,
+per-channel metrics:
 
 * number of publications and the set of distinct publishers,
 * number of deliveries sent and egress bytes attributable to the channel,
@@ -17,8 +18,7 @@ to the load balancer, including the node's nominal maximum egress bandwidth
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Set
+from typing import Any
 
 from repro.broker.server import PubSubServer
 from repro.core.messages import ChannelMetricsSnapshot, LoadReport
@@ -27,17 +27,6 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTask
-
-
-@dataclass
-class _ChannelAccumulator:
-    publications: int = 0
-    publishers: Set[str] = field(default_factory=set)
-    messages_out: int = 0
-    bytes_out: int = 0
-
-    def idle(self) -> bool:
-        return self.publications == 0 and self.messages_out == 0
 
 
 class LocalLoadAnalyzer(Actor):
@@ -60,13 +49,15 @@ class LocalLoadAnalyzer(Actor):
         self.report_interval_s = report_interval_s
         self._tracer = tracer
 
-        self._accumulators: Dict[str, _ChannelAccumulator] = {}
         self._window_start = sim.now
         self._bytes_at_window_start = egress_port.total_bytes
         self._cpu_at_window_start = server.cpu_time_total
         self.reports_sent = 0
 
-        server.add_observer(self._on_publication)
+        # Per-publication accounting happens inline in the broker's
+        # publish-completion path (``PubSubServer._channel_stats``); the
+        # LLA only drains the accumulated window at each report flush
+        # instead of paying an observer callback per publication.
         self._task = PeriodicTask(sim, report_interval_s, self._report)
 
     def start(self) -> None:
@@ -81,23 +72,6 @@ class LocalLoadAnalyzer(Actor):
         return self._task.running
 
     # ------------------------------------------------------------------
-    # Observation (loopback, zero network cost)
-    # ------------------------------------------------------------------
-    def _on_publication(
-        self, channel: str, publisher_id: str, payload: Any, payload_size: int
-    ) -> None:
-        acc = self._accumulators.get(channel)
-        if acc is None:
-            acc = _ChannelAccumulator()
-            self._accumulators[channel] = acc
-        fanout = self.server.last_fanout
-        wire = payload_size + self.server.config.per_message_overhead_bytes
-        acc.publications += 1
-        acc.publishers.add(publisher_id)
-        acc.messages_out += fanout
-        acc.bytes_out += fanout * wire
-
-    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def _report(self, now: float) -> None:
@@ -106,21 +80,30 @@ class LocalLoadAnalyzer(Actor):
             return
         measured_bytes = self._port.total_bytes - self._bytes_at_window_start
 
+        # Batched window flush: the broker accumulated [publications,
+        # publisher set, messages_out, bytes_out] per channel inline; one
+        # drain here replaces the per-publication observer callback.  The
+        # arithmetic is identical, so reports are byte-for-byte the same.
+        window = self.server.drain_channel_stats()
         snapshots = []
-        channels = sorted(set(self._accumulators) | set(self.server.channels()))
+        channels = sorted(set(window) | set(self.server.channels()))
         for channel in channels:
-            acc = self._accumulators.get(channel, _ChannelAccumulator())
+            stats = window.get(channel)
+            if stats is None:
+                publications, publishers, messages_out, bytes_out = 0, (), 0, 0
+            else:
+                publications, publishers, messages_out, bytes_out = stats
             sub_count = self.server.subscriber_count(channel)
-            if acc.idle() and sub_count == 0:
+            if publications == 0 and messages_out == 0 and sub_count == 0:
                 continue
             snapshots.append(
                 ChannelMetricsSnapshot(
                     channel=channel,
-                    publications_per_s=acc.publications / duration,
-                    publisher_count=len(acc.publishers),
+                    publications_per_s=publications / duration,
+                    publisher_count=len(publishers),
                     subscriber_count=sub_count,
-                    messages_out_per_s=acc.messages_out / duration,
-                    bytes_out_per_s=acc.bytes_out / duration,
+                    messages_out_per_s=messages_out / duration,
+                    bytes_out_per_s=bytes_out / duration,
                 )
             )
 
@@ -152,7 +135,6 @@ class LocalLoadAnalyzer(Actor):
                 profiler.count("core", "lla.reports", 1)
                 profiler.count("core", "lla.channel_snapshots", len(snapshots))
 
-        self._accumulators.clear()
         self._window_start = now
         self._bytes_at_window_start = self._port.total_bytes
         self._cpu_at_window_start = self.server.cpu_time_total

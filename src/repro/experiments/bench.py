@@ -58,6 +58,7 @@ from repro.core.cluster import BALANCER_DYNAMOTH, BALANCER_NONE, DynamothCluster
 from repro.core.config import DynamothConfig
 from repro.obs.sink import StreamingJsonlSink
 from repro.obs.trace import Tracer
+from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTask
 
 #: Schema version of the emitted JSON.
@@ -632,6 +633,10 @@ def run_bench(
         best: Optional[ScenarioResult] = None
         for __ in range(max(1, repeat)):
             result = runner(profile, seed=seed, scheduler=scheduler)
+            # The managed GC policy froze this run's topology; release it
+            # so back-to-back runs don't accumulate uncollectable graphs
+            # (which both bloats RSS and slows later repeats).
+            Simulator.gc_release()
             if best is None or result.events_per_s > best.events_per_s:
                 best = result
         assert best is not None

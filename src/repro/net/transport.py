@@ -80,6 +80,13 @@ class Transport:
         #: stay valid until either endpoint unregisters (which prunes
         #: them).
         self._pairs: Dict[Tuple[str, str], List[Any]] = {}
+        #: bumped on every :meth:`unregister` -- the only operation that
+        #: prunes pair states.  Callers that hold resolved state refs
+        #: across calls (the broker's per-channel subscriber arrays)
+        #: compare this against the epoch they captured at build time and
+        #: rebuild when it moved, so they can never fan out along a
+        #: pruned entry.
+        self.pair_epoch: int = 0
         self.messages_sent: int = 0
         self.messages_dropped: int = 0
         #: optional network fault plane (installed by
@@ -120,6 +127,7 @@ class Transport:
         stale = [key for key in self._pairs if key[0] == node_id or key[1] == node_id]
         for key in stale:
             del self._pairs[key]
+        self.pair_epoch += 1
         if actor is not None:
             actor.transport = None
 
@@ -279,6 +287,197 @@ class Transport:
             state[_P_FIFO] = delivery_time
             add_time(delivery_time)
             add_args((dst_id, message, src_id))
+        if times:
+            sim.schedule_batch(self._deliver, times, args_seq)
+            self.messages_sent += len(times)
+        if dropped:
+            self.messages_dropped += dropped
+        return completions
+
+    def fanout_states(
+        self, src_id: str, dst_ids: Sequence[str]
+    ) -> List[Optional[List[Any]]]:
+        """Resolve pair states for a fan-out source, one per destination.
+
+        Entries are the live objects from the pair table -- the same lists
+        :meth:`send_many` would fetch -- so a caller may hold them across
+        calls and pass them back through :meth:`send_fanout` for as long
+        as :attr:`pair_epoch` stays unchanged.  ``None`` entries mean the
+        destination is not currently registered; :meth:`send_fanout`
+        re-probes those per call so a later registration is picked up.
+        """
+        pairs = self._pairs
+        states: List[Optional[List[Any]]] = []
+        for dst_id in dst_ids:
+            state = pairs.get((src_id, dst_id))
+            if state is None:
+                state = self._classify_pair((src_id, dst_id))
+            states.append(state)
+        return states
+
+    def send_fanout(
+        self,
+        src_id: str,
+        dst_ids: Sequence[str],
+        states: Sequence[Optional[List[Any]]],
+        message: Any,
+        size_bytes: int,
+        *,
+        min_completions: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Fan out along pre-resolved pair states (:meth:`fanout_states`).
+
+        Semantically identical to :meth:`send_many` -- same NIC charges,
+        same lazy once-per-leg propagation sampling (and therefore the
+        same RNG draw order), same FIFO clamps and drop accounting -- but
+        the per-destination ``(src, dst)`` key-tuple allocation and table
+        lookup are gone: the caller supplies the resolved states, which
+        the broker's per-channel subscriber arrays cache across
+        publications.  A one-destination batch takes a dedicated fast
+        path that skips the batch machinery entirely (sparse chaos
+        workloads are dominated by tiny fan-outs).
+        """
+        sim = self.sim
+        if len(dst_ids) == 1:
+            # Single-destination fast path: no completion list, no batch
+            # lists, no leg-sample table.  Float math matches the batch
+            # path exactly (transmit == transmit_many for one message).
+            dst_id = dst_ids[0]
+            port = self._ports[src_id]
+            completion = port.transmit(sim.now, size_bytes)
+            if min_completions is not None and min_completions[0] > completion:
+                completion = min_completions[0]
+            plane = self.fault_plane
+            if plane is not None:
+                extra = plane.apply(src_id, dst_id)
+                if extra is None:
+                    self.messages_dropped += 1
+                    return [completion]
+            else:
+                extra = 0.0
+            state = states[0]
+            if state is None:
+                state = self._pairs.get((src_id, dst_id))
+                if state is None:
+                    state = self._classify_pair((src_id, dst_id))
+            if state is None or not state[_P_DST].alive:
+                self.messages_dropped += 1
+                return [completion]
+            fixed = state[_P_FIXED]
+            if fixed is not None:
+                latency = fixed
+            else:
+                latency = state[_P_MODEL].sample(self._rng)
+            delivery_time = completion + latency + extra
+            if delivery_time < state[_P_FIFO]:
+                delivery_time = state[_P_FIFO]
+            state[_P_FIFO] = delivery_time
+            sim.schedule_batch(
+                self._deliver, (delivery_time,), ((dst_id, message, src_id),)
+            )
+            self.messages_sent += 1
+            return [completion]
+        port = self._ports[src_id]
+        completions = port.transmit_many(sim.now, size_bytes, len(dst_ids))
+        if min_completions is not None:
+            for index, floor in enumerate(min_completions):
+                if floor > completions[index]:
+                    completions[index] = floor
+        plane = self.fault_plane
+        pairs = self._pairs
+        rng = self._rng
+        #: one propagation sample per latency model ("leg") per batch; the
+        #: identity compare against the previous destination's model keeps
+        #: uniform batches (every subscriber behind the same WAN leg) to
+        #: one pointer compare per destination instead of a dict probe.
+        leg_samples: Optional[Dict[int, float]] = None
+        last_model: Optional[LatencyModel] = None
+        last_latency = 0.0
+        times: List[float] = []
+        args_seq: List[Tuple[Any, ...]] = []
+        add_time = times.append
+        add_args = args_seq.append
+        dropped = 0
+        if plane is None:
+            # Specialized copy of the loop below with the fault-plane
+            # branch (and its per-destination ``extra`` add) removed --
+            # the dominant configuration in large fan-out workloads.
+            for dst_id, state, completion in zip(dst_ids, states, completions):
+                if state is None:
+                    state = pairs.get((src_id, dst_id))
+                    if state is None:
+                        state = self._classify_pair((src_id, dst_id))
+                    if state is None or not state[_P_DST].alive:
+                        dropped += 1
+                        continue
+                elif not state[_P_DST].alive:
+                    dropped += 1
+                    continue
+                fixed = state[_P_FIXED]
+                if fixed is not None:
+                    latency = fixed
+                else:
+                    model = state[_P_MODEL]
+                    if model is last_model:
+                        latency = last_latency
+                    else:
+                        if leg_samples is None:
+                            leg_samples = {}
+                        leg = id(model)
+                        cached = leg_samples.get(leg)
+                        if cached is None:
+                            cached = model.sample(rng)
+                            leg_samples[leg] = cached
+                        latency = cached
+                        last_model = model
+                        last_latency = cached
+                delivery_time = completion + latency
+                if delivery_time < state[_P_FIFO]:
+                    delivery_time = state[_P_FIFO]
+                state[_P_FIFO] = delivery_time
+                add_time(delivery_time)
+                add_args((dst_id, message, src_id))
+        else:
+            for index, dst_id in enumerate(dst_ids):
+                extra = plane.apply(src_id, dst_id)
+                if extra is None:
+                    dropped += 1
+                    continue
+                state = states[index]
+                if state is None:
+                    state = pairs.get((src_id, dst_id))
+                    if state is None:
+                        state = self._classify_pair((src_id, dst_id))
+                    if state is None or not state[_P_DST].alive:
+                        dropped += 1
+                        continue
+                elif not state[_P_DST].alive:
+                    dropped += 1
+                    continue
+                fixed = state[_P_FIXED]
+                if fixed is not None:
+                    latency = fixed
+                else:
+                    model = state[_P_MODEL]
+                    if model is last_model:
+                        latency = last_latency
+                    else:
+                        if leg_samples is None:
+                            leg_samples = {}
+                        leg = id(model)
+                        cached = leg_samples.get(leg)
+                        if cached is None:
+                            cached = model.sample(rng)
+                            leg_samples[leg] = cached
+                        latency = cached
+                        last_model = model
+                        last_latency = cached
+                delivery_time = completions[index] + latency + extra
+                if delivery_time < state[_P_FIFO]:
+                    delivery_time = state[_P_FIFO]
+                state[_P_FIFO] = delivery_time
+                add_time(delivery_time)
+                add_args((dst_id, message, src_id))
         if times:
             sim.schedule_batch(self._deliver, times, args_seq)
             self.messages_sent += len(times)

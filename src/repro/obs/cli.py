@@ -33,6 +33,7 @@ from repro.obs.trace import (
     LinkFaultEvent,
     LlaStallEvent,
     LoadSnapshotEvent,
+    MetricsEvent,
     MigrationSettledEvent,
     MigrationStartEvent,
     PartitionEvent,
@@ -143,6 +144,32 @@ class TraceSummary:
     @property
     def duration(self) -> float:
         return max((e.t for e in self.events), default=0.0)
+
+    def fanout_cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-broker fan-out cache gauges from the final metrics trailer.
+
+        Returns ``{server: {gauge_name: value}}`` for the
+        ``fanout_cache_*`` gauges the broker publishes (compiled-channel
+        count, hits, builds, invalidations), or ``{}`` when the trace
+        has no metrics trailer or the run predates the cache.
+        """
+        trailer: Optional[MetricsEvent] = None
+        for event in self.events:
+            if isinstance(event, MetricsEvent):
+                trailer = event  # keep the last snapshot
+        if trailer is None:
+            return {}
+        out: Dict[str, Dict[str, float]] = {}
+        for key, value in trailer.data.get("gauges", {}).items():
+            if not key.startswith("fanout_cache_"):
+                continue
+            name, _, labels = key.partition("{")
+            server = "?"
+            for label in labels.rstrip("}").split(","):
+                if label.startswith("server="):
+                    server = label[len("server="):]
+            out.setdefault(server, {})[name[len("fanout_cache_"):]] = value
+        return out
 
     # ------------------------------------------------------------------
     # Phases: intervals between plan generations
@@ -460,6 +487,24 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
             )
     else:
         out("per-server load ratio: no load snapshots recorded")
+
+    # --- fan-out cache ---
+    cache = summary.fanout_cache_stats()
+    if cache:
+        out("")
+        out("fan-out cache (per broker, end-of-run gauges)")
+        for server in sorted(cache):
+            g = cache[server]
+            hits = g.get("hits", 0.0)
+            builds = g.get("builds", 0.0)
+            lookups = hits + builds
+            rate = f"{hits / lookups:6.1%}" if lookups else "    --"
+            out(
+                f"  {server:<10} channels={g.get('channels', 0.0):>6.0f}  "
+                f"hits={hits:>9.0f}  builds={builds:>6.0f}  "
+                f"invalidations={g.get('invalidations', 0.0):>6.0f}  "
+                f"hit-rate={rate}"
+            )
 
     # --- hottest channels ---
     out("")

@@ -18,10 +18,11 @@ Two interchangeable event-queue implementations are provided:
   near-simultaneous events (large fan-out batches); ordering semantics are
   byte-identical to the heap.
 
-Both queues share the free-list *event pool* used by
+Both queues share the *fire-and-forget entry* representation used by
 :meth:`Simulator.schedule_batch`: bulk callers that never need a cancel
-handle (the transport's fan-out path) recycle ``ScheduledEvent`` objects
-instead of allocating one per message.
+handle (the transport's fan-out path) enqueue plain ``(time, seq, None,
+fn, args)`` tuples instead of allocating a ``ScheduledEvent`` per
+message -- the run loop skips all handle bookkeeping for them.
 """
 
 from __future__ import annotations
@@ -31,9 +32,16 @@ import heapq
 from bisect import insort
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-#: Queue entry: ``(time, seq, event)``.  The (time, seq) prefix is unique,
-#: so tuple comparison never falls through to the event object.
-_Entry = Tuple[float, int, "ScheduledEvent"]
+#: Queue entry.  Two shapes share every queue:
+#:
+#: * ``(time, seq, event)`` -- a cancellable :class:`ScheduledEvent` handle
+#:   created by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+#: * ``(time, seq, None, fn, args)`` -- a *fire-and-forget* entry created by
+#:   :meth:`Simulator.schedule_batch`; no handle object exists at all.
+#:
+#: The ``(time, seq)`` prefix is unique, so tuple comparison never falls
+#: through to the third element and the two shapes order consistently.
+_Entry = Tuple[Any, ...]
 
 
 class ScheduledEvent:
@@ -43,11 +51,11 @@ class ScheduledEvent:
     the callback from firing (cancellation is O(1) -- the event stays in the
     queue but is skipped when popped).
 
-    Events created through :meth:`Simulator.schedule_batch` are *pooled*:
-    no handle escapes, and the object is recycled once it leaves the queue.
+    :meth:`Simulator.schedule_batch` never creates these at all: batch
+    events are enqueued as plain fire-and-forget tuples with no handle.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_pooled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(
         self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]
@@ -60,9 +68,6 @@ class ScheduledEvent:
         #: back-reference to the owning simulator while the event is in its
         #: queue, so cancellations can be counted for compaction.
         self._sim: Optional["Simulator"] = None
-        #: pooled events are recycled when they leave the queue; they must
-        #: never hand a handle to external code.
-        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -105,9 +110,6 @@ class Simulator:
     #: rebuild would cost more than the memory it frees).
     COMPACT_MIN_CANCELLED = 64
 
-    #: Maximum recycled events kept in the free list.
-    POOL_MAX = 8192
-
     #: Executed events between explicit young-generation collections while
     #: the managed GC policy is active.
     GC_MAINTENANCE_EVENTS = 1_000_000
@@ -143,7 +145,6 @@ class Simulator:
         self._cancelled_pending: int = 0
         self._compactions: int = 0
         self._running = False
-        self._pool: List[ScheduledEvent] = []
         # --- heap scheduler state ---
         self._heap: List[_Entry] = []
         # --- calendar scheduler state ---
@@ -159,10 +160,16 @@ class Simulator:
         self._current_idx: int = 0
         self._current_key: Optional[int] = None
         self._cal_count: int = 0
+        #: set whenever an insert lands in a bucket *earlier* than the one
+        #: being drained -- the run loop then re-checks bucket order once
+        #: instead of probing the bucket heap on every event.
+        self._cal_earlier: bool = False
         #: Optional observability hook ``(now, events_processed) -> None``,
-        #: invoked after each executed event.  ``None`` (the default) costs
-        #: one attribute check per event; the hook must not schedule events
-        #: or touch any RNG so instrumented runs stay deterministic.
+        #: invoked after each executed event.  Hoisted into a local at run
+        #: entry (``None`` then costs nothing per event), so it must be
+        #: installed *before* entering a run loop, never from inside an
+        #: executing event; the hook must not schedule events or touch any
+        #: RNG so instrumented runs stay deterministic.
         self.event_hook: Optional[Callable[[float, int], None]] = None
         #: Optional sim-profiler (``repro.obs.profile.SimProfiler``-shaped:
         #: anything with ``record_event(fn, now)``).  Fed the executed
@@ -211,11 +218,6 @@ class Simulator:
         """True while :meth:`run` / :meth:`run_until` is executing events."""
         return self._running
 
-    @property
-    def pooled_free(self) -> int:
-        """Recycled events currently in the free list (diagnostic)."""
-        return len(self._pool)
-
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -252,48 +254,61 @@ class Simulator:
         """Bulk-schedule ``fn(*args)`` at many absolute times.
 
         ``times`` and ``args_seq`` are parallel sequences (kept separate so
-        bulk callers need not build a pair tuple per event).  Events are
-        drawn from the free-list pool and recycled when they leave the
-        queue, so no handle is returned -- batch events cannot be cancelled
-        by callers.  Returns the number of events scheduled.
+        bulk callers need not build a pair tuple per event).  Batch events
+        are enqueued as fire-and-forget ``(time, seq, None, fn, args)``
+        tuples: no :class:`ScheduledEvent` is allocated, no handle is
+        returned, and batch events cannot be cancelled by callers -- in
+        exchange the run loop pays zero handle bookkeeping for them.
+        Returns the number of events scheduled.
         """
         now = self._now
         seq = self._seq
-        pool = self._pool
-        use_calendar = self._use_calendar
         heap = self._heap
         push = heapq.heappush
         count = 0
-        for time, args in zip(times, args_seq):
-            if time < now:
-                raise ValueError(f"cannot schedule in the past: {time} < {now}")
-            if pool:
-                event = pool.pop()
-                event.time = time
-                event.seq = seq
-                event.fn = fn
-                event.args = args
-            else:
-                event = ScheduledEvent(time, seq, fn, args)
-                event._pooled = True
-            event._sim = self
-            if use_calendar:
-                self._cal_insert((time, seq, event))
-            else:
-                push(heap, (time, seq, event))
-            seq += 1
-            count += 1
+        if self._use_calendar:
+            # Inlined _cal_insert with a same-bucket fast path: fan-out
+            # batches land overwhelmingly in one bucket (near-identical
+            # delivery times), so after the first insert each event is a
+            # single compare + append instead of a method call, a divide,
+            # and a dict probe.
+            bucket_s = self._bucket_s
+            buckets = self._buckets
+            current_key = self._current_key
+            last_key: Optional[int] = None
+            last_bucket: Optional[List[_Entry]] = None
+            for time, args in zip(times, args_seq):
+                if time < now:
+                    raise ValueError(f"cannot schedule in the past: {time} < {now}")
+                entry = (time, seq, None, fn, args)
+                key = int(time / bucket_s)
+                if key == last_key:
+                    last_bucket.append(entry)  # type: ignore[union-attr]
+                elif current_key is not None and key == current_key:
+                    insort(self._current, entry, lo=self._current_idx)
+                else:
+                    if current_key is not None and key < current_key:
+                        self._cal_earlier = True
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = [entry]
+                        push(self._bucket_heap, key)
+                    else:
+                        bucket.append(entry)
+                    last_key = key
+                    last_bucket = bucket
+                seq += 1
+                count += 1
+            self._cal_count += count
+        else:
+            for time, args in zip(times, args_seq):
+                if time < now:
+                    raise ValueError(f"cannot schedule in the past: {time} < {now}")
+                push(heap, (time, seq, None, fn, args))
+                seq += 1
+                count += 1
         self._seq = seq
         return count
-
-    def _recycle(self, event: ScheduledEvent) -> None:
-        """Return a pooled event that left the queue to the free list."""
-        event.fn = None
-        event.args = ()
-        event._sim = None
-        event.cancelled = False
-        if len(self._pool) < self.POOL_MAX:
-            self._pool.append(event)
 
     # ------------------------------------------------------------------
     # Calendar queue internals
@@ -306,6 +321,8 @@ class Simulator:
             # sorted.  ``lo`` bounds the bisect to the unread portion.
             insort(self._current, entry, lo=self._current_idx)
         else:
+            if current_key is not None and key < current_key:
+                self._cal_earlier = True
             bucket = self._buckets.get(key)
             if bucket is None:
                 self._buckets[key] = [entry]
@@ -405,10 +422,9 @@ class Simulator:
                 live = []
                 for entry in bucket:
                     event = entry[2]
-                    if event.cancelled:
-                        if event._pooled:
-                            self._recycle(event)
-                    else:
+                    # Fire-and-forget entries (event is None) cannot be
+                    # cancelled; only ScheduledEvent tombstones are dropped.
+                    if event is None or not event.cancelled:
                         live.append(entry)
                 if live:
                     compacted[key] = live
@@ -421,10 +437,7 @@ class Simulator:
             live_entries = []
             for entry in self._heap:
                 event = entry[2]
-                if event.cancelled:
-                    if event._pooled:
-                        self._recycle(event)
-                else:
+                if event is None or not event.cancelled:
                     live_entries.append(entry)
             self._heap = live_entries
             heapq.heapify(self._heap)
@@ -454,19 +467,21 @@ class Simulator:
         self.sample_every = every
         self._sample_next = self._events_processed + every
 
-    def _execute(self, event: ScheduledEvent) -> None:
-        """Release ``event``'s handle state, run its callback, fire the hook.
+    def _execute(self, entry: _Entry) -> None:
+        """Run one queue entry's callback and fire the instrumentation hooks.
 
-        The handle is released *before* running so an event rescheduling
-        itself does not grow memory; pooled events go straight back to the
-        free list (their args are captured in locals first).
+        For :class:`ScheduledEvent` entries the handle state is released
+        *before* running so an event rescheduling itself does not grow
+        memory; fire-and-forget entries carry no handle to release.
         """
-        fn = event.fn
-        args = event.args
-        assert fn is not None  # non-cancelled events always carry a callback
-        if event._pooled:
-            self._recycle(event)
+        event = entry[2]
+        if event is None:
+            fn = entry[3]
+            args = entry[4]
         else:
+            fn = event.fn
+            args = event.args
+            assert fn is not None  # non-cancelled events carry a callback
             # This event already left the queue, so its self-cancel must
             # not count toward the compaction trigger.
             event._sim = None
@@ -497,13 +512,36 @@ class Simulator:
         if not self.gc_managed or not gc.isenabled():
             return False
         if not self._gc_frozen:
-            # One full collection, then freeze the surviving long-lived
-            # graph so later collections never re-scan it.
+            # One full collection before the very first freeze, so dead
+            # setup-time cycles do not get pinned forever.
             gc.collect()
-            gc.freeze()
             self._gc_frozen = True
+        # Freeze on *every* entry, not just the first: topology wired during
+        # an earlier run (e.g. a subscription storm inside the warm-up
+        # ``run_until``) would otherwise sit in the young generations for
+        # the whole process -- automatic collection is disabled while events
+        # execute, so nothing ever promotes it -- and every mid-run
+        # maintenance collection would re-scan all of it.  Freezing is a
+        # cheap list splice; anything alive right now is long-lived by
+        # construction.  Cycles alive at a freeze point stay uncollectable
+        # for the process lifetime, which is acceptable for bounded
+        # simulation runs and never affects results.
+        gc.freeze()
         gc.disable()
         return True
+
+    @staticmethod
+    def gc_release() -> None:
+        """Undo the managed policy's freezes and reclaim dead cycles.
+
+        ``gc.freeze`` is process-global: once a managed run froze its
+        topology, that graph stays uncollectable even after the simulation
+        is dropped.  A harness running several independent simulations in
+        one process (bench repeats, sweep workers) calls this between runs
+        so each finished topology's cycles are actually reclaimed.
+        """
+        gc.unfreeze()
+        gc.collect()
 
     def step(self) -> bool:
         """Execute the single next pending event.
@@ -518,25 +556,21 @@ class Simulator:
                     return False
                 self._cal_pop()
                 event = entry[2]
-                if event.cancelled:
+                if event is not None and event.cancelled:
                     self._cancelled_pending -= 1
-                    if event._pooled:
-                        self._recycle(event)
                     continue
                 self._now = entry[0]
-                self._execute(event)
+                self._execute(entry)
                 return True
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
             event = entry[2]
-            if event.cancelled:
+            if event is not None and event.cancelled:
                 self._cancelled_pending -= 1
-                if event._pooled:
-                    self._recycle(event)
                 continue
             self._now = entry[0]
-            self._execute(event)
+            self._execute(entry)
             return True
         return False
 
@@ -556,28 +590,41 @@ class Simulator:
         )
         self._running = True
         try:
+            # Instrumentation hooks are hoisted into locals once per run
+            # entry: a None hook costs nothing per event instead of an
+            # attribute load + test.  Hooks must therefore be installed
+            # before the run loop starts (Tracer.attach_kernel and the
+            # bench harness both do), never from inside an executing
+            # event.
+            hook = self.event_hook
+            profiler = self.profiler
+            pause_next = self._sample_next if self._sample_next < gc_next else gc_next
             if self._use_calendar:
                 # Like the heap loop below, the calendar loop inlines
                 # _cal_head()/_cal_pop()/_execute() for the common case
                 # (next entry comes from the already-sorted current
                 # bucket); bucket transitions fall back to _cal_head().
-                pool = self._pool
-                pool_max = self.POOL_MAX
                 while True:
                     current = self._current
                     idx = self._current_idx
                     if idx < len(current):
-                        bucket_heap = self._bucket_heap
-                        current_key = self._current_key
-                        if (
-                            bucket_heap
-                            and current_key is not None
-                            and bucket_heap[0] < current_key
-                            and self._buckets.get(bucket_heap[0])
-                        ):
-                            # An insert landed in an earlier bucket.
-                            self._cal_stash_current()
-                            continue
+                        if self._cal_earlier:
+                            # An insert landed in a bucket earlier than the
+                            # one being drained: re-check bucket order.  The
+                            # flag is set at insert time so the steady-state
+                            # loop pays one attribute test instead of a
+                            # bucket-heap probe per event.
+                            self._cal_earlier = False
+                            bucket_heap = self._bucket_heap
+                            current_key = self._current_key
+                            if (
+                                bucket_heap
+                                and current_key is not None
+                                and bucket_heap[0] < current_key
+                                and self._buckets.get(bucket_heap[0])
+                            ):
+                                self._cal_stash_current()
+                                continue
                         entry = current[idx]
                     else:
                         entry = self._cal_head()
@@ -597,75 +644,75 @@ class Simulator:
                     else:
                         self._current_idx = idx
                     event = entry[2]
-                    if event.cancelled:
+                    if event is None:
+                        # Fire-and-forget batch entry: no handle state to
+                        # release, cannot be cancelled.
+                        fn = entry[3]
+                        args = entry[4]
+                    elif event.cancelled:
                         self._cancelled_pending -= 1
-                        if event._pooled:
-                            self._recycle(event)
                         continue
-                    self._now = entry[0]
-                    fn = event.fn
-                    args = event.args
-                    assert fn is not None  # non-cancelled => callback present
-                    if event._pooled:
-                        event.fn = None
-                        event.args = ()
-                        event._sim = None
-                        if len(pool) < pool_max:
-                            pool.append(event)
                     else:
+                        fn = event.fn
+                        args = event.args
                         # Already out of the queue: the self-cancel marker
                         # must not count toward the compaction trigger.
                         event._sim = None
                         event.cancelled = True
                         event.fn = None
                         event.args = ()
+                    self._now = entry[0]
                     self._events_processed += 1
                     fn(*args)
-                    hook = self.event_hook
                     if hook is not None:
                         hook(self._now, self._events_processed)
-                    profiler = self.profiler
                     if profiler is not None:
                         profiler.record_event(fn, self._now)
-                    if self._events_processed >= self._sample_next:
-                        self._sample_next = self._events_processed + self.sample_every
-                        sample = self.sample_hook
-                        if sample is not None:
-                            sample(self._now, self._events_processed)
-                    if self._events_processed >= gc_next:
-                        gc.collect(1)
-                        gc_next = self._events_processed + self.GC_MAINTENANCE_EVENTS
+                    if self._events_processed >= pause_next:
+                        # Combined threshold: one compare per event covers
+                        # both the sampling hook and GC maintenance.
+                        if self._events_processed >= self._sample_next:
+                            self._sample_next = (
+                                self._events_processed + self.sample_every
+                            )
+                            sample = self.sample_hook
+                            if sample is not None:
+                                sample(self._now, self._events_processed)
+                        if self._events_processed >= gc_next:
+                            gc.collect(1)
+                            gc_next = (
+                                self._events_processed + self.GC_MAINTENANCE_EVENTS
+                            )
+                        pause_next = (
+                            self._sample_next
+                            if self._sample_next < gc_next
+                            else gc_next
+                        )
             else:
                 # The heap loop is the simulator's hottest code: _execute()
-                # and _recycle() are inlined to shave per-event call
-                # overhead (identical observable behaviour).
+                # is inlined to shave per-event call overhead (identical
+                # observable behaviour).
                 heap = self._heap
                 pop = heapq.heappop
-                pool = self._pool
-                pool_max = self.POOL_MAX
                 while heap:
                     entry = heap[0]
                     event = entry[2]
-                    if event.cancelled:
+                    if event is not None and event.cancelled:
                         pop(heap)
                         self._cancelled_pending -= 1
-                        if event._pooled:
-                            self._recycle(event)
                         continue
                     if entry[0] > time:
                         break
                     pop(heap)
                     self._now = entry[0]
-                    fn = event.fn
-                    args = event.args
-                    assert fn is not None  # non-cancelled => callback present
-                    if event._pooled:
-                        event.fn = None
-                        event.args = ()
-                        event._sim = None
-                        if len(pool) < pool_max:
-                            pool.append(event)
+                    if event is None:
+                        # Fire-and-forget batch entry: no handle state to
+                        # release, cannot be cancelled.
+                        fn = entry[3]
+                        args = entry[4]
                     else:
+                        fn = event.fn
+                        args = event.args
                         # Already out of the queue: the self-cancel marker
                         # must not count toward the compaction trigger.
                         event._sim = None
@@ -674,22 +721,32 @@ class Simulator:
                         event.args = ()
                     self._events_processed += 1
                     fn(*args)
-                    hook = self.event_hook
                     if hook is not None:
                         hook(self._now, self._events_processed)
-                    profiler = self.profiler
                     if profiler is not None:
                         profiler.record_event(fn, self._now)
-                    if self._events_processed >= self._sample_next:
-                        self._sample_next = self._events_processed + self.sample_every
-                        sample = self.sample_hook
-                        if sample is not None:
-                            sample(self._now, self._events_processed)
                     if heap is not self._heap:
                         heap = self._heap  # compaction rebuilt it
-                    if self._events_processed >= gc_next:
-                        gc.collect(1)
-                        gc_next = self._events_processed + self.GC_MAINTENANCE_EVENTS
+                    if self._events_processed >= pause_next:
+                        # Combined threshold: one compare per event covers
+                        # both the sampling hook and GC maintenance.
+                        if self._events_processed >= self._sample_next:
+                            self._sample_next = (
+                                self._events_processed + self.sample_every
+                            )
+                            sample = self.sample_hook
+                            if sample is not None:
+                                sample(self._now, self._events_processed)
+                        if self._events_processed >= gc_next:
+                            gc.collect(1)
+                            gc_next = (
+                                self._events_processed + self.GC_MAINTENANCE_EVENTS
+                            )
+                        pause_next = (
+                            self._sample_next
+                            if self._sample_next < gc_next
+                            else gc_next
+                        )
         finally:
             self._running = False
             if gc_restore:

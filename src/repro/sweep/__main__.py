@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.sweep``."""
+
+from repro.sweep.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""``python -m repro.sweep`` -- multiprocess soak / bench / lab sweeps.
+
+Subcommands::
+
+    check   soak N generated check-scenario seeds through every oracle
+    bench   run the bench scenario matrix, one scenario per work unit
+    lab     record each live lab scenario and compare every policy
+
+All three fan work over a ``spawn`` process pool (``--procs``) and
+merge results in task order, so the JSON/markdown reports are
+byte-stable across process counts (bench wall-time fields excepted).
+``bench`` can gate on a committed baseline exactly like
+``python -m repro.experiments bench --baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sweep.orchestrator import (
+    bench_markdown,
+    bench_sweep,
+    check_markdown,
+    check_sweep,
+    lab_markdown,
+    lab_sweep,
+)
+
+_Out = Callable[[str], None]
+
+
+def _write_outputs(
+    doc: Dict[str, Any],
+    markdown: str,
+    args: argparse.Namespace,
+    out: _Out,
+) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out(f"JSON report written to {args.output}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        out(f"markdown report written to {args.markdown}")
+    if not args.output and not args.markdown:
+        out(markdown.rstrip("\n"))
+
+
+def _cmd_check(args: argparse.Namespace, out: _Out) -> int:
+    def progress(result: Dict[str, Any]) -> None:
+        status = "ok  " if result["ok"] else "FAIL"
+        out(
+            f"{status} seed={result['seed']} label={result['label']} "
+            f"({result['events']} events, {result['deliveries']} deliveries)"
+        )
+
+    doc = check_sweep(
+        args.iterations,
+        delivery_tier=args.tier,
+        causal_order=args.causal,
+        procs=args.procs,
+        progress=progress,
+    )
+    _write_outputs(doc, check_markdown(doc), args, out)
+    summary = doc["summary"]
+    if summary["failed"]:
+        out(
+            f"{summary['failed']}/{summary['total']} seed(s) FAILED; "
+            f"replay with: python -m repro.check --seed "
+            f"{summary['failed_seeds'][0]}"
+        )
+        return 1
+    out(f"all {summary['total']} seed(s) passed every oracle")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out: _Out) -> int:
+    from repro.experiments.bench import SCENARIOS, compare_to_baseline
+
+    names = args.scenario or list(SCENARIOS)
+
+    def progress(result: Dict[str, Any]) -> None:
+        r = result["result"]
+        out(
+            f"{result['scenario']}: {r['events']} events in "
+            f"{r['wall_s']:.2f}s ({r['events_per_s']:.0f} events/s)"
+        )
+
+    doc = bench_sweep(
+        names,
+        profile=args.profile,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        repeat=args.repeat,
+        procs=args.procs,
+        progress=progress,
+    )
+    _write_outputs(doc, bench_markdown(doc), args, out)
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        error = compare_to_baseline(doc, baseline, args.max_regression)
+        if error is not None:
+            out(f"REGRESSION: {error}")
+            return 1
+        out(f"headline within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+def _cmd_lab(args: argparse.Namespace, out: _Out) -> int:
+    def progress(result: Dict[str, Any]) -> None:
+        report = result["report"]
+        out(
+            f"{result['scenario']}: {report['ticks']} ticks, "
+            f"{len(report['policies'])} policies compared"
+        )
+
+    doc = lab_sweep(
+        args.scenario,
+        seed=args.seed,
+        policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+        sla_threshold_s=args.sla_threshold,
+        procs=args.procs,
+        progress=progress,
+    )
+    _write_outputs(doc, lab_markdown(doc), args, out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Multiprocess sweeps over check soaks, bench "
+        "scenarios, and policy-lab comparisons.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--procs", type=int, default=1,
+                       help="worker processes (default: 1 = in-process)")
+        p.add_argument("--output", default="",
+                       help="write the merged JSON report to this file")
+        p.add_argument("--markdown", default="",
+                       help="write the markdown report to this file")
+
+    check = sub.add_parser("check", help="soak generated check seeds")
+    check.add_argument("--iterations", type=int, default=50,
+                       help="seeds 0..N-1 to soak (default: 50)")
+    check.add_argument("--tier", default=None,
+                       help="pin the delivery tier instead of sampling it")
+    check.add_argument("--causal", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="pin causal-order mode instead of sampling it")
+    common(check)
+    check.set_defaults(func=_cmd_check)
+
+    bench = sub.add_parser("bench", help="run the bench scenario matrix")
+    bench.add_argument("--profile", default="full",
+                       help="bench profile name (default: full)")
+    bench.add_argument("--scheduler", default="heap",
+                       choices=["heap", "calendar"])
+    bench.add_argument("--scenario", action="append", default=[],
+                       help="scenario to run (repeatable; default: all)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="repeats per scenario, keep the fastest")
+    bench.add_argument("--baseline", default="",
+                       help="bench JSON to gate the headline metric against")
+    bench.add_argument("--max-regression", type=float, default=0.2,
+                       help="allowed headline regression vs baseline "
+                            "(default: 0.2)")
+    common(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    lab = sub.add_parser("lab", help="record lab scenarios, compare policies")
+    lab.add_argument("--scenario", action="append",
+                     default=None,
+                     help="live scenario to record (repeatable; "
+                          "default: steady, flash-crowd, crash)")
+    lab.add_argument("--seed", type=int, default=0)
+    lab.add_argument("--policies", default="",
+                     help="comma-separated policy names (default: all)")
+    lab.add_argument("--sla-threshold", type=float, default=None)
+    common(lab)
+    lab.set_defaults(func=_cmd_lab)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "command", "") == "lab" and args.scenario is None:
+        args.scenario = ["steady", "flash-crowd", "crash"]
+    handler: Callable[[argparse.Namespace, _Out], int] = args.func
+    return handler(args, lambda line: print(line, file=sys.stdout))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

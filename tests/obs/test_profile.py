@@ -117,3 +117,43 @@ class TestRendering:
         profiler.count("broker", "x", 1)
         text = render_profile(profiler.snapshot(), top=1)
         assert "top 1 site" in text
+
+
+class TestReliabilityAttribution:
+    """The stamp fast path: at_most_once pays zero reliability overhead,
+    and the profiler proves it -- no ``reliability:*`` counter may appear
+    unless a reliable tier actually sequenced messages."""
+
+    def _cluster_counters(self, tier):
+        from repro.core.cluster import BALANCER_NONE, DynamothCluster
+        from repro.core.config import DynamothConfig
+
+        profiler = SimProfiler()
+        tracer = Tracer(profiler=profiler)
+        cluster = DynamothCluster(
+            seed=0,
+            initial_servers=1,
+            balancer=BALANCER_NONE,
+            config=DynamothConfig(delivery_tier=tier),
+            tracer=tracer,
+        )
+        got = []
+        sub = cluster.create_client("sub")
+        sub.subscribe("arena", lambda ch, body, env: got.append(body))
+        pub = cluster.create_client("pub")
+        cluster.run_for(1.0)
+        for i in range(5):
+            pub.publish("arena", f"m{i}", 100)
+        cluster.run_for(3.0)
+        assert len(got) == 5
+        return profiler.snapshot()["counters"]
+
+    def test_at_most_once_has_zero_reliability_attribution(self):
+        counters = self._cluster_counters("at_most_once")
+        assert counters.get("broker:fanout.publications", 0) >= 5
+        reliability = {k: v for k, v in counters.items() if k.startswith("reliability:")}
+        assert reliability == {}
+
+    def test_reliable_tier_attributes_stamping(self):
+        counters = self._cluster_counters("at_least_once")
+        assert counters.get("reliability:stamp.sequenced", 0) >= 5

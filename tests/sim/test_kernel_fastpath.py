@@ -1,8 +1,8 @@
-"""Tests for the kernel's hot-path machinery (PR 4).
+"""Tests for the kernel's hot-path machinery (PR 4, PR 9).
 
-Covers the calendar-queue scheduler, the pooled ``schedule_batch`` path,
-the pool/compaction interaction, the managed GC policy, and the clean
-failure state of ``run(max_events=...)``.
+Covers the calendar-queue scheduler, the fire-and-forget
+``schedule_batch`` path, its interaction with compaction, the managed GC
+policy, and the clean failure state of ``run(max_events=...)``.
 """
 
 import gc
@@ -33,7 +33,7 @@ def _mixed_workload(sim: Simulator, log: list) -> None:
     for handle in doomed[::2]:
         handle.cancel()
     sim.schedule_at(2.5, lambda: [h.cancel() for h in doomed[1::2]])
-    # A batch of pooled events.
+    # A batch of fire-and-forget events.
     times = [0.25 * k for k in range(1, 9)]
     sim.schedule_batch(log.append, times, [(("batch", k),) for k in range(8)])
 
@@ -122,18 +122,16 @@ class TestScheduleBatch:
         sim.run_until(1.0)
         assert order == ["plain-1", "batch-1", "batch-2", "plain-2"]
 
-    def test_events_are_pooled_and_recycled(self, sim):
+    def test_batch_entries_are_fire_and_forget(self, sim):
+        # Batch events carry no ScheduledEvent handle at all: the queue
+        # holds plain (time, seq, None, fn, args) tuples.
         sim.schedule_batch(lambda: None, [0.1] * 16, [()] * 16)
-        assert sim.pooled_free == 0  # still queued
+        assert len(sim._heap) == 16
+        assert all(len(entry) == 5 and entry[2] is None for entry in sim._heap)
         sim.run_until(1.0)
-        assert sim.pooled_free == 16
-        # The next batch reuses the free list instead of allocating.
-        sim.schedule_batch(lambda: None, [2.0] * 10, [()] * 10)
-        assert sim.pooled_free == 6
-        sim.run_until(3.0)
-        assert sim.pooled_free == 16
+        assert sim.pending_count == 0
 
-    def test_pool_reuse_preserves_args(self, sim):
+    def test_repeated_batches_preserve_args(self, sim):
         seen = []
         for round_no in range(3):
             base = sim.now
@@ -146,46 +144,37 @@ class TestScheduleBatch:
         assert seen == [(r, k) for r in range(3) for k in range(5)]
 
 
-class TestPoolCompactionInteraction:
-    """Cancelled pooled events must not re-enter the pool while heaped."""
+class TestBatchCompactionInteraction:
+    """Compaction must keep fire-and-forget entries while dropping
+    cancelled ScheduledEvent tombstones around them."""
 
-    def _heaped_events(self, sim):
-        return [entry[2] for entry in sim._heap]
-
-    def test_cancelled_pooled_event_not_recycled_until_popped(self, sim):
-        sim.schedule_batch(lambda: None, [10.0] * 8, [()] * 8)
-        events = self._heaped_events(sim)
-        # Cancel via the internal handle (no public handle exists for
-        # batch events): the event is a tombstone but still *in the heap*.
-        for event in events[:4]:
-            event.cancel()
-        assert sim.pooled_free == 0, "recycled while still heaped"
-        sim.run_until(11.0)
-        # Popping recycles both the cancelled and the executed ones.
-        assert sim.pooled_free == 8
-        assert len({id(e) for e in events}) == 8
-
-    def test_compaction_recycles_cancelled_pooled_events_once(self, sim):
-        sim.schedule_batch(lambda: None, [100.0] * 100, [()] * 100)
-        events = self._heaped_events(sim)
-        for event in events:
-            event.cancel()
+    def test_compaction_preserves_batch_entries(self, sim):
+        fired = []
+        sim.schedule_batch(fired.append, [100.0 + i for i in range(10)],
+                           [(i,) for i in range(10)])
+        doomed = [sim.schedule_at(150.0 + i, fired.append, -i) for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
         assert sim.compactions >= 1
-        # Compaction recycled the tombstones it removed -- each exactly
-        # once -- and every event is either pooled or still queued, never
-        # both.
-        assert sim.pooled_free + sim.pending_count == 100
-        assert len({id(e) for e in sim._pool}) == len(sim._pool)
-        pooled_ids = {id(e) for e in sim._pool}
-        assert all(id(entry[2]) not in pooled_ids for entry in sim._heap)
-        # Draining the queue recycles the tombstones compaction left.
-        sim.run_until(200.0)
-        assert sim.pooled_free == 100
-        # Reuse after compaction stays correct.
-        seen = []
-        sim.schedule_batch(seen.append, [sim.now + 1.0, sim.now + 2.0], [("x",), ("y",)])
-        sim.run_until(sim.now + 3.0)
-        assert seen == ["x", "y"]
+        # Every batch entry survived the rebuild (tombstones cancelled
+        # *after* the last compaction may still occupy slots).
+        assert sum(1 for e in sim._heap if e[2] is None) == 10
+        assert sim.pending_count < 210
+        sim.run_until(300.0)
+        assert fired == list(range(10))
+
+    def test_compaction_on_calendar_preserves_batch_entries(self):
+        sim = Simulator(scheduler="calendar")
+        fired = []
+        sim.schedule_batch(fired.append, [100.0 + i for i in range(10)],
+                           [(i,) for i in range(10)])
+        doomed = [sim.schedule_at(150.0 + i, fired.append, -i) for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending_count < 210
+        sim.run_until(300.0)
+        assert fired == list(range(10))
 
 
 class TestRunCleanState:
@@ -265,3 +254,36 @@ class TestManagedGc:
         sim.run_until(3.0)
         assert states == [False, False]
         assert gc.isenabled()
+
+
+class TestEarlierBucketDirtyFlag:
+    """The run loop's earlier-bucket re-check is gated on a flag set at
+    insert time (``_cal_earlier``).  These pin the one scenario that
+    needs it: the clock idles behind a partially drained bucket, then an
+    insert lands in an *earlier* bucket than the current remainder."""
+
+    def test_idle_insert_into_earlier_bucket_wins_over_remainder(self):
+        sim = Simulator(scheduler="calendar", calendar_bucket_s=0.01)
+        order: list = []
+        # Two events in one far-future bucket; drain only the first.
+        sim.schedule_at(1.000, order.append, "first")
+        sim.schedule_at(1.009, order.append, "remainder")
+        sim.run_until(1.000)
+        assert order == ["first"]
+        # The clock idles behind the remainder; schedule into an earlier
+        # bucket, both via a handle and via the batch fast path.
+        sim.schedule_at(1.002, order.append, "earlier-handle")
+        sim.schedule_batch(order.append, [1.003], [("earlier-batch",)])
+        sim.run_until(2.0)
+        assert order == ["first", "earlier-handle", "earlier-batch", "remainder"]
+
+    def test_step_also_respects_earlier_insert(self):
+        sim = Simulator(scheduler="calendar", calendar_bucket_s=0.01)
+        order: list = []
+        sim.schedule_at(1.000, order.append, "first")
+        sim.schedule_at(1.009, order.append, "remainder")
+        sim.run_until(1.000)
+        sim.schedule_at(1.002, order.append, "earlier")
+        while sim.step():
+            pass
+        assert order == ["first", "earlier", "remainder"]
