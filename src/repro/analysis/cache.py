@@ -23,7 +23,7 @@ from repro.analysis.diagnostics import Diagnostic
 
 #: Bump when diagnostics change shape or rules change semantics in ways
 #: the config/facts keys cannot see.
-ENGINE_VERSION = "1"
+ENGINE_VERSION = "2"
 
 
 def content_hash(source: str) -> str:

@@ -18,6 +18,13 @@ Subcommands
     baseline of this repository is empty -- the tree lint-clean -- and
     the self-host test keeps it that way; the subcommand exists for
     adopting new rules on older trees.
+
+``bisect LEFT.jsonl RIGHT.jsonl`` / ``bisect --seed N``
+    Localize the first diverging event between two trace files by
+    prefix-hash bisection (exit 0: identical, 1: divergence found).
+    With ``--seed``, run the property-check scenario twice under
+    different ``PYTHONHASHSEED`` values as a hash-order divergence
+    probe and bisect the resulting traces.
 """
 
 from __future__ import annotations
@@ -25,11 +32,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.analysis.baseline import write_baseline
+from repro.analysis.bisect import bisect_traces, format_divergence
 from repro.analysis.config import find_project_root, load_config
 from repro.analysis.engine import AnalysisEngine, CheckReport
 from repro.analysis.rules import ALL_RULES, get_rule
@@ -61,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore and do not update the per-file result cache",
     )
     check.add_argument("--root", default=None, help="project root (default: auto)")
+    check.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="only lint files differing from the given git ref "
+        "(default ref: HEAD); untracked files count as changed",
+    )
 
     explain = sub.add_parser("explain", help="explain a rule (or list all)")
     explain.add_argument("rule", nargs="?", default=None, help="rule ID, e.g. DET003")
@@ -70,6 +89,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     baseline.add_argument("paths", nargs="*", default=["src"])
     baseline.add_argument("--root", default=None)
+
+    bisect = sub.add_parser(
+        "bisect", help="localize the first diverging event between two traces"
+    )
+    bisect.add_argument(
+        "traces",
+        nargs="*",
+        metavar="TRACE",
+        help="two trace JSONL files (plain or .gz) to compare",
+    )
+    bisect.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="instead of two files: run `repro.check --seed N` twice under "
+        "different PYTHONHASHSEED values and bisect the traces",
+    )
+    bisect.add_argument(
+        "--chunk",
+        type=int,
+        default=4096,
+        help="events per prefix-hash checkpoint (default: 4096)",
+    )
+    bisect.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
     return parser
 
 
@@ -109,11 +158,53 @@ def _emit_json(report: CheckReport, stream) -> None:
     stream.write("\n")
 
 
+def _changed_files(root: Path, ref: str) -> Optional[Set[str]]:
+    """Repo-relative paths differing from ``ref`` (plus untracked files).
+
+    Returns ``None`` when git is unavailable or errors -- the caller
+    then analyzes everything rather than silently skipping files.
+    """
+    changed: Set[str] = set()
+    for argv in (
+        ["git", "-C", str(root), "diff", "--name-only", ref],
+        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return changed
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     engine = _make_engine(args.root)
-    report = engine.check(
-        [Path(p) for p in args.paths], use_cache=not args.no_cache
-    )
+    paths: List[Path] = [Path(p) for p in args.paths]
+    if args.changed_only is not None:
+        changed = _changed_files(engine.root, args.changed_only)
+        if changed is None:
+            print(
+                "warning: --changed-only requires a working git checkout; "
+                "analyzing all paths",
+                file=sys.stderr,
+            )
+        else:
+            discovered = engine.discover(paths)
+            paths = [
+                path
+                for path in discovered
+                if engine._rel(path) in changed
+            ]
+            if not paths:
+                print("0 finding(s) in 0 file(s) [--changed-only]")
+                return EXIT_CLEAN
+    report = engine.check(paths, use_cache=not args.no_cache)
     if args.fmt == "json":
         _emit_json(report, sys.stdout)
     else:
@@ -148,6 +239,79 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+def _record_seed_trace(seed: int, out: Path, hash_seed: str) -> bool:
+    """Run one property-check scenario, streaming its trace to ``out``.
+
+    ``PYTHONHASHSEED`` is varied between the two runs: a divergence
+    between the resulting traces is exactly a hash-order dependence --
+    the bug class the determinism suite exists to catch.
+    """
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.check",
+            "--seed",
+            str(seed),
+            "--trace",
+            str(out),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if not out.is_file():
+        print(
+            f"error: repro.check --seed {seed} produced no trace "
+            f"(exit {proc.returncode}):\n{proc.stderr}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _cmd_bisect(args: argparse.Namespace) -> int:
+    if args.seed is not None:
+        if args.traces:
+            print("error: give either two trace files or --seed", file=sys.stderr)
+            return EXIT_ERROR
+        with tempfile.TemporaryDirectory(prefix="repro-bisect-") as tmp:
+            left = Path(tmp) / "left.jsonl"
+            right = Path(tmp) / "right.jsonl"
+            if not _record_seed_trace(args.seed, left, "0"):
+                return EXIT_ERROR
+            if not _record_seed_trace(args.seed, right, "1"):
+                return EXIT_ERROR
+            return _emit_bisect(left, right, args)
+    if len(args.traces) != 2:
+        print("error: bisect needs exactly two trace files", file=sys.stderr)
+        return EXIT_ERROR
+    left, right = Path(args.traces[0]), Path(args.traces[1])
+    for path in (left, right):
+        if not path.is_file():
+            print(f"error: no such trace: {path}", file=sys.stderr)
+            return EXIT_ERROR
+    return _emit_bisect(left, right, args)
+
+
+def _emit_bisect(left: Path, right: Path, args: argparse.Namespace) -> int:
+    divergence = bisect_traces(left, right, chunk=max(1, args.chunk))
+    if args.fmt == "json":
+        payload = {
+            "identical": divergence is None,
+            "divergence": divergence.to_dict() if divergence else None,
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif divergence is None:
+        print("traces are identical (event bodies byte-for-byte)")
+    else:
+        print(format_divergence(divergence))
+    return EXIT_CLEAN if divergence is None else EXIT_FINDINGS
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -158,6 +322,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "check": _cmd_check,
         "explain": _cmd_explain,
         "baseline": _cmd_baseline,
+        "bisect": _cmd_bisect,
     }
     try:
         return handlers[args.command](args)

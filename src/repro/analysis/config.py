@@ -44,8 +44,104 @@ DEFAULT_RULES: Tuple[str, ...] = (
     "DET004",
     "SLOT001",
     "TRC001",
+    "TRC002",
     "RNG001",
     "CFG001",
+    "CFG002",
+    "MSG001",
+    "MUT001",
+    "ARCH001",
+    "HOT001",
+)
+
+#: Layer DAG: package -> packages it may import at module level, lowest
+#: layer first.  ``sim`` is the foundation; ``core`` (the Dynamoth
+#: control plane: balancer, dispatcher, client, plans) sits *above*
+#: ``broker`` because reconfiguration orchestrates brokers, never the
+#: reverse; harnesses (``check``/``lab``/``experiments``/``sweep``) sit
+#: on top.  Function-level and ``TYPE_CHECKING`` imports are exempt --
+#: they are the sanctioned cycle-breakers (see ARCH001).
+DEFAULT_LAYERS: Dict[str, Tuple[str, ...]] = {
+    "sim": (),
+    "obs": (),
+    "analysis": (),
+    "net": ("sim",),
+    "broker": ("sim", "net", "obs"),
+    "core": ("sim", "net", "obs", "broker"),
+    "baselines": ("sim", "net", "obs", "broker", "core"),
+    "faults": ("sim", "net", "obs", "broker", "core"),
+    "workload": ("sim", "net", "obs", "broker", "core"),
+    "check": ("sim", "net", "obs", "broker", "core", "faults", "workload"),
+    "lab": ("sim", "net", "obs", "broker", "core", "faults", "workload"),
+    "experiments": (
+        "sim",
+        "net",
+        "obs",
+        "broker",
+        "core",
+        "baselines",
+        "faults",
+        "workload",
+    ),
+    "sweep": (
+        "sim",
+        "net",
+        "obs",
+        "broker",
+        "core",
+        "baselines",
+        "faults",
+        "workload",
+        "check",
+        "lab",
+        "experiments",
+    ),
+}
+
+#: Message routing: wire type -> actor classes that must dispatch it.
+DEFAULT_PROTOCOL: Dict[str, Tuple[str, ...]] = {
+    "PublishCmd": ("PubSubServer",),
+    "SubscribeCmd": ("PubSubServer",),
+    "UnsubscribeCmd": ("PubSubServer",),
+    "ReplayRequest": ("PubSubServer",),
+    "PingCmd": ("PubSubServer",),
+    "Delivery": ("DynamothClient",),
+    "MappingNotice": ("DynamothClient",),
+    "SubscribeAck": ("DynamothClient",),
+    "PongReply": ("DynamothClient",),
+    "ReplayGapNotice": ("DynamothClient",),
+    "ConnectionClosed": ("DynamothClient",),
+    "PlanPush": ("Dispatcher",),
+    "NoMoreSubscribers": (
+        "Dispatcher",
+        "LoadBalancer",
+        "ConsistentHashingBalancer",
+    ),
+    "LoadReport": ("LoadBalancer", "ConsistentHashingBalancer"),
+    "ServerSpawned": ("LoadBalancer", "ConsistentHashingBalancer"),
+}
+
+#: Wire dataclasses deliberately outside actor routing: envelopes and
+#: payloads carried *inside* routed messages, plus reliability-internal
+#: records that never cross an actor boundary on their own.
+DEFAULT_UNROUTED: Tuple[str, ...] = (
+    "AppEnvelope",
+    "SwitchNotice",
+    "ChannelMetricsSnapshot",
+    "ReliabilityConfig",
+    "CacheEntry",
+    "ReplaySlice",
+    "ObserveOutcome",
+)
+
+#: Files whose actor classes are parsed for ``receive`` dispatch maps.
+DEFAULT_MSG_ACTORS: Tuple[str, ...] = (
+    "src/repro/broker/server.py",
+    "src/repro/core/client.py",
+    "src/repro/core/dispatcher.py",
+    "src/repro/core/balancer.py",
+    "src/repro/core/lla.py",
+    "src/repro/baselines/consistent_hashing.py",
 )
 
 
@@ -97,6 +193,18 @@ class AnalysisConfig:
             "ChaosScenarioConfig": "src/repro/experiments/chaos.py",
         }
     )
+    #: ARCH001 layer DAG: package -> module-level import allow-list
+    layers: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: MSG001 routing table: message class -> dispatching actor classes
+    protocol: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_PROTOCOL)
+    )
+    #: wire types exempt from routing (payloads, reliability internals)
+    unrouted_messages: Tuple[str, ...] = DEFAULT_UNROUTED
+    #: files parsed for actor ``receive`` dispatch maps
+    msg_actors: Tuple[str, ...] = DEFAULT_MSG_ACTORS
 
     def active_rules(self) -> Tuple[str, ...]:
         disabled = set(self.disable)
@@ -113,6 +221,10 @@ class AnalysisConfig:
                 self.wire_messages,
                 self.trace_schema,
                 tuple(sorted(self.config_classes.items())),
+                tuple(sorted((k, tuple(v)) for k, v in self.layers.items())),
+                tuple(sorted((k, tuple(v)) for k, v in self.protocol.items())),
+                tuple(sorted(self.unrouted_messages)),
+                self.msg_actors,
             )
         )
 
@@ -172,7 +284,29 @@ def load_config(root: Path) -> AnalysisConfig:
         isinstance(k, str) and isinstance(v, str) for k, v in raw_classes.items()
     ):
         config.config_classes = dict(raw_classes)
+    config.layers = _str_list_table(table.get("layers"), config.layers)
+    config.protocol = _str_list_table(table.get("protocol"), config.protocol)
+    config.unrouted_messages = _str_tuple(
+        table.get("unrouted-messages"), config.unrouted_messages
+    )
+    config.msg_actors = _str_tuple(table.get("msg-actors"), config.msg_actors)
     return config
+
+
+def _str_list_table(
+    value: Any, fallback: Dict[str, Tuple[str, ...]]
+) -> Dict[str, Tuple[str, ...]]:
+    """A TOML table of string lists (the layers / protocol shape)."""
+    if not isinstance(value, dict):
+        return fallback
+    out: Dict[str, Tuple[str, ...]] = {}
+    for key, entry in value.items():
+        if not isinstance(key, str):
+            return fallback
+        if not (isinstance(entry, list) and all(isinstance(v, str) for v in entry)):
+            return fallback
+        out[key] = tuple(entry)
+    return out
 
 
 def find_project_root(start: Optional[Path] = None) -> Path:

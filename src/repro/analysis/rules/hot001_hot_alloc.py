@@ -1,0 +1,93 @@
+"""HOT001: allocation lint for functions tagged ``# repro: scope[hot]``."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+_HOT_TAG_RE = re.compile(r"#\s*repro:\s*scope\[\s*hot\s*\]")
+
+
+class HotAllocationRule(Rule):
+    """The PR 9 fan-out work showed where the simulator's time goes: the
+    per-event hot path, where every closure, comprehension, or f-string
+    is one allocation *per simulated message*.  Functions audited to be
+    on that path carry a ``# repro: scope[hot]`` comment on (or directly
+    above) their ``def`` line; inside them this rule flags:
+
+    * ``lambda`` expressions and nested ``def`` (closure allocation);
+    * list/set/dict comprehensions and generator expressions (a fresh
+      object and a frame per call);
+    * f-strings (string building), *except* inside ``raise`` or
+      ``assert`` statements -- error paths are cold by definition.
+
+    The tag is per-function, unlike the file-level ``hot-path`` scope
+    that drives DET003: a file can be mostly cold with two audited hot
+    methods.  An intentional allocation on a tagged path is suppressed
+    the usual way with ``# repro: allow[HOT001]`` -- visible at the call
+    site, where a reviewer can weigh it.
+    """
+
+    ID = "HOT001"
+    SUMMARY = "allocation (closure/comprehension/f-string) in a hot function"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for fn in self._hot_functions(ctx):
+            exempt = self._cold_fstrings(fn)
+            for node in ast.walk(fn):
+                if node is fn:
+                    continue
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        f"nested function `{node.name}` allocates a closure "
+                        "per call of a hot function",
+                    )
+                elif isinstance(node, ast.Lambda):
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        "lambda allocates a closure per call of a hot function",
+                    )
+                elif isinstance(
+                    node,
+                    (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                ):
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        "comprehension allocates per call of a hot function",
+                    )
+                elif isinstance(node, ast.JoinedStr) and id(node) not in exempt:
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        "f-string builds a string per call of a hot function",
+                    )
+
+    def _hot_functions(self, ctx: RuleContext) -> Iterator[ast.AST]:
+        """Functions whose def line (or the line above) carries the tag."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for line_no in (node.lineno, node.lineno - 1):
+                if 1 <= line_no <= len(ctx.lines) and _HOT_TAG_RE.search(
+                    ctx.lines[line_no - 1]
+                ):
+                    yield node
+                    break
+
+    @staticmethod
+    def _cold_fstrings(fn: ast.AST) -> Set[int]:
+        """``id()`` of f-strings inside raise/assert (cold error paths)."""
+        exempt: Set[int] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Raise, ast.Assert)):
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.JoinedStr):
+                        exempt.add(id(inner))
+        return exempt

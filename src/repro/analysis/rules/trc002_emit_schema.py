@@ -1,0 +1,83 @@
+"""TRC002: event constructor arguments must match the registered schema."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Finding, Rule, RuleContext
+
+_SCHEMA_MODULE = "repro.obs.trace"
+
+
+class EmitSchemaRule(Rule):
+    """TRC001 catches an *unregistered* event class; this rule checks the
+    arguments of every construction of a *registered* one, field-for-
+    field against the schema parsed from ``repro.obs.trace``:
+
+    * a keyword naming no declared field (renamed-field drift -- the
+      call "works" until that emit path actually executes, hours into a
+      soak);
+    * a required field (no default) that neither a positional nor a
+      keyword argument supplies;
+    * more positional arguments than the event declares fields.
+
+    Any construction whose class resolves through imports to the schema
+    module is validated -- not just direct ``emit(Event(...))`` call
+    sites, because the ``ev = Event(...); tr.emit(ev)`` form is just as
+    load-bearing.  Calls using ``*args`` / ``**kwargs`` are skipped
+    (unresolvable statically), as are locally-defined classes that
+    merely share an event's name.
+    """
+
+    ID = "TRC002"
+    SUMMARY = "event constructed with arguments that mismatch its schema"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        schemas = ctx.facts.event_fields
+        if not schemas:
+            return
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node.func)
+            if resolved is None or not resolved.startswith(_SCHEMA_MODULE + "."):
+                continue
+            class_name = resolved[len(_SCHEMA_MODULE) + 1 :]
+            if "." in class_name or class_name not in schemas:
+                continue
+            if any(isinstance(arg, ast.Starred) for arg in node.args):
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                continue
+            facts = schemas[class_name]
+            names = facts.names
+            if len(node.args) > len(names):
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    f"`{class_name}` takes {len(names)} field(s) but got "
+                    f"{len(node.args)} positional argument(s)",
+                )
+                continue
+            supplied = set(names[: len(node.args)])
+            for keyword in node.keywords:
+                assert keyword.arg is not None  # **kwargs filtered above
+                if keyword.arg not in names:
+                    yield Finding(
+                        keyword.value.lineno,
+                        keyword.value.col_offset,
+                        f"`{class_name}` has no field `{keyword.arg}` "
+                        f"(schema: {', '.join(names)})",
+                    )
+                else:
+                    supplied.add(keyword.arg)
+            for required in facts.required:
+                if required not in supplied:
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        f"`{class_name}` is missing required field "
+                        f"`{required}`",
+                    )

@@ -19,7 +19,7 @@ plans or replication exist.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
 from repro.broker.commands import (
     ConnectionClosed,
@@ -35,7 +35,6 @@ from repro.broker.commands import (
 )
 from repro.broker.config import BrokerConfig
 from repro.broker.connection import Connection
-from repro.core.reliability import BrokerReliability
 from repro.obs.trace import (
     NULL_TRACER,
     FanoutEvent,
@@ -46,6 +45,12 @@ from repro.obs.trace import (
 )
 from repro.sim.actor import Actor
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:
+    # Annotation-only: the broker is the *data* plane and must not import
+    # the control plane at runtime (ARCH001); the reliability sidecar is
+    # injected by repro.core wiring and used duck-typed here.
+    from repro.core.reliability import BrokerReliability
 
 #: signature: (channel, publisher_id, payload, payload_size) -> None
 LocalSubscriber = Callable[[str, str, Any, int], None]
@@ -379,6 +384,7 @@ class PubSubServer(Actor):
         else:
             self.sim.schedule_at(done, self._complete_publish, cmd, publisher_id)
 
+    # repro: scope[hot]
     def _complete_publish(self, cmd: PublishCmd, publisher_id: str) -> None:
         """Fan a processed publication out to all subscribers."""
         if not self.alive or self.transport is None:
@@ -427,7 +433,10 @@ class PubSubServer(Actor):
                 self.dropped_deliveries += dead
             if dst_ids:
                 if self.config.per_connection_bps is not None:
-                    min_completions = [
+                    # Off the default path (per-connection drain modeling is
+                    # opt-in), and the transport API takes a sequence -- the
+                    # list must exist either way.
+                    min_completions = [  # repro: allow[HOT001]
                         conn.connection_drain_completion(now, wire_size)
                         for conn in conns
                     ]

@@ -668,6 +668,7 @@ class DynamothClient(Actor):
         else:
             raise TypeError(f"{self.node_id}: unexpected message {type(message).__name__}")
 
+    # repro: scope[hot]
     def _deliver_app(self, channel: str, envelope: AppEnvelope, delivery: Delivery) -> None:
         """Hand one deduplicated publication to the application."""
         self.delivered += 1

@@ -177,12 +177,3 @@ class ServerSpawned:
     server_id: str
 
     WIRE_SIZE = 64
-
-
-@dataclass(frozen=True, slots=True)
-class ServerDecommissioned:
-    """Cloud notification: a drained server was shut down."""
-
-    server_id: str
-
-    WIRE_SIZE = 64

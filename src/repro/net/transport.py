@@ -144,6 +144,7 @@ class Transport:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
+    # repro: scope[hot]
     def send(
         self,
         src_id: str,
@@ -210,6 +211,7 @@ class Transport:
         self.messages_sent += 1
         return completion, delivery_time
 
+    # repro: scope[hot]
     def send_many(
         self,
         src_id: str,
@@ -315,6 +317,7 @@ class Transport:
             states.append(state)
         return states
 
+    # repro: scope[hot]
     def send_fanout(
         self,
         src_id: str,

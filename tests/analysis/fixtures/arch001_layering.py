@@ -1,0 +1,8 @@
+"""ARCH001 fixture: a broker-layer file importing the control plane."""
+# repro: scope[layer-broker]
+
+from repro.core.plan import Plan
+
+
+def apply_plan(plan: Plan) -> int:
+    return plan.version

@@ -1,5 +1,5 @@
 """A fixture with no violations, even under every scope tag."""
-# repro: scope[hot-path,no-io]
+# repro: scope[hot-path,no-io,layer-broker]
 
 from random import Random
 
@@ -8,3 +8,21 @@ def pick_server(servers: list, rng: Random) -> str:
     candidates = set(servers)
     ranked = sorted(candidates)
     return ranked[rng.randrange(len(ranked))]
+
+
+class Dispatcher:
+    def receive(self, message) -> None:
+        if isinstance(message, (PlanPush, NoMoreSubscribers)):  # noqa: F821
+            self._apply(message)
+        else:
+            raise TypeError(type(message).__name__)
+
+    def _apply(self, message) -> None:
+        pass
+
+
+def sum_sizes(sizes) -> int:  # repro: scope[hot]
+    total = 0
+    for size in sizes:
+        total += size
+    return total

@@ -1,0 +1,8 @@
+"""HOT001 fixture: per-call allocations inside a tagged hot function."""
+
+
+def fan_out(dst_ids, payload):  # repro: scope[hot]
+    sizes = [len(dst) for dst in dst_ids]
+    label = f"batch-{len(dst_ids)}"
+    on_done = lambda: payload  # noqa: E731
+    return sizes, label, on_done

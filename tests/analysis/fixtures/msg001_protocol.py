@@ -1,0 +1,12 @@
+"""MSG001 fixture: a missing dispatch branch and a dead handler."""
+
+
+class Dispatcher:
+    """Named like the real actor, so the protocol table routes to it."""
+
+    def receive(self, message, src_id):
+        if isinstance(message, PlanPush):  # noqa: F821 - parse-only fixture
+            return
+        if isinstance(message, PublishCmd):  # noqa: F821 - dead: server-bound
+            return
+        raise TypeError(f"unexpected message: {message!r}")

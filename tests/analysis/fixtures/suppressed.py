@@ -1,7 +1,10 @@
 """Violations silenced by inline ``# repro: allow[RULE]`` suppressions."""
-# repro: scope[hot-path,no-io]
+# repro: scope[hot-path,no-io,layer-broker,wire-messages]
 
 import time
+
+from repro.core.plan import Plan  # repro: allow[ARCH001]
+from repro.obs.trace import PublishEvent
 
 
 def export_checkpoint(path: str, payload: bytes) -> float:
@@ -15,3 +18,23 @@ def drain(members: set) -> int:
     for member in members:  # repro: allow[DET003]
         total += len(member)
     return total
+
+
+class LoadBalancer:
+    def receive(self, message) -> None:  # repro: allow[MSG001]
+        raise NotImplementedError(type(message).__name__)
+
+
+def rebroadcast(net, channel, plan: Plan):
+    notice = MappingNotice(channel=channel)  # noqa: F821 - parse-only fixture
+    net.send(notice)
+    notice.channel = "redacted"  # repro: allow[MUT001]
+    return notice
+
+
+def record(tracer, t):
+    tracer.emit(PublishEvent(t=t, origin="c1"))  # repro: allow[TRC002]
+
+
+def format_batch(dst_ids) -> str:  # repro: scope[hot]
+    return f"batch-{len(dst_ids)}"  # repro: allow[HOT001]

@@ -1,0 +1,17 @@
+"""TRC002 fixture: event construction that drifted from the schema."""
+
+from repro.obs.trace import PublishEvent
+
+
+def record(tracer, t):
+    tracer.emit(
+        PublishEvent(
+            t=t,
+            msg_id="m1",
+            channel="tile:1",
+            publisher="c1",
+            plan_version=1,
+            targets=("s0",),
+            payload_size=64,
+        )
+    )

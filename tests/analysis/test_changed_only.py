@@ -1,0 +1,83 @@
+"""CLI ``--changed-only``: git-diff scoping of the analyzed file set."""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not available"
+)
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.name=t", "-c", "user.email=t@t",
+         *args],
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    (tmp_path / "alpha.py").write_text("VALUE = 1\n")
+    (tmp_path / "beta.py").write_text("OTHER = 2\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def _check(cwd: Path, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "check", ".",
+         "--no-cache", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+class TestChangedOnly:
+    def test_clean_tree_analyzes_nothing(self, repo):
+        proc = _check(repo, "--changed-only")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 finding(s) in 0 file(s) [--changed-only]" in proc.stdout
+
+    def test_modified_file_is_scoped(self, repo):
+        (repo / "alpha.py").write_text("VALUE = 3\n")
+        proc = _check(repo, "--changed-only")
+        assert proc.returncode == 0, proc.stderr
+        assert "in 1 file(s)" in proc.stdout
+
+    def test_untracked_file_counts_as_changed(self, repo):
+        (repo / "gamma.py").write_text("NEW = 9\n")
+        proc = _check(repo, "--changed-only")
+        assert "in 1 file(s)" in proc.stdout
+
+    def test_explicit_ref(self, repo):
+        (repo / "alpha.py").write_text("VALUE = 3\n")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-q", "-m", "bump")
+        proc = _check(repo, "--changed-only", "HEAD~1")
+        assert "in 1 file(s)" in proc.stdout
+
+    def test_non_git_dir_warns_and_analyzes_all(self, tmp_path):
+        (tmp_path / "alpha.py").write_text("VALUE = 1\n")
+        (tmp_path / "beta.py").write_text("OTHER = 2\n")
+        proc = _check(tmp_path, "--changed-only")
+        assert "analyzing all paths" in proc.stderr
+        assert "in 2 file(s)" in proc.stdout
+
+    def test_without_flag_analyzes_all(self, repo):
+        proc = _check(repo)
+        assert "in 2 file(s)" in proc.stdout

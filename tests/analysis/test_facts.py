@@ -58,6 +58,93 @@ class TestCacheKey:
         assert "PublishEvent" in facts.cache_key()
 
 
+class TestHandlerMap:
+    def test_all_protocol_actors_have_handlers(self, facts):
+        for actors in AnalysisConfig().protocol.values():
+            for actor in actors:
+                assert actor in facts.handlers, actor
+
+    def test_broker_dispatch_branches(self, facts):
+        server = facts.handlers["PubSubServer"]
+        assert server.path == "src/repro/broker/server.py"
+        assert server.handled == {
+            "PublishCmd",
+            "SubscribeCmd",
+            "UnsubscribeCmd",
+            "ReplayRequest",
+            "PingCmd",
+        }
+
+    def test_dispatch_records_branch_lines(self, facts):
+        dispatch = dict(facts.handlers["Dispatcher"].dispatch)
+        assert set(dispatch) == {"PlanPush", "NoMoreSubscribers"}
+        assert all(line > 0 for line in dispatch.values())
+
+
+class TestImportGraph:
+    def test_leaf_layers_import_nothing(self, facts):
+        assert facts.import_graph["sim"] == frozenset()
+        assert facts.import_graph["obs"] == frozenset()
+
+    def test_net_depends_only_on_sim(self, facts):
+        assert facts.import_graph["net"] == frozenset({"sim"})
+
+    def test_broker_never_imports_control_plane(self, facts):
+        # The data plane must not reach up into repro.core at module
+        # level; ARCH001 enforces this and the facts must agree.
+        assert "core" not in facts.import_graph["broker"]
+
+    def test_graph_respects_declared_dag(self, facts):
+        layers = AnalysisConfig().layers
+        for pkg, imported in facts.import_graph.items():
+            if pkg not in layers:
+                continue
+            allowed = set(layers[pkg])
+            assert imported <= allowed, (pkg, imported - allowed)
+
+
+class TestLayerDag:
+    def test_declared_layers_are_acyclic(self):
+        layers = {k: set(v) for k, v in AnalysisConfig().layers.items()}
+        order = []
+        while layers:
+            ready = [k for k, deps in layers.items() if not deps & set(layers)]
+            assert ready, f"cycle among {sorted(layers)}"
+            for k in sorted(ready):
+                order.append(k)
+                del layers[k]
+        assert order[0] in {"analysis", "obs", "sim"}
+
+
+class TestWireMessages:
+    def test_commands_located(self, facts):
+        path, line = facts.wire_messages["PublishCmd"]
+        assert path == "src/repro/broker/commands.py"
+        assert line > 0
+
+    def test_every_routed_message_is_a_known_wire_type(self, facts):
+        for message in AnalysisConfig().protocol:
+            assert message in facts.wire_messages, message
+
+
+class TestEventFields:
+    def test_publish_event_schema(self, facts):
+        ev = facts.event_fields["PublishEvent"]
+        assert ev.names == (
+            "t",
+            "msg_id",
+            "channel",
+            "sender",
+            "plan_version",
+            "targets",
+            "payload_size",
+        )
+        assert "t" in ev.required
+
+    def test_config_reads_collected(self, facts):
+        assert "max_servers" in facts.config_field_reads
+
+
 class TestParsers:
     def test_dict_comp_registry_form(self):
         tree = ast.parse(

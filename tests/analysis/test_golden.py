@@ -81,6 +81,46 @@ GOLDEN = {
         f"{FIXTURES}/cfg001_config_fields.py:11:53: CFG001 `DynamothConfig` "
         "has no field or method `lr_hi` (via `config.lr_hi`)",
     ],
+    "msg001_protocol.py": [
+        f"{FIXTURES}/msg001_protocol.py:7:5: MSG001 actor `Dispatcher` has "
+        "no dispatch branch for routed message `NoMoreSubscribers`",
+        f"{FIXTURES}/msg001_protocol.py:10:1: MSG001 dead handler: "
+        "`PublishCmd` is not routed to actor `Dispatcher` in the protocol "
+        "table",
+    ],
+    "mut001_message_mutation.py": [
+        f"{FIXTURES}/mut001_message_mutation.py:9:5: MUT001 wire type "
+        "`RosterNotice` field `members` has a shared mutable default",
+        f"{FIXTURES}/mut001_message_mutation.py:15:5: MUT001 message "
+        "`notice` is mutated after escaping into the transport on line 14; "
+        "receivers share the object by reference",
+    ],
+    "arch001_layering.py": [
+        f"{FIXTURES}/arch001_layering.py:4:1: ARCH001 layer `broker` may "
+        "not import `repro.core` at module level (allowed: net, obs, sim); "
+        "use a function-level or TYPE_CHECKING import if the dependency is "
+        "annotation-only",
+    ],
+    "trc002_emit_schema.py": [
+        f"{FIXTURES}/trc002_emit_schema.py:8:9: TRC002 `PublishEvent` is "
+        "missing required field `sender`",
+        f"{FIXTURES}/trc002_emit_schema.py:12:23: TRC002 `PublishEvent` has "
+        "no field `publisher` (schema: t, msg_id, channel, sender, "
+        "plan_version, targets, payload_size)",
+    ],
+    "hot001_hot_alloc.py": [
+        f"{FIXTURES}/hot001_hot_alloc.py:5:13: HOT001 comprehension "
+        "allocates per call of a hot function",
+        f"{FIXTURES}/hot001_hot_alloc.py:6:13: HOT001 f-string builds a "
+        "string per call of a hot function",
+        f"{FIXTURES}/hot001_hot_alloc.py:7:15: HOT001 lambda allocates a "
+        "closure per call of a hot function",
+    ],
+    "cfg002_dead_config.py": [
+        f"{FIXTURES}/cfg002_dead_config.py:9:5: CFG002 "
+        "`DynamothConfig.unused_knob` is never read outside its own class "
+        "body (dead config knob)",
+    ],
     "clean.py": [],
     "suppressed.py": [],
 }
